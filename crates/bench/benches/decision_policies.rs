@@ -1,0 +1,43 @@
+//! Bench + ablation: forecast-driven vs snapshot path selection
+//! (DESIGN.md §6, Sec III "Real-time Decision Making"). Criterion
+//! measures decision cost; the printed goodput comparison is the
+//! quality side of the ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use framework::policies::{run_policy, Policy};
+use hecate_ml::RegressorKind;
+use std::hint::black_box;
+use traces::{UqDataset, UqSpec};
+
+fn short_traces() -> UqDataset {
+    UqDataset::generate(&UqSpec {
+        len: 160,
+        outdoor_at: 60,
+        arrival_at: 130,
+        seed: 3,
+    })
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let d = short_traces();
+    let mut group = c.benchmark_group("policy_decision_run");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for policy in [
+        Policy::LastSample,
+        Policy::Static,
+        Policy::HecateForecast(RegressorKind::Lr),
+        Policy::HecateForecast(RegressorKind::Rfr),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| b.iter(|| black_box(run_policy(p, &d.wifi, &d.lte, 30, 10).mean_goodput)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

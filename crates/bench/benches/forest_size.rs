@@ -1,0 +1,32 @@
+//! Ablation bench: Random Forest size (the paper uses the sklearn
+//! default of 100 trees). Fit time scales linearly; the accuracy knee
+//! is far earlier — this quantifies the trade for DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hecate_ml::data::make_supervised;
+use hecate_ml::ensemble::RandomForestRegressor;
+use hecate_ml::Regressor;
+use std::hint::black_box;
+use traces::UqDataset;
+
+fn bench_forest_size(c: &mut Criterion) {
+    let data = UqDataset::default_dataset();
+    let (x, y) = make_supervised(&data.wifi, 10).unwrap();
+    let mut group = c.benchmark_group("forest_size_fit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for trees in [10usize, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, &t| {
+            b.iter(|| {
+                let mut f = RandomForestRegressor::with_trees(t);
+                f.fit(&x, &y).unwrap();
+                black_box(f.tree_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_size);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation bench: how the history window length (the paper fixes
+//! lags = 10) trades accuracy for cost. Criterion measures the fit cost
+//! per lag count; the RMSE side is printed by `repro ablation` and
+//! asserted in tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hecate_ml::{evaluate_regressor, PipelineConfig, RegressorKind};
+use std::hint::black_box;
+use traces::UqDataset;
+
+fn bench_lag_sweep(c: &mut Criterion) {
+    let data = UqDataset::default_dataset();
+    let mut group = c.benchmark_group("lag_window_sweep_rfr");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for lags in [1usize, 5, 10, 20, 32] {
+        let cfg = PipelineConfig {
+            lags,
+            ..PipelineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(lags), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    evaluate_regressor(RegressorKind::Rfr, &data.wifi, cfg)
+                        .unwrap()
+                        .rmse,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lag_sweep);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench: max-min fair allocation cost as flows and topology scale —
+//! the emulator's recomputation kernel (runs on every flow-set change).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::fairness::{directed_links, max_min_allocation, AllocFlow};
+use netsim::topo::mesh;
+use std::hint::black_box;
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_allocation");
+    for (nodes, flows) in [(16usize, 32usize), (64, 128), (128, 512)] {
+        let topo = mesh(nodes, 4, 10.0);
+        let alloc_flows: Vec<AllocFlow> = (0..flows)
+            .map(|i| {
+                let src = netsim::NodeIdx((i % nodes) as u32);
+                let dst = netsim::NodeIdx(((i * 7 + nodes / 2) % nodes) as u32);
+                let path = topo
+                    .shortest_path_by_delay(src, dst)
+                    .unwrap_or_else(|| vec![src]);
+                AllocFlow {
+                    links: directed_links(&topo, &path).unwrap_or_default(),
+                    demand: if i % 3 == 0 { Some(2.0) } else { None },
+                }
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{flows}f")),
+            &alloc_flows,
+            |b, fl| b.iter(|| black_box(max_min_allocation(&topo, fl))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_path_enumeration(c: &mut Criterion) {
+    let topo = netsim::topo::global_p4_lab();
+    let mia = topo.node("MIA").unwrap();
+    let ams = topo.node("AMS").unwrap();
+    c.bench_function("simple_paths_global_p4_lab", |b| {
+        b.iter(|| black_box(topo.simple_paths(mia, ams, 5)))
+    });
+}
+
+criterion_group!(benches, bench_maxmin, bench_path_enumeration);
+criterion_main!(benches);

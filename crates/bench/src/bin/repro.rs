@@ -1,0 +1,226 @@
+//! Figure-reproduction harness: regenerates every quantitative artifact
+//! of the paper and prints the rows/series it reports.
+//!
+//! Usage:
+//!   repro all            # everything (what EXPERIMENTS.md records)
+//!   repro fig1           # PolKA worked example
+//!   repro fig2           # Sec III TE optima sweep
+//!   repro fig5           # UQ traces + regime summaries
+//!   repro fig6           # 18-regressor RMSE table
+//!   repro fig7           # RFR observed vs predicted
+//!   repro fig8           # GPR observed vs predicted
+//!   repro fig11          # latency migration experiment
+//!   repro fig12          # flow aggregation experiment
+//!   repro ablation       # decision-policy ablation (Sec III)
+//!   repro steering       # framework-in-the-loop steering extension
+//!   repro mlp            # future-work MLP extension
+//!   repro cv             # walk-forward model selection extension
+
+use bench::figures;
+use bench::format_series;
+use hecate_ml::RegressorKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let all = which == "all";
+    if all || which == "fig1" {
+        fig1();
+    }
+    if all || which == "fig2" {
+        fig2();
+    }
+    if all || which == "fig5" {
+        fig5();
+    }
+    if all || which == "fig6" {
+        fig6();
+    }
+    if all || which == "fig7" {
+        fig7_or_8(RegressorKind::Rfr, "fig7");
+    }
+    if all || which == "fig8" {
+        fig7_or_8(RegressorKind::Gpr, "fig8");
+    }
+    if all || which == "fig11" {
+        fig11();
+    }
+    if all || which == "fig12" {
+        fig12();
+    }
+    if all || which == "ablation" {
+        ablation();
+    }
+    if all || which == "steering" {
+        steering();
+    }
+    if all || which == "mlp" {
+        mlp();
+    }
+    if all || which == "cv" {
+        cv();
+    }
+}
+
+fn banner(name: &str, caption: &str) {
+    println!("\n=== {name}: {caption} ===");
+}
+
+fn fig1() {
+    banner("fig1", "PolKA source routing worked example");
+    let (route, trace) = figures::fig1();
+    println!("routeID = {route}");
+    for (node, port) in trace {
+        println!("  at {node}: routeID mod nodeID -> port {port}");
+    }
+    println!("(paper: o1=1, o2=2, o3=6; routeID=10000 gives port 2 at s2)");
+}
+
+fn fig2() {
+    banner("fig2", "two-path TE optima (Eqs 1-3), capacity c = 10");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "demand h", "min-cost x_sd", "min-delay x_sd", "minmax util"
+    );
+    for (h, cost, delay, util) in figures::fig2(10.0) {
+        println!("{h:>8.1} {cost:>14.3} {delay:>14.3} {util:>14.3}");
+    }
+}
+
+fn fig5() {
+    banner("fig5", "UQ wireless dataset (synthetic equivalent)");
+    let (d, summaries) = figures::fig5();
+    println!("{} samples per path at 1 Hz", d.wifi.len());
+    for (name, s) in summaries {
+        println!(
+            "  {name:<26} mean {:6.2}  std {:5.2}  min {:6.2}  max {:6.2}",
+            s.mean, s.std, s.min, s.max
+        );
+    }
+}
+
+fn fig6() {
+    banner("fig6", "RMSE of 18 regression models (WiFi = Path 1, LTE = Path 2)");
+    let rows = figures::fig6();
+    println!("{:<5} {:<12} {:>10} {:>10}", "id", "model", "WiFi", "LTE");
+    for (kind, wifi, lte) in &rows {
+        println!(
+            "{:<5} {:<12} {:>10.2} {:>10.2}",
+            kind.paper_id(),
+            kind.label(),
+            wifi,
+            lte
+        );
+    }
+    let mut by_sum: Vec<_> = rows.clone();
+    by_sum.sort_by(|a, b| (a.1 + a.2).total_cmp(&(b.1 + b.2)));
+    println!(
+        "best: {}   worst: {}   (paper: RFR/GBR best, GPR excluded as worst)",
+        by_sum.first().map(|r| r.0.label()).unwrap_or("?"),
+        by_sum.last().map(|r| r.0.label()).unwrap_or("?")
+    );
+}
+
+fn fig7_or_8(kind: RegressorKind, name: &str) {
+    banner(
+        name,
+        &format!("observed vs predicted bandwidth ({})", kind.label()),
+    );
+    let (wifi, lte) = figures::fig7_fig8(kind);
+    for (path, rep) in [("WiFi/Path1", &wifi), ("LTE/Path2", &lte)] {
+        println!("{path}: rmse {:.2}, mae {:.2}, r2 {:.3}", rep.rmse, rep.mae, rep.r2);
+        println!("  t+idx  observed  predicted");
+        for (i, (o, p)) in rep.observed.iter().zip(&rep.predicted).enumerate().step_by(10) {
+            println!("  {i:5} {o:9.2} {p:10.2}");
+        }
+    }
+}
+
+fn fig11() {
+    banner("fig11", "agile migration to a lower-latency path");
+    let r = figures::fig11(60, 42);
+    print!(
+        "{}",
+        format_series("RTT (ms) @1Hz:", &r.rtt_series, 5)
+    );
+    println!(
+        "migration at t={}s: {} -> {}",
+        r.migration_at_s, r.tunnel_before, r.tunnel_after
+    );
+    println!(
+        "mean RTT before {:.2} ms, after {:.2} ms ({:.1}x better)",
+        r.mean_before_ms,
+        r.mean_after_ms,
+        r.mean_before_ms / r.mean_after_ms
+    );
+}
+
+fn fig12() {
+    banner("fig12", "flow aggregation with multiple paths");
+    let r = figures::fig12(60, 42);
+    for (label, series) in &r.per_flow {
+        print!("{}", format_series(&format!("{label} goodput (Mbps):"), series, 10));
+    }
+    print!("{}", format_series("total goodput (Mbps):", &r.total, 10));
+    println!("redistribution at t={}s:", r.redistribution_at_s);
+    for (f, t) in &r.assignment {
+        println!("  {f} -> {t}");
+    }
+    println!(
+        "steady aggregate: before {:.2} Mbps, after {:.2} Mbps (paper: <20 then ~30)",
+        r.total_before_mbps, r.total_after_mbps
+    );
+}
+
+fn ablation() {
+    banner("ablation", "decision policies on the UQ traces (Sec III)");
+    println!(
+        "{:<18} {:>12} {:>9} {:>9}",
+        "policy", "goodput Mbps", "switches", "hit rate"
+    );
+    for r in figures::ablation_policies() {
+        println!(
+            "{:<18} {:>12.2} {:>9} {:>9.2}",
+            r.policy, r.mean_goodput, r.switches, r.hit_rate
+        );
+    }
+}
+
+fn steering() {
+    banner(
+        "ext-steering",
+        "framework in the loop on trace-driven wireless links",
+    );
+    println!(
+        "{:<12} {:>14} {:>11}",
+        "policy", "goodput Mbps", "migrations"
+    );
+    for r in figures::ext_steering() {
+        println!(
+            "{:<12} {:>14.2} {:>11}",
+            format!("{:?}", r.policy),
+            r.mean_goodput,
+            r.migrations
+        );
+    }
+}
+
+fn mlp() {
+    banner("ext-mlp", "future-work neural network vs the paper's models");
+    println!("{:<8} {:>10} {:>10}", "model", "WiFi RMSE", "LTE RMSE");
+    for (name, wifi, lte) in figures::ext_mlp() {
+        println!("{name:<8} {wifi:>10.2} {lte:>10.2}");
+    }
+}
+
+fn cv() {
+    banner(
+        "ext-cv",
+        "walk-forward cross-validated model selection (WiFi trace)",
+    );
+    println!("{:<12} {:>10}  fold RMSEs", "model", "mean RMSE");
+    for r in figures::ext_cv() {
+        let folds: Vec<String> = r.fold_rmse.iter().map(|v| format!("{v:.2}")).collect();
+        println!("{:<12} {:>10.2}  [{}]", r.kind.label(), r.mean_rmse, folds.join(", "));
+    }
+}

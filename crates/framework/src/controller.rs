@@ -1,0 +1,177 @@
+//! The Controller: the Fig 4 decision sequence.
+//!
+//! "When a new data flow arrives, the Controller consults the Optimizer
+//! to determine the most suitable path. After the optimal path is
+//! identified, the Controller communicates this decision to the SR
+//! Service, establishing the path and configuring a policy to route the
+//! flow through it by adjusting the edge routers."
+
+use crate::hecate::HecateService;
+use crate::optimizer::{select_path, Objective};
+use crate::telemetry::{Metric, TelemetryService};
+use crate::FrameworkError;
+
+/// The outcome of one path decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathDecision {
+    /// Chosen tunnel name.
+    pub tunnel: String,
+    /// Whether the decision used Hecate forecasts (false = fallback to
+    /// the arbitrary first candidate, the paper's "phase (i)").
+    pub used_forecast: bool,
+    /// Score of the chosen path under the objective (forecast mean).
+    pub score: f64,
+}
+
+/// The Fig 4 message sequence, recorded step by step so tests and the
+/// repro harness can assert the exact interaction order.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceLog {
+    steps: Vec<String>,
+}
+
+impl SequenceLog {
+    /// Records one interaction.
+    pub fn record(&mut self, step: &str) {
+        self.steps.push(step.to_string());
+    }
+
+    /// The recorded steps in order.
+    pub fn steps(&self) -> &[String] {
+        &self.steps
+    }
+}
+
+/// Pure decision function: given telemetry and candidates, run the
+/// Fig 4 consultation (getTelemetry → askHecatePath → Optimizer) and
+/// return the decision. Falls back to the first candidate when
+/// forecasting is impossible (cold start).
+pub fn decide_path(
+    hecate: &HecateService,
+    telemetry: &TelemetryService,
+    candidates: &[String],
+    objective: Objective,
+    log: &mut SequenceLog,
+) -> Result<PathDecision, FrameworkError> {
+    if candidates.is_empty() {
+        return Err(FrameworkError::NoFeasiblePath);
+    }
+    log.record("getTelemetry");
+    let metric = match objective {
+        Objective::MinLatency => Metric::Rtt,
+        _ => Metric::AvailableBandwidth,
+    };
+    log.record("askHecatePath");
+    let forecasts = hecate.forecast_all(telemetry, candidates, metric);
+    if forecasts.is_empty() {
+        // Cold start: the paper's phase (i) "controller allocates the
+        // flow to an arbitrary path".
+        log.record("fallbackArbitraryPath");
+        return Ok(PathDecision {
+            tunnel: candidates[0].clone(),
+            used_forecast: false,
+            score: f64::NAN,
+        });
+    }
+    let best = select_path(objective, &forecasts)?;
+    log.record("optimizerReturn");
+    Ok(PathDecision {
+        tunnel: best.path.clone(),
+        used_forecast: true,
+        score: best.mean(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::SeriesKey;
+
+    fn store_with(paths: &[(&str, f64)], metric: Metric) -> TelemetryService {
+        let ts = TelemetryService::new(1000);
+        for (name, level) in paths {
+            for t in 0..40u64 {
+                ts.insert(
+                    &SeriesKey::new(name, metric),
+                    t * 1000,
+                    level + (t as f64 / 7.0).sin() * 0.5,
+                );
+            }
+        }
+        ts
+    }
+
+    fn candidates() -> Vec<String> {
+        vec!["tunnel1".into(), "tunnel2".into(), "tunnel3".into()]
+    }
+
+    #[test]
+    fn warm_decision_uses_forecasts() {
+        let ts = store_with(
+            &[("tunnel1", 20.0), ("tunnel2", 10.0), ("tunnel3", 5.0)],
+            Metric::AvailableBandwidth,
+        );
+        let mut log = SequenceLog::default();
+        let d = decide_path(
+            &HecateService::new(),
+            &ts,
+            &candidates(),
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(d.tunnel, "tunnel1");
+        assert!(d.used_forecast);
+        assert_eq!(
+            log.steps(),
+            &["getTelemetry", "askHecatePath", "optimizerReturn"]
+        );
+    }
+
+    #[test]
+    fn latency_objective_reads_rtt_series() {
+        let ts = store_with(&[("tunnel1", 58.0), ("tunnel2", 16.0)], Metric::Rtt);
+        let mut log = SequenceLog::default();
+        let d = decide_path(
+            &HecateService::new(),
+            &ts,
+            &["tunnel1".into(), "tunnel2".into()],
+            Objective::MinLatency,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(d.tunnel, "tunnel2");
+        assert!((d.score - 16.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn cold_start_falls_back_to_first() {
+        let ts = TelemetryService::new(10);
+        let mut log = SequenceLog::default();
+        let d = decide_path(
+            &HecateService::new(),
+            &ts,
+            &candidates(),
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(d.tunnel, "tunnel1");
+        assert!(!d.used_forecast);
+        assert!(log.steps().contains(&"fallbackArbitraryPath".to_string()));
+    }
+
+    #[test]
+    fn no_candidates_is_error() {
+        let ts = TelemetryService::new(10);
+        let mut log = SequenceLog::default();
+        assert!(decide_path(
+            &HecateService::new(),
+            &ts,
+            &[],
+            Objective::MaxBandwidth,
+            &mut log
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! The Hecate Service: per-path QoS forecasting.
+//!
+//! "The ML model predicts QoS at time t_{i+1} … Hecate computes the
+//! predicted values for the next 10 steps and returns the best path,
+//! where the most available bandwidth is as a recommendation for PolKA
+//! to use."
+
+use crate::telemetry::{Metric, SeriesKey, TelemetryService};
+use crate::FrameworkError;
+use hecate_ml::pipeline::forecast_next;
+use hecate_ml::RegressorKind;
+
+/// A per-path forecast.
+#[derive(Debug, Clone)]
+pub struct PathForecast {
+    /// Path/tunnel name.
+    pub path: String,
+    /// Predicted values for the next `horizon` steps.
+    pub values: Vec<f64>,
+}
+
+impl PathForecast {
+    /// Mean of the forecast horizon — the bandwidth score Hecate returns.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Pessimistic (minimum) forecast over the horizon.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Hecate: one regressor + the forecasting protocol.
+#[derive(Debug, Clone)]
+pub struct HecateService {
+    /// Which of the eighteen models to use (the paper picks RFR).
+    pub model: RegressorKind,
+    /// History window length (paper: 10).
+    pub lags: usize,
+    /// Forecast horizon (paper: 10).
+    pub horizon: usize,
+    /// Seed for stochastic models.
+    pub seed: u64,
+}
+
+impl Default for HecateService {
+    fn default() -> Self {
+        HecateService {
+            model: RegressorKind::Rfr,
+            lags: 10,
+            horizon: 10,
+            seed: 42,
+        }
+    }
+}
+
+impl HecateService {
+    /// Hecate with the paper's choices (RFR, lag 10, horizon 10).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hecate with a specific model (for the ablation).
+    pub fn with_model(model: RegressorKind) -> Self {
+        HecateService {
+            model,
+            ..Self::default()
+        }
+    }
+
+    /// Minimum history needed before forecasts are possible.
+    pub fn min_history(&self) -> usize {
+        self.lags + 2
+    }
+
+    /// Forecasts the next `horizon` values of a metric for one path from
+    /// the telemetry store.
+    pub fn forecast_path(
+        &self,
+        telemetry: &TelemetryService,
+        path: &str,
+        metric: Metric,
+    ) -> Result<PathForecast, FrameworkError> {
+        let key = SeriesKey::new(path, metric);
+        let history = telemetry.last_n(&key, 120.max(self.min_history()));
+        if history.len() < self.min_history() {
+            return Err(FrameworkError::InsufficientTelemetry {
+                key: key.to_string(),
+                have: history.len(),
+                need: self.min_history(),
+            });
+        }
+        let values = forecast_next(self.model, &history, self.lags, self.horizon, self.seed)?;
+        Ok(PathForecast {
+            path: path.to_string(),
+            values,
+        })
+    }
+
+    /// Forecasts every candidate path; paths with insufficient history
+    /// are skipped (they cannot be recommended yet).
+    pub fn forecast_all(
+        &self,
+        telemetry: &TelemetryService,
+        paths: &[String],
+        metric: Metric,
+    ) -> Vec<PathForecast> {
+        paths
+            .iter()
+            .filter_map(|p| self.forecast_path(telemetry, p, metric).ok())
+            .collect()
+    }
+
+    /// The paper's headline recommendation: the path with the most
+    /// predicted available bandwidth over the horizon.
+    pub fn best_path_by_bandwidth(
+        &self,
+        telemetry: &TelemetryService,
+        paths: &[String],
+    ) -> Result<String, FrameworkError> {
+        let forecasts = self.forecast_all(telemetry, paths, Metric::AvailableBandwidth);
+        forecasts
+            .into_iter()
+            .max_by(|a, b| a.mean().total_cmp(&b.mean()))
+            .map(|f| f.path)
+            .ok_or(FrameworkError::NoFeasiblePath)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_store(paths: &[(&str, f64)]) -> TelemetryService {
+        let ts = TelemetryService::new(1000);
+        for (name, level) in paths {
+            for t in 0..60u64 {
+                // mild sinusoidal wiggle around the level
+                let v = level + (t as f64 / 5.0).sin();
+                ts.insert(
+                    &SeriesKey::new(name, Metric::AvailableBandwidth),
+                    t * 1000,
+                    v,
+                );
+            }
+        }
+        ts
+    }
+
+    #[test]
+    fn forecast_has_horizon_length() {
+        let ts = seeded_store(&[("t1", 20.0)]);
+        let h = HecateService::new();
+        let f = h
+            .forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        assert_eq!(f.values.len(), 10);
+        // forecast of a ~20 Mbps series stays near 20
+        assert!((f.mean() - 20.0).abs() < 3.0, "mean {}", f.mean());
+    }
+
+    #[test]
+    fn insufficient_history_is_reported() {
+        let ts = TelemetryService::new(100);
+        for t in 0..5u64 {
+            ts.insert(
+                &SeriesKey::new("t1", Metric::AvailableBandwidth),
+                t,
+                1.0,
+            );
+        }
+        let h = HecateService::new();
+        match h.forecast_path(&ts, "t1", Metric::AvailableBandwidth) {
+            Err(FrameworkError::InsufficientTelemetry { have, need, .. }) => {
+                assert_eq!(have, 5);
+                assert_eq!(need, 12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_path_picks_highest_forecast() {
+        let ts = seeded_store(&[("t1", 20.0), ("t2", 10.0), ("t3", 5.0)]);
+        let h = HecateService::new();
+        let best = h
+            .best_path_by_bandwidth(
+                &ts,
+                &["t1".to_string(), "t2".to_string(), "t3".to_string()],
+            )
+            .unwrap();
+        assert_eq!(best, "t1");
+    }
+
+    #[test]
+    fn paths_without_history_are_skipped() {
+        let ts = seeded_store(&[("t1", 10.0)]);
+        let h = HecateService::new();
+        let forecasts = h.forecast_all(
+            &ts,
+            &["t1".to_string(), "ghost".to_string()],
+            Metric::AvailableBandwidth,
+        );
+        assert_eq!(forecasts.len(), 1);
+        assert_eq!(forecasts[0].path, "t1");
+    }
+
+    #[test]
+    fn no_candidates_is_an_error() {
+        let ts = TelemetryService::new(10);
+        let h = HecateService::new();
+        assert!(matches!(
+            h.best_path_by_bandwidth(&ts, &[]),
+            Err(FrameworkError::NoFeasiblePath)
+        ));
+    }
+
+    #[test]
+    fn linear_model_tracks_trend() {
+        // A rising series should yield a forecast above the recent mean.
+        let ts = TelemetryService::new(1000);
+        for t in 0..60u64 {
+            ts.insert(
+                &SeriesKey::new("up", Metric::AvailableBandwidth),
+                t * 1000,
+                t as f64,
+            );
+        }
+        let h = HecateService::with_model(RegressorKind::Lr);
+        let f = h
+            .forecast_path(&ts, "up", Metric::AvailableBandwidth)
+            .unwrap();
+        assert!(f.values[0] > 55.0, "first forecast {}", f.values[0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! The Hecate–PolKA integration framework: the paper's core contribution
+//! (Sec. IV, Figs 3–4).
+//!
+//! The moving parts, mirroring Fig 3:
+//!
+//! * [`telemetry::TelemetryService`] — a time-series store fed by the
+//!   emulator's per-path probes ("telemetry data … stored in a time
+//!   series database for analysis");
+//! * [`hecate::HecateService`] — wraps one of the eighteen regressors,
+//!   forecasts each path's QoS for the next `horizon` steps ("Hecate
+//!   computes the predicted values for the next 10 steps");
+//! * [`optimizer`] — objective functions over path forecasts
+//!   (min-latency, max-bandwidth, min-max-utilization) and the flow→tunnel
+//!   assignment search;
+//! * [`controller`] — the Fig 4 sequence: new flow → telemetry → Hecate →
+//!   optimizer → SR (PolKA) service → flow steered;
+//! * [`scheduler::Scheduler`] — queued flow requests with start times;
+//! * [`dashboard`] — the "link occupation graphs" as ASCII rendering;
+//! * [`sdn::SelfDrivingNetwork`] — the assembled system: netsim substrate,
+//!   freeRtr agents, compiled PolKA tunnels, services; plus runnable
+//!   reproductions of the paper's two experiments
+//!   ([`sdn::SelfDrivingNetwork::run_latency_migration`] → Fig 11,
+//!   [`sdn::SelfDrivingNetwork::run_flow_aggregation`] → Fig 12);
+//! * [`policies`] — the decision-policy ablation of Sec. III ("Real-time
+//!   Decision Making"): Hecate forecasts vs last-sample vs static.
+
+pub mod controller;
+pub mod dashboard;
+pub mod hecate;
+pub mod optimizer;
+pub mod policies;
+pub mod scheduler;
+pub mod sdn;
+pub mod telemetry;
+
+pub use hecate::HecateService;
+pub use optimizer::Objective;
+pub use scheduler::{FlowRequest, Scheduler};
+pub use sdn::SelfDrivingNetwork;
+pub use telemetry::{Metric, TelemetryService};
+
+/// Errors from the framework layer.
+#[derive(Debug)]
+pub enum FrameworkError {
+    /// Not enough telemetry history to make a decision.
+    InsufficientTelemetry {
+        /// Series that is too short.
+        key: String,
+        /// Samples available.
+        have: usize,
+        /// Samples needed.
+        need: usize,
+    },
+    /// The ML layer failed.
+    Ml(hecate_ml::MlError),
+    /// The control plane failed.
+    Freertr(freertr::FreertrError),
+    /// The emulator failed.
+    Netsim(netsim::NetsimError),
+    /// No candidate tunnel satisfies the request.
+    NoFeasiblePath,
+}
+
+impl std::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkError::InsufficientTelemetry { key, have, need } => {
+                write!(f, "series {key:?} has {have} samples, need {need}")
+            }
+            FrameworkError::Ml(e) => write!(f, "ML failure: {e}"),
+            FrameworkError::Freertr(e) => write!(f, "control-plane failure: {e}"),
+            FrameworkError::Netsim(e) => write!(f, "emulator failure: {e}"),
+            FrameworkError::NoFeasiblePath => write!(f, "no feasible path"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+impl From<hecate_ml::MlError> for FrameworkError {
+    fn from(e: hecate_ml::MlError) -> Self {
+        FrameworkError::Ml(e)
+    }
+}
+impl From<freertr::FreertrError> for FrameworkError {
+    fn from(e: freertr::FreertrError) -> Self {
+        FrameworkError::Freertr(e)
+    }
+}
+impl From<netsim::NetsimError> for FrameworkError {
+    fn from(e: netsim::NetsimError) -> Self {
+        FrameworkError::Netsim(e)
+    }
+}

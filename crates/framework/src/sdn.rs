@@ -1,0 +1,776 @@
+//! The assembled self-driving network: netsim substrate, freeRtr agents,
+//! compiled PolKA tunnels and the Telemetry/Hecate/Optimizer services,
+//! plus runnable reproductions of the paper's two experiments.
+//!
+//! See [`SelfDrivingNetwork::run_latency_migration`] (Fig 11),
+//! [`SelfDrivingNetwork::run_flow_aggregation`] (Fig 12) and
+//! [`SelfDrivingNetwork::run_trace_driven_steering`] (extension).
+
+use crate::controller::{decide_path, PathDecision, SequenceLog};
+use crate::hecate::HecateService;
+use crate::optimizer::{assign_flows, Objective};
+use crate::scheduler::{FlowRequest, Scheduler};
+use crate::telemetry::{Metric, SeriesKey, TelemetryService};
+use crate::FrameworkError;
+use freertr::agent::{MessageQueue, RouterHandle};
+use freertr::config::fig10_mia_config;
+use freertr::resolve::{allocator_for, compile_tunnel, CompiledTunnel};
+use netsim::topo::global_p4_lab;
+use netsim::{Event, FlowId, FlowSpec, NodeIdx, Simulation};
+use polka::NodeIdAllocator;
+use std::collections::HashMap;
+
+/// One managed flow's bookkeeping.
+#[derive(Debug, Clone)]
+struct ManagedFlow {
+    id: FlowId,
+    label: String,
+    tunnel: String,
+    demand: Option<f64>,
+}
+
+/// The assembled system.
+pub struct SelfDrivingNetwork {
+    /// The network emulator.
+    pub sim: Simulation,
+    /// The time-series store.
+    pub telemetry: TelemetryService,
+    /// The forecasting service.
+    pub hecate: HecateService,
+    /// The flow-request queue.
+    pub scheduler: Scheduler,
+    /// The Fig 4 interaction log.
+    pub log: SequenceLog,
+    #[allow(dead_code)] // owns the router agent threads (keep-alive)
+    mq: MessageQueue,
+    edge: RouterHandle,
+    alloc: NodeIdAllocator,
+    tunnels: HashMap<String, CompiledTunnel>,
+    tunnel_order: Vec<String>,
+    flows: Vec<ManagedFlow>,
+    next_flow: u64,
+    /// Telemetry sampling period (ms); the paper samples at 1 Hz.
+    pub sample_ms: u64,
+}
+
+impl SelfDrivingNetwork {
+    /// Builds the paper's testbed: Fig 9 topology, the Fig 10 MIA edge
+    /// configuration, and the three PolKA tunnels compiled against the
+    /// emulated topology.
+    pub fn testbed(seed: u64) -> Result<Self, FrameworkError> {
+        let topo = global_p4_lab();
+        let mut alloc = allocator_for(&topo);
+        let mut mq = MessageQueue::new();
+        let edge = mq.router("MIA");
+        edge.apply_text(&fig10_mia_config().emit())?;
+        let cfg = edge.running_config();
+        let mut tunnels = HashMap::new();
+        let mut tunnel_order = Vec::new();
+        for t in &cfg.tunnels {
+            let compiled = compile_tunnel(t, &topo, &mut alloc)?;
+            tunnel_order.push(t.id.clone());
+            tunnels.insert(t.id.clone(), compiled);
+        }
+        Ok(SelfDrivingNetwork {
+            sim: Simulation::new(topo, seed),
+            telemetry: TelemetryService::new(4096),
+            hecate: HecateService::new(),
+            scheduler: Scheduler::new(),
+            log: SequenceLog::default(),
+            mq,
+            edge,
+            alloc,
+            tunnels,
+            tunnel_order,
+            flows: Vec::new(),
+            next_flow: 1,
+            sample_ms: 1000,
+        })
+    }
+
+    /// Candidate tunnel names, in config order.
+    pub fn tunnel_names(&self) -> Vec<String> {
+        self.tunnel_order.clone()
+    }
+
+    /// A compiled tunnel.
+    pub fn tunnel(&self, name: &str) -> Option<&CompiledTunnel> {
+        self.tunnels.get(name)
+    }
+
+    /// The node-ID allocator (exposed for data-plane validation in tests).
+    pub fn allocator(&self) -> &NodeIdAllocator {
+        &self.alloc
+    }
+
+    /// The MIA edge router handle.
+    pub fn edge(&self) -> &RouterHandle {
+        &self.edge
+    }
+
+    /// Host-to-host node path through a tunnel.
+    fn host_path(&self, tunnel: &str) -> Result<Vec<NodeIdx>, FrameworkError> {
+        let compiled = self
+            .tunnels
+            .get(tunnel)
+            .ok_or(FrameworkError::NoFeasiblePath)?;
+        let host1 = self.sim.topo.node("host1")?;
+        let host2 = self.sim.topo.node("host2")?;
+        let mut path = vec![host1];
+        path.extend_from_slice(&compiled.node_path);
+        path.push(host2);
+        Ok(path)
+    }
+
+    /// Advances the simulation to `until_ms`, sampling per-tunnel
+    /// telemetry (available bandwidth + RTT) and per-flow rates every
+    /// [`SelfDrivingNetwork::sample_ms`], and starting scheduled flows.
+    pub fn advance(&mut self, until_ms: u64) -> Result<(), FrameworkError> {
+        while self.sim.now_ms() < until_ms {
+            // start due flow requests (Fig 4: Scheduler -> Controller)
+            for req in self.scheduler.due(self.sim.now_ms()) {
+                self.log.record("newFlow");
+                self.admit_flow(&req, Objective::MaxBandwidth)?;
+            }
+            let next = (self.sim.now_ms() + self.sample_ms).min(until_ms);
+            self.sim.run_until(next, 100, self.sample_ms);
+            self.collect_telemetry()?;
+        }
+        Ok(())
+    }
+
+    /// One telemetry collection round over all tunnels and flows
+    /// ("createTelemetry" in Fig 4).
+    pub fn collect_telemetry(&mut self) -> Result<(), FrameworkError> {
+        let t = self.sim.now_ms();
+        // Per-tunnel metrics measured on the router-to-router path.
+        let mut usage_per_tunnel: HashMap<&str, f64> = HashMap::new();
+        for f in &self.flows {
+            let rate = self.sim.flow_rate(f.id).unwrap_or(0.0);
+            *usage_per_tunnel.entry(f.tunnel.as_str()).or_insert(0.0) += rate;
+        }
+        for name in &self.tunnel_order {
+            let compiled = &self.tunnels[name];
+            // A tunnel crossing a failed link is honestly worth zero —
+            // telemetry keeps flowing so the optimizer can route around
+            // the failure instead of the whole loop erroring out.
+            let avail = self
+                .sim
+                .path_available_mbps(&compiled.node_path)
+                .unwrap_or(0.0);
+            let own = usage_per_tunnel.get(name.as_str()).copied().unwrap_or(0.0);
+            // Capacity visible to the optimizer: residual plus what our
+            // own managed flows already occupy on this tunnel.
+            self.telemetry.insert(
+                &SeriesKey::new(name, Metric::AvailableBandwidth),
+                t,
+                avail + own,
+            );
+            if let Ok(rtt) = self.sim.ping(&compiled.node_path) {
+                self.telemetry
+                    .insert(&SeriesKey::new(name, Metric::Rtt), t, rtt);
+            }
+        }
+        for f in &self.flows {
+            if let Ok(rate) = self.sim.flow_rate(f.id) {
+                self.telemetry
+                    .insert(&SeriesKey::new(&f.label, Metric::FlowRate), t, rate);
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits one flow per the Fig 4 sequence and starts it in the
+    /// emulator. Returns the decision.
+    pub fn admit_flow(
+        &mut self,
+        req: &FlowRequest,
+        objective: Objective,
+    ) -> Result<PathDecision, FrameworkError> {
+        let candidates = self.tunnel_names();
+        let decision = decide_path(
+            &self.hecate,
+            &self.telemetry,
+            &candidates,
+            objective,
+            &mut self.log,
+        )?;
+        self.log.record("configureTunnel");
+        // SR service: install the flow's ACL if this is a new flow, then
+        // bind it to the chosen tunnel.
+        self.edge.ensure_acl(freertr::AclRule {
+            name: req.label.clone(),
+            proto: Some(freertr::packet::PROTO_TCP),
+            src: freertr::Ipv4Prefix::parse("40.40.1.0/24").expect("testbed prefix"),
+            dst: freertr::Ipv4Prefix::parse("40.40.2.2/32").expect("testbed prefix"),
+            tos: Some(req.tos),
+        })?;
+        self.edge.set_pbr(&req.label, &decision.tunnel)?;
+        // Data plane: start the flow on the tunnel's host path.
+        let path = self.host_path(&decision.tunnel)?;
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        let spec = FlowSpec {
+            src: self.sim.topo.node("host1")?,
+            dst: self.sim.topo.node("host2")?,
+            demand_mbps: req.demand_mbps,
+            tos: req.tos,
+            label: req.label.clone(),
+        };
+        let now = self.sim.now_ms();
+        self.sim.schedule(now, Event::StartFlow { spec, path, id });
+        self.flows.push(ManagedFlow {
+            id,
+            label: req.label.clone(),
+            tunnel: decision.tunnel.clone(),
+            demand: req.demand_mbps,
+        });
+        self.log.record("flowStarted");
+        Ok(decision)
+    }
+
+    /// Migrates one managed flow to a different tunnel: one PBR rewrite
+    /// on the edge plus the data-plane path swap.
+    pub fn migrate_flow(&mut self, label: &str, tunnel: &str) -> Result<(), FrameworkError> {
+        let path = self.host_path(tunnel)?;
+        let flow = self
+            .flows
+            .iter_mut()
+            .find(|f| f.label == label)
+            .ok_or(FrameworkError::NoFeasiblePath)?;
+        self.edge.set_pbr(label, tunnel)?;
+        let now = self.sim.now_ms();
+        self.sim.schedule(now, Event::SetFlowPath(flow.id, path));
+        flow.tunnel = tunnel.to_string();
+        self.log.record("configureTunnel");
+        Ok(())
+    }
+
+    /// Re-optimizes the assignment of all managed flows using Hecate's
+    /// per-tunnel capacity forecasts and the assignment search
+    /// ("the controller consults an optimization engine that is able to
+    /// improve the previous allocation decision"). Returns the new
+    /// (label, tunnel) pairs.
+    pub fn reoptimize_bandwidth(&mut self) -> Result<Vec<(String, String)>, FrameworkError> {
+        if self.flows.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.log.record("askHecatePath");
+        let names = self.tunnel_names();
+        let forecasts =
+            self.hecate
+                .forecast_all(&self.telemetry, &names, Metric::AvailableBandwidth);
+        if forecasts.is_empty() {
+            return Err(FrameworkError::NoFeasiblePath);
+        }
+        // Tunnels without a forecast (cold series) fall back to their
+        // last observed capacity, or zero if never measured. A tunnel
+        // whose path is physically broken is worth zero regardless of
+        // what the forecast extrapolates — reachability is control-plane
+        // truth, not a prediction.
+        let caps: Vec<f64> = names
+            .iter()
+            .map(|n| {
+                let reachable = self
+                    .sim
+                    .path_available_mbps(&self.tunnels[n].node_path)
+                    .is_ok();
+                if !reachable {
+                    return 0.0;
+                }
+                forecasts
+                    .iter()
+                    .find(|f| &f.path == n)
+                    .map(|f| f.mean())
+                    .or_else(|| {
+                        self.telemetry
+                            .last(&SeriesKey::new(n, Metric::AvailableBandwidth))
+                    })
+                    .unwrap_or(0.0)
+                    .max(0.0)
+            })
+            .collect();
+        let demands: Vec<Option<f64>> = self.flows.iter().map(|f| f.demand).collect();
+        let assignment = assign_flows(&caps, &demands)?;
+        self.log.record("optimizerReturn");
+        let moves: Vec<(String, String)> = self
+            .flows
+            .iter()
+            .zip(&assignment.tunnel_of_flow)
+            .map(|(f, &t)| (f.label.clone(), names[t].clone()))
+            .collect();
+        for (label, tunnel) in &moves {
+            let current = self
+                .flows
+                .iter()
+                .find(|f| &f.label == label)
+                .map(|f| f.tunnel.clone());
+            if current.as_deref() != Some(tunnel) {
+                self.migrate_flow(label, tunnel)?;
+            }
+        }
+        Ok(moves)
+    }
+
+    /// Discovers up to `k` candidate tunnels between two routers with
+    /// Yen's k-shortest paths, compiles each to a PolKA label, installs
+    /// it on the edge router, and registers it as a candidate for the
+    /// optimizer. Paths that already exist as tunnels are skipped.
+    /// Returns the names of newly created tunnels.
+    ///
+    /// This automates what the paper's testbed does by hand in Fig 10 —
+    /// the step toward the "continent-wide topology scenario" of Sec VII
+    /// where pre-declaring every tunnel stops scaling.
+    pub fn discover_tunnels(
+        &mut self,
+        src: &str,
+        dst: &str,
+        k: usize,
+    ) -> Result<Vec<String>, FrameworkError> {
+        let s = self.sim.topo.node(src)?;
+        let d = self.sim.topo.node(dst)?;
+        let paths = self.sim.topo.k_shortest_paths(s, d, k);
+        let mut created = Vec::new();
+        for path in paths {
+            if self.tunnels.values().any(|t| t.node_path == path) {
+                continue; // already declared (e.g. the Fig 10 tunnels)
+            }
+            let names: Vec<String> = path
+                .iter()
+                .map(|&n| self.sim.topo.node_name(n).to_string())
+                .collect();
+            let id = format!("auto{}", self.tunnels.len() + 1);
+            let cfg = freertr::TunnelCfg {
+                id: id.clone(),
+                destination: None,
+                domain_path: names,
+                mode: Default::default(),
+            };
+            let compiled = compile_tunnel(&cfg, &self.sim.topo, &mut self.alloc)?;
+            self.edge.ensure_tunnel(cfg)?;
+            self.tunnel_order.push(id.clone());
+            self.tunnels.insert(id.clone(), compiled);
+            created.push(id);
+        }
+        Ok(created)
+    }
+
+    /// The current tunnel of a managed flow.
+    pub fn flow_tunnel(&self, label: &str) -> Option<&str> {
+        self.flows
+            .iter()
+            .find(|f| f.label == label)
+            .map(|f| f.tunnel.as_str())
+    }
+
+    /// A flow-rate telemetry series in seconds/Mbps.
+    pub fn flow_series(&self, label: &str) -> Vec<(f64, f64)> {
+        self.telemetry
+            .series(&SeriesKey::new(label, Metric::FlowRate))
+            .into_iter()
+            .map(|(t, v)| (t as f64 / 1000.0, v))
+            .collect()
+    }
+}
+
+/// Result of the Fig 11 latency-migration experiment.
+#[derive(Debug, Clone)]
+pub struct LatencyMigrationResult {
+    /// Per-second RTT of the user's ICMP stream (s, ms).
+    pub rtt_series: Vec<(f64, f64)>,
+    /// When the migration happened (s).
+    pub migration_at_s: f64,
+    /// Tunnel before migration.
+    pub tunnel_before: String,
+    /// Tunnel after migration.
+    pub tunnel_after: String,
+    /// Mean RTT before/after migration.
+    pub mean_before_ms: f64,
+    /// Mean RTT after migration.
+    pub mean_after_ms: f64,
+}
+
+/// Result of the Fig 12 flow-aggregation experiment.
+#[derive(Debug, Clone)]
+pub struct FlowAggregationResult {
+    /// Per-flow goodput series (label, (s, Mbps) pairs).
+    pub per_flow: Vec<(String, Vec<(f64, f64)>)>,
+    /// Aggregate goodput series (s, Mbps).
+    pub total: Vec<(f64, f64)>,
+    /// When the redistribution happened (s).
+    pub redistribution_at_s: f64,
+    /// Final (label, tunnel) assignment.
+    pub assignment: Vec<(String, String)>,
+    /// Mean aggregate goodput in the steady window before redistribution.
+    pub total_before_mbps: f64,
+    /// Mean aggregate goodput in the steady window after.
+    pub total_after_mbps: f64,
+}
+
+impl SelfDrivingNetwork {
+    /// **Experiment 1 (Fig 11)** — agile migration to a lower-latency
+    /// path. An ICMP stream runs on tunnel 1 (MIA-SAO-AMS) for
+    /// `phase_s` seconds; the optimizer is then consulted with the
+    /// min-latency objective and the flow is migrated (one PBR rewrite)
+    /// to its recommendation (MIA-CHI-AMS); the stream continues for
+    /// another `phase_s` seconds.
+    pub fn run_latency_migration(
+        &mut self,
+        phase_s: u64,
+    ) -> Result<LatencyMigrationResult, FrameworkError> {
+        let req = FlowRequest {
+            label: "icmp".into(),
+            tos: 0,
+            demand_mbps: Some(0.1), // ping stream: negligible load
+            start_ms: 0,
+        };
+        // Phase (i): arbitrary allocation — tunnel1 per the Fig 10 PBR.
+        self.admit_flow(&req, Objective::MaxBandwidth)?;
+        // Force the paper's phase-(i) arbitrary choice to tunnel1 even if
+        // telemetry would have suggested otherwise (cold start does this
+        // naturally; this keeps the experiment deterministic).
+        if self.flow_tunnel("icmp") != Some("tunnel1") {
+            self.migrate_flow("icmp", "tunnel1")?;
+        }
+        let mut rtt_series = Vec::new();
+        let mut ping_on_current = |sdn: &mut Self| -> Result<(), FrameworkError> {
+            let tunnel = sdn.flow_tunnel("icmp").expect("icmp flow exists").to_string();
+            let path = sdn.tunnels[&tunnel].node_path.clone();
+            let rtt = sdn.sim.ping(&path)?;
+            rtt_series.push((sdn.sim.now_ms() as f64 / 1000.0, rtt));
+            Ok(())
+        };
+        for s in 1..=phase_s {
+            self.advance(s * 1000)?;
+            ping_on_current(self)?;
+        }
+        // Consult the optimizer with the min-latency objective.
+        let candidates = self.tunnel_names();
+        let decision = decide_path(
+            &self.hecate,
+            &self.telemetry,
+            &candidates,
+            Objective::MinLatency,
+            &mut self.log,
+        )?;
+        let tunnel_after = decision.tunnel.clone();
+        self.migrate_flow("icmp", &tunnel_after)?;
+        for s in phase_s + 1..=2 * phase_s {
+            self.advance(s * 1000)?;
+            ping_on_current(self)?;
+        }
+        let split = phase_s as usize;
+        let mean = |xs: &[(f64, f64)]| -> f64 {
+            xs.iter().map(|(_, v)| v).sum::<f64>() / xs.len().max(1) as f64
+        };
+        Ok(LatencyMigrationResult {
+            migration_at_s: phase_s as f64,
+            tunnel_before: "tunnel1".into(),
+            mean_before_ms: mean(&rtt_series[..split]),
+            mean_after_ms: mean(&rtt_series[split..]),
+            tunnel_after,
+            rtt_series,
+        })
+    }
+
+    /// **Experiment 2 (Fig 12)** — flow aggregation across multiple
+    /// paths. Three greedy TCP flows (ToS 32/64/96) start on tunnel 1;
+    /// after `phase_s` seconds the optimizer redistributes them across
+    /// the three tunnels; the run continues to `2 * phase_s`.
+    pub fn run_flow_aggregation(
+        &mut self,
+        phase_s: u64,
+    ) -> Result<FlowAggregationResult, FrameworkError> {
+        let labels = ["flow1", "flow2", "flow3"];
+        for (i, label) in labels.iter().enumerate() {
+            self.scheduler.submit(FlowRequest {
+                label: label.to_string(),
+                tos: 32 * (i as u8 + 1),
+                demand_mbps: None,
+                start_ms: i as u64 * 1000,
+            });
+        }
+        self.advance(phase_s * 1000)?;
+        // All flows were PBR'd to tunnel1 in phase (i) (cold start).
+        let redistribution_at_s = self.sim.now_ms() as f64 / 1000.0;
+        let assignment = self.reoptimize_bandwidth()?;
+        self.advance(2 * phase_s * 1000)?;
+
+        let per_flow: Vec<(String, Vec<(f64, f64)>)> = labels
+            .iter()
+            .map(|l| (l.to_string(), self.flow_series(l)))
+            .collect();
+        // Aggregate by sample time.
+        let mut total_map: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for (_, series) in &per_flow {
+            for (s, v) in series {
+                *total_map.entry((*s * 1000.0) as u64).or_insert(0.0) += v;
+            }
+        }
+        let total: Vec<(f64, f64)> = total_map
+            .into_iter()
+            .map(|(ms, v)| (ms as f64 / 1000.0, v))
+            .collect();
+        // Steady-state windows: the last third of each phase.
+        let window = |lo_s: f64, hi_s: f64| -> f64 {
+            let vals: Vec<f64> = total
+                .iter()
+                .filter(|(s, _)| *s >= lo_s && *s < hi_s)
+                .map(|(_, v)| *v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let p = phase_s as f64;
+        Ok(FlowAggregationResult {
+            total_before_mbps: window(p * 2.0 / 3.0, p),
+            total_after_mbps: window(p + p * 2.0 / 3.0, 2.0 * p),
+            per_flow,
+            total,
+            redistribution_at_s,
+            assignment,
+        })
+    }
+}
+
+/// How the steering experiment re-decides the flow's tunnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteeringPolicy {
+    /// Hecate forecasts + assignment search (the framework's mode).
+    Hecate,
+    /// Pick the tunnel with the best *last observed* capacity sample.
+    LastSample,
+    /// Never re-decide: stay on the initial tunnel.
+    Static,
+}
+
+/// Result of the trace-driven steering extension experiment.
+#[derive(Debug, Clone)]
+pub struct SteeringResult {
+    /// Which policy ran.
+    pub policy: SteeringPolicy,
+    /// The managed flow's goodput series (s, Mbps).
+    pub goodput: Vec<(f64, f64)>,
+    /// Mean goodput over the run (after warm-up).
+    pub mean_goodput: f64,
+    /// Number of migrations performed.
+    pub migrations: usize,
+}
+
+impl SelfDrivingNetwork {
+    /// **Extension experiment** (paper future work: "evaluate path
+    /// selection performance" with the framework in the loop): the
+    /// UQ WiFi trace drives tunnel 1's bottleneck link and the LTE trace
+    /// drives tunnel 2's, mimicking wireless access links; one greedy
+    /// flow is re-steered every `reopt_every_s` seconds under the given
+    /// policy. The WiFi path collapses when the walk goes outdoors, so
+    /// static allocation loses badly while telemetry-driven policies
+    /// follow the capacity.
+    pub fn run_trace_driven_steering(
+        &mut self,
+        policy: SteeringPolicy,
+        duration_s: u64,
+        reopt_every_s: u64,
+        wifi: &[f64],
+        lte: &[f64],
+    ) -> Result<SteeringResult, FrameworkError> {
+        // Attach traces to the tunnel bottlenecks and open up the links
+        // behind them so the wireless hop is the only constraint.
+        let mia = self.sim.topo.node("MIA")?;
+        let sao = self.sim.topo.node("SAO")?;
+        let chi = self.sim.topo.node("CHI")?;
+        let ams = self.sim.topo.node("AMS")?;
+        let mia_sao = self.sim.topo.link_between(mia, sao)?;
+        let mia_chi = self.sim.topo.link_between(mia, chi)?;
+        let sao_ams = self.sim.topo.link_between(sao, ams)?;
+        let chi_ams = self.sim.topo.link_between(chi, ams)?;
+        self.sim.schedule(0, Event::SetLinkCapacity(sao_ams, 1000.0));
+        self.sim.schedule(0, Event::SetLinkCapacity(chi_ams, 1000.0));
+        self.sim.schedule_capacity_trace(mia_sao, 0, 1000, wifi);
+        self.sim.schedule_capacity_trace(mia_chi, 0, 1000, lte);
+
+        // One greedy flow, admitted cold (lands on tunnel1 = the WiFi path).
+        self.admit_flow(
+            &FlowRequest {
+                label: "steered".into(),
+                tos: 32,
+                demand_mbps: None,
+                start_ms: 0,
+            },
+            Objective::MaxBandwidth,
+        )?;
+        let mut migrations = 0usize;
+        let mut next_reopt = reopt_every_s.max(1) * 1000;
+        while self.sim.now_ms() < duration_s * 1000 {
+            let until = (self.sim.now_ms() + 1000).min(duration_s * 1000);
+            self.advance(until)?;
+            if self.sim.now_ms() >= next_reopt {
+                next_reopt += reopt_every_s.max(1) * 1000;
+                let before = self.flow_tunnel("steered").map(str::to_string);
+                match policy {
+                    SteeringPolicy::Static => {}
+                    SteeringPolicy::Hecate => {
+                        // may fail during early warm-up; skip that round
+                        if self.reoptimize_bandwidth().is_ok()
+                            && self.flow_tunnel("steered").map(str::to_string) != before
+                        {
+                            migrations += 1;
+                        }
+                    }
+                    SteeringPolicy::LastSample => {
+                        let best = self
+                            .tunnel_names()
+                            .into_iter()
+                            .filter_map(|n| {
+                                self.telemetry
+                                    .last(&SeriesKey::new(&n, Metric::AvailableBandwidth))
+                                    .map(|v| (n, v))
+                            })
+                            .max_by(|a, b| a.1.total_cmp(&b.1))
+                            .map(|(n, _)| n);
+                        if let Some(best) = best {
+                            if before.as_deref() != Some(best.as_str()) {
+                                self.migrate_flow("steered", &best)?;
+                                migrations += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let goodput = self.flow_series("steered");
+        let warm: Vec<f64> = goodput
+            .iter()
+            .filter(|(s, _)| *s >= 15.0)
+            .map(|(_, v)| *v)
+            .collect();
+        Ok(SteeringResult {
+            policy,
+            mean_goodput: warm.iter().sum::<f64>() / warm.len().max(1) as f64,
+            goodput,
+            migrations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_builds_with_three_tunnels() {
+        let sdn = SelfDrivingNetwork::testbed(1).unwrap();
+        assert_eq!(
+            sdn.tunnel_names(),
+            vec!["tunnel1", "tunnel2", "tunnel3"]
+        );
+        // Every tunnel's PolKA route walks the emulated data plane.
+        for name in sdn.tunnel_names() {
+            let compiled = sdn.tunnel(&name).unwrap();
+            let visited =
+                freertr::resolve::walk_route(compiled, &sdn.sim.topo, sdn.allocator()).unwrap();
+            assert_eq!(visited, compiled.node_path, "{name}");
+        }
+    }
+
+    #[test]
+    fn telemetry_accumulates_during_advance() {
+        let mut sdn = SelfDrivingNetwork::testbed(1).unwrap();
+        sdn.advance(15_000).unwrap();
+        let key = SeriesKey::new("tunnel1", Metric::AvailableBandwidth);
+        assert!(sdn.telemetry.len(&key) >= 14, "have {}", sdn.telemetry.len(&key));
+        let rtt = SeriesKey::new("tunnel1", Metric::Rtt);
+        assert!(sdn.telemetry.last(&rtt).unwrap() > 50.0); // ~58 ms idle
+    }
+
+    #[test]
+    fn cold_start_flow_lands_on_first_tunnel() {
+        let mut sdn = SelfDrivingNetwork::testbed(1).unwrap();
+        let d = sdn
+            .admit_flow(
+                &FlowRequest {
+                    label: "flow1".into(),
+                    tos: 32,
+                    demand_mbps: None,
+                    start_ms: 0,
+                },
+                Objective::MaxBandwidth,
+            )
+            .unwrap();
+        assert_eq!(d.tunnel, "tunnel1");
+        assert!(!d.used_forecast);
+        assert_eq!(sdn.flow_tunnel("flow1"), Some("tunnel1"));
+    }
+
+    #[test]
+    fn warm_decision_uses_hecate() {
+        let mut sdn = SelfDrivingNetwork::testbed(1).unwrap();
+        sdn.advance(30_000).unwrap(); // accumulate telemetry
+        let d = sdn
+            .admit_flow(
+                &FlowRequest {
+                    label: "flow1".into(),
+                    tos: 32,
+                    demand_mbps: None,
+                    start_ms: 0,
+                },
+                Objective::MaxBandwidth,
+            )
+            .unwrap();
+        assert!(d.used_forecast);
+        assert_eq!(d.tunnel, "tunnel1", "tunnel1 has the most capacity");
+        // PBR on the edge router reflects the decision.
+        let cfg = sdn.edge().running_config();
+        let entry = cfg.pbr.iter().find(|e| e.acl == "flow1").unwrap();
+        assert_eq!(entry.tunnel, "tunnel1");
+    }
+
+    #[test]
+    fn discovery_dedupes_declared_tunnels() {
+        // The Fig 10 config already declares all three MIA->AMS paths,
+        // so discovery finds nothing new...
+        let mut sdn = SelfDrivingNetwork::testbed(1).unwrap();
+        let created = sdn.discover_tunnels("MIA", "AMS", 3).unwrap();
+        assert!(created.is_empty(), "created {created:?}");
+        assert_eq!(sdn.tunnel_names().len(), 3);
+    }
+
+    #[test]
+    fn discovery_creates_walkable_tunnels_elsewhere() {
+        // ...but MIA->PAR has no declared tunnels: discovery builds them,
+        // compiles PolKA labels and installs them on the edge.
+        let mut sdn = SelfDrivingNetwork::testbed(1).unwrap();
+        let created = sdn.discover_tunnels("MIA", "PAR", 2).unwrap();
+        assert_eq!(created.len(), 2, "{created:?}");
+        for name in &created {
+            let compiled = sdn.tunnel(name).unwrap();
+            let visited =
+                freertr::resolve::walk_route(compiled, &sdn.sim.topo, sdn.allocator()).unwrap();
+            assert_eq!(visited, compiled.node_path, "{name}");
+            // the edge router knows the tunnel (PBR to it is now legal)
+            assert!(sdn.edge().running_config().tunnel(name).is_some());
+        }
+        assert_eq!(sdn.tunnel_names().len(), 5);
+    }
+
+    #[test]
+    fn migrate_flow_updates_edge_and_data_plane() {
+        let mut sdn = SelfDrivingNetwork::testbed(1).unwrap();
+        sdn.admit_flow(
+            &FlowRequest {
+                label: "flow1".into(),
+                tos: 32,
+                demand_mbps: None,
+                start_ms: 0,
+            },
+            Objective::MaxBandwidth,
+        )
+        .unwrap();
+        sdn.advance(10_000).unwrap();
+        sdn.migrate_flow("flow1", "tunnel2").unwrap();
+        sdn.advance(30_000).unwrap();
+        assert_eq!(sdn.flow_tunnel("flow1"), Some("tunnel2"));
+        // Rate converges to tunnel2's 10 Mbps * efficiency.
+        let rate = sdn.flow_series("flow1").last().unwrap().1;
+        assert!((rate - 10.0 * 0.86).abs() < 0.5, "rate {rate}");
+    }
+}

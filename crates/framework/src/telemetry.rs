@@ -1,0 +1,209 @@
+//! The Telemetry Service: a concurrent time-series store.
+//!
+//! "At predefined intervals, the Controller activates agents to collect
+//! telemetry data from relevant network paths, focusing on metrics like
+//! flow rate and latency … This data is then transmitted to the Telemetry
+//! Service, where it is stored in a time series database for analysis."
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a sample measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Available bandwidth on a path (Mbps).
+    AvailableBandwidth,
+    /// Round-trip time on a path (ms).
+    Rtt,
+    /// A flow's goodput (Mbps).
+    FlowRate,
+    /// A link's utilization (0..1).
+    LinkUtilization,
+}
+
+impl Metric {
+    fn tag(self) -> &'static str {
+        match self {
+            Metric::AvailableBandwidth => "avail",
+            Metric::Rtt => "rtt",
+            Metric::FlowRate => "rate",
+            Metric::LinkUtilization => "util",
+        }
+    }
+}
+
+/// A series key: target (path/flow/link name) plus metric.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeriesKey {
+    /// Path, flow or link name.
+    pub target: String,
+    /// Measured quantity.
+    pub metric: Metric,
+}
+
+impl SeriesKey {
+    /// Builds a key.
+    pub fn new(target: &str, metric: Metric) -> Self {
+        SeriesKey {
+            target: target.to_string(),
+            metric,
+        }
+    }
+}
+
+impl std::fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.target, self.metric.tag())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Series {
+    samples: Vec<(u64, f64)>, // (t_ms, value)
+}
+
+/// The time-series store. Cheap to clone (shared behind an `Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryService {
+    inner: Arc<RwLock<HashMap<SeriesKey, Series>>>,
+    /// Retained samples per series (ring semantics).
+    capacity: usize,
+}
+
+impl TelemetryService {
+    /// A store retaining up to `capacity` samples per series.
+    pub fn new(capacity: usize) -> Self {
+        TelemetryService {
+            inner: Arc::default(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Inserts one sample.
+    pub fn insert(&self, key: &SeriesKey, t_ms: u64, value: f64) {
+        let mut map = self.inner.write();
+        let series = map.entry(key.clone()).or_default();
+        series.samples.push((t_ms, value));
+        if series.samples.len() > self.capacity {
+            let drop = series.samples.len() - self.capacity;
+            series.samples.drain(..drop);
+        }
+    }
+
+    /// The most recent `n` values (oldest first); fewer if the series is
+    /// short, empty vec if the series is unknown.
+    pub fn last_n(&self, key: &SeriesKey, n: usize) -> Vec<f64> {
+        let map = self.inner.read();
+        map.get(key)
+            .map(|s| {
+                let start = s.samples.len().saturating_sub(n);
+                s.samples[start..].iter().map(|(_, v)| *v).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The most recent value, if any.
+    pub fn last(&self, key: &SeriesKey) -> Option<f64> {
+        let map = self.inner.read();
+        map.get(key)?.samples.last().map(|(_, v)| *v)
+    }
+
+    /// The full series as `(t_ms, value)` pairs.
+    pub fn series(&self, key: &SeriesKey) -> Vec<(u64, f64)> {
+        let map = self.inner.read();
+        map.get(key).map(|s| s.samples.clone()).unwrap_or_default()
+    }
+
+    /// Number of samples stored for a key.
+    pub fn len(&self, key: &SeriesKey) -> usize {
+        let map = self.inner.read();
+        map.get(key).map_or(0, |s| s.samples.len())
+    }
+
+    /// True when no sample has ever been stored for the key.
+    pub fn is_empty(&self, key: &SeriesKey) -> bool {
+        self.len(key) == 0
+    }
+
+    /// All known series keys.
+    pub fn keys(&self) -> Vec<SeriesKey> {
+        self.inner.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SeriesKey {
+        SeriesKey::new("tunnel1", Metric::AvailableBandwidth)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let ts = TelemetryService::new(100);
+        for i in 0..10u64 {
+            ts.insert(&key(), i * 1000, i as f64);
+        }
+        assert_eq!(ts.last(&key()), Some(9.0));
+        assert_eq!(ts.last_n(&key(), 3), vec![7.0, 8.0, 9.0]);
+        assert_eq!(ts.len(&key()), 10);
+        assert_eq!(ts.series(&key())[0], (0, 0.0));
+    }
+
+    #[test]
+    fn capacity_is_a_ring() {
+        let ts = TelemetryService::new(5);
+        for i in 0..20u64 {
+            ts.insert(&key(), i, i as f64);
+        }
+        assert_eq!(ts.len(&key()), 5);
+        assert_eq!(ts.last_n(&key(), 10), vec![15.0, 16.0, 17.0, 18.0, 19.0]);
+    }
+
+    #[test]
+    fn unknown_series_is_empty() {
+        let ts = TelemetryService::new(10);
+        assert!(ts.is_empty(&key()));
+        assert_eq!(ts.last(&key()), None);
+        assert!(ts.last_n(&key(), 5).is_empty());
+    }
+
+    #[test]
+    fn metrics_are_separate_series() {
+        let ts = TelemetryService::new(10);
+        ts.insert(&SeriesKey::new("t1", Metric::Rtt), 0, 50.0);
+        ts.insert(&SeriesKey::new("t1", Metric::AvailableBandwidth), 0, 20.0);
+        assert_eq!(ts.last(&SeriesKey::new("t1", Metric::Rtt)), Some(50.0));
+        assert_eq!(
+            ts.last(&SeriesKey::new("t1", Metric::AvailableBandwidth)),
+            Some(20.0)
+        );
+        assert_eq!(ts.keys().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_counts() {
+        let ts = TelemetryService::new(100_000);
+        let handles: Vec<_> = (0..8)
+            .map(|w| {
+                let ts = ts.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        ts.insert(&SeriesKey::new("shared", Metric::FlowRate), w * 10_000 + i, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ts.len(&SeriesKey::new("shared", Metric::FlowRate)), 8000);
+    }
+
+    #[test]
+    fn display_key() {
+        assert_eq!(key().to_string(), "tunnel1:avail");
+    }
+}

@@ -1,0 +1,293 @@
+//! Router agents on a message queue.
+//!
+//! The paper: "we manage FreeRtr configurations by sending messages
+//! through a Message Queue to reconfigure the router. A service receives
+//! these messages, applies the necessary commands to reconfigure FreeRtr,
+//! and then ensures the router operates with the updated configuration."
+//!
+//! Each [`RouterAgent`] runs on its own thread, consumes typed
+//! [`ConfigMsg`]s from a crossbeam channel, applies them to its
+//! [`RouterConfig`] behind a `parking_lot::RwLock`, and acknowledges.
+//! [`MessageQueue`] is the broker: it owns the per-router senders and
+//! joins the agents on shutdown.
+
+use crate::config::{parse_config, RouterConfig};
+use crate::FreertrError;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Messages understood by a router agent.
+#[derive(Debug)]
+pub enum ConfigMsg {
+    /// Replace the whole configuration from config text.
+    ApplyText(String, Sender<Result<(), FreertrError>>),
+    /// Rebind an ACL to a tunnel (the migration primitive).
+    SetPbr {
+        /// Access-list name.
+        acl: String,
+        /// Target tunnel.
+        tunnel: String,
+        /// Acknowledgment channel.
+        ack: Sender<Result<(), FreertrError>>,
+    },
+    /// Install an access list if no rule with that name exists yet
+    /// (the controller uses this when admitting a brand-new flow).
+    EnsureAcl(crate::config::AclRule, Sender<Result<(), FreertrError>>),
+    /// Install a tunnel interface if none with that name exists yet
+    /// (the controller uses this after automatic tunnel discovery).
+    EnsureTunnel(crate::config::TunnelCfg, Sender<Result<(), FreertrError>>),
+    /// Stop the agent thread.
+    Shutdown,
+}
+
+/// A handle for sending configuration to one router.
+#[derive(Clone)]
+pub struct RouterHandle {
+    name: String,
+    tx: Sender<ConfigMsg>,
+    config: Arc<RwLock<RouterConfig>>,
+}
+
+impl RouterHandle {
+    /// The router's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies config text and waits for the acknowledgment.
+    pub fn apply_text(&self, text: &str) -> Result<(), FreertrError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(ConfigMsg::ApplyText(text.to_string(), ack_tx))
+            .map_err(|_| FreertrError::ChannelClosed)?;
+        ack_rx.recv().map_err(|_| FreertrError::ChannelClosed)?
+    }
+
+    /// Installs an access list if absent, waiting for the acknowledgment.
+    pub fn ensure_acl(&self, rule: crate::config::AclRule) -> Result<(), FreertrError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(ConfigMsg::EnsureAcl(rule, ack_tx))
+            .map_err(|_| FreertrError::ChannelClosed)?;
+        ack_rx.recv().map_err(|_| FreertrError::ChannelClosed)?
+    }
+
+    /// Installs a tunnel interface if absent, waiting for the
+    /// acknowledgment.
+    pub fn ensure_tunnel(&self, tunnel: crate::config::TunnelCfg) -> Result<(), FreertrError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(ConfigMsg::EnsureTunnel(tunnel, ack_tx))
+            .map_err(|_| FreertrError::ChannelClosed)?;
+        ack_rx.recv().map_err(|_| FreertrError::ChannelClosed)?
+    }
+
+    /// Rewrites one PBR entry and waits for the acknowledgment.
+    pub fn set_pbr(&self, acl: &str, tunnel: &str) -> Result<(), FreertrError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(ConfigMsg::SetPbr {
+                acl: acl.to_string(),
+                tunnel: tunnel.to_string(),
+                ack: ack_tx,
+            })
+            .map_err(|_| FreertrError::ChannelClosed)?;
+        ack_rx.recv().map_err(|_| FreertrError::ChannelClosed)?
+    }
+
+    /// A snapshot of the current running configuration.
+    pub fn running_config(&self) -> RouterConfig {
+        self.config.read().clone()
+    }
+}
+
+/// The agent thread body.
+fn agent_loop(rx: Receiver<ConfigMsg>, config: Arc<RwLock<RouterConfig>>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ConfigMsg::ApplyText(text, ack) => {
+                let result = parse_config(&text).map(|cfg| {
+                    *config.write() = cfg;
+                });
+                let _ = ack.send(result);
+            }
+            ConfigMsg::SetPbr { acl, tunnel, ack } => {
+                let result = config.write().set_pbr(&acl, &tunnel);
+                let _ = ack.send(result);
+            }
+            ConfigMsg::EnsureAcl(rule, ack) => {
+                let mut cfg = config.write();
+                if !cfg.acls.iter().any(|a| a.name == rule.name) {
+                    cfg.acls.push(rule);
+                }
+                let _ = ack.send(Ok(()));
+            }
+            ConfigMsg::EnsureTunnel(tunnel, ack) => {
+                let mut cfg = config.write();
+                if cfg.tunnel(&tunnel.id).is_none() {
+                    cfg.tunnels.push(tunnel);
+                }
+                let _ = ack.send(Ok(()));
+            }
+            ConfigMsg::Shutdown => break,
+        }
+    }
+}
+
+/// One emulated router: an agent thread plus its running config.
+pub struct RouterAgent {
+    handle: RouterHandle,
+    join: Option<JoinHandle<()>>,
+    tx: Sender<ConfigMsg>,
+}
+
+impl RouterAgent {
+    /// Spawns an agent for a named router with an empty config.
+    pub fn spawn(name: &str) -> Self {
+        let (tx, rx) = unbounded();
+        let config = Arc::new(RwLock::new(RouterConfig::new(name)));
+        let thread_config = Arc::clone(&config);
+        let join = std::thread::Builder::new()
+            .name(format!("freertr-{name}"))
+            .spawn(move || agent_loop(rx, thread_config))
+            .expect("spawn router agent");
+        RouterAgent {
+            handle: RouterHandle {
+                name: name.to_string(),
+                tx: tx.clone(),
+                config,
+            },
+            join: Some(join),
+            tx,
+        }
+    }
+
+    /// The sending handle.
+    pub fn handle(&self) -> RouterHandle {
+        self.handle.clone()
+    }
+}
+
+impl Drop for RouterAgent {
+    fn drop(&mut self) {
+        let _ = self.tx.send(ConfigMsg::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// The broker: named router agents behind one façade.
+#[derive(Default)]
+pub struct MessageQueue {
+    agents: HashMap<String, RouterAgent>,
+}
+
+impl MessageQueue {
+    /// An empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns (or returns the existing) agent for a router.
+    pub fn router(&mut self, name: &str) -> RouterHandle {
+        self.agents
+            .entry(name.to_string())
+            .or_insert_with(|| RouterAgent::spawn(name))
+            .handle()
+    }
+
+    /// Existing router names.
+    pub fn routers(&self) -> Vec<&str> {
+        self.agents.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::fig10_mia_config;
+    use crate::packet::PacketMeta;
+    use crate::prefix::Ipv4Prefix;
+
+    #[test]
+    fn apply_text_reconfigures_router() {
+        let mut mq = MessageQueue::new();
+        let mia = mq.router("MIA");
+        mia.apply_text(&fig10_mia_config().emit()).unwrap();
+        let cfg = mia.running_config();
+        assert_eq!(cfg.tunnels.len(), 3);
+        assert_eq!(cfg.hostname, "MIA");
+    }
+
+    #[test]
+    fn bad_config_text_is_rejected_with_ack() {
+        let mut mq = MessageQueue::new();
+        let r = mq.router("X");
+        let err = r.apply_text("garbage line\n").unwrap_err();
+        assert!(matches!(err, FreertrError::Parse { .. }));
+        // config unchanged
+        assert_eq!(r.running_config().hostname, "X");
+    }
+
+    #[test]
+    fn set_pbr_round_trips_through_the_queue() {
+        let mut mq = MessageQueue::new();
+        let mia = mq.router("MIA");
+        mia.apply_text(&fig10_mia_config().emit()).unwrap();
+        mia.set_pbr("flow3", "tunnel3").unwrap();
+        let cfg = mia.running_config();
+        let p = PacketMeta::tcp(
+            Ipv4Prefix::parse_addr("40.40.1.10").unwrap(),
+            Ipv4Prefix::parse_addr("40.40.2.2").unwrap(),
+            1000,
+            5001,
+            96,
+        );
+        assert_eq!(cfg.classify(&p), Some("tunnel3"));
+    }
+
+    #[test]
+    fn set_pbr_on_missing_tunnel_errors() {
+        let mut mq = MessageQueue::new();
+        let mia = mq.router("MIA");
+        mia.apply_text(&fig10_mia_config().emit()).unwrap();
+        assert!(mia.set_pbr("flow3", "tunnel99").is_err());
+    }
+
+    #[test]
+    fn multiple_routers_are_independent() {
+        let mut mq = MessageQueue::new();
+        let a = mq.router("A");
+        let b = mq.router("B");
+        a.apply_text("hostname A2\n").unwrap();
+        assert_eq!(a.running_config().hostname, "A2");
+        assert_eq!(b.running_config().hostname, "B");
+        assert_eq!(mq.routers().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_serialize() {
+        let mut mq = MessageQueue::new();
+        let mia = mq.router("MIA");
+        mia.apply_text(&fig10_mia_config().emit()).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let h = mia.clone();
+                std::thread::spawn(move || {
+                    let tunnel = if i % 2 == 0 { "tunnel2" } else { "tunnel3" };
+                    h.set_pbr("flow3", tunnel).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let cfg = mia.running_config();
+        let t = &cfg.pbr.iter().find(|e| e.acl == "flow3").unwrap().tunnel;
+        assert!(t == "tunnel2" || t == "tunnel3");
+    }
+}

@@ -1,0 +1,120 @@
+//! Flow metadata (the 5-tuple + ToS the paper's access lists match on)
+//! and a compact wire codec used when carrying packets through the
+//! emulated data plane.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// TCP protocol number, as used in the paper's `access-list … permit 6`.
+pub const PROTO_TCP: u8 = 6;
+/// UDP protocol number.
+pub const PROTO_UDP: u8 = 17;
+/// ICMP protocol number (ping).
+pub const PROTO_ICMP: u8 = 1;
+
+/// Classification metadata for one packet/flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketMeta {
+    /// Source IPv4 (host order).
+    pub src: u32,
+    /// Destination IPv4 (host order).
+    pub dst: u32,
+    /// IP protocol number.
+    pub proto: u8,
+    /// Type of Service byte (the paper differentiates flows by ToS).
+    pub tos: u8,
+    /// Source port (0 for ICMP).
+    pub sport: u16,
+    /// Destination port (0 for ICMP).
+    pub dport: u16,
+}
+
+impl PacketMeta {
+    /// A TCP packet between two addresses with a ToS marking.
+    pub fn tcp(src: u32, dst: u32, sport: u16, dport: u16, tos: u8) -> Self {
+        PacketMeta {
+            src,
+            dst,
+            proto: PROTO_TCP,
+            tos,
+            sport,
+            dport,
+        }
+    }
+
+    /// An ICMP echo packet.
+    pub fn icmp(src: u32, dst: u32) -> Self {
+        PacketMeta {
+            src,
+            dst,
+            proto: PROTO_ICMP,
+            tos: 0,
+            sport: 0,
+            dport: 0,
+        }
+    }
+
+    /// Serialized length in bytes.
+    pub const WIRE_LEN: usize = 14;
+
+    /// Encodes to a fixed 14-byte layout.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_LEN);
+        b.put_u32(self.src);
+        b.put_u32(self.dst);
+        b.put_u8(self.proto);
+        b.put_u8(self.tos);
+        b.put_u16(self.sport);
+        b.put_u16(self.dport);
+        b.freeze()
+    }
+
+    /// Decodes from the wire; returns `None` on truncation.
+    pub fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return None;
+        }
+        Some(PacketMeta {
+            src: buf.get_u32(),
+            dst: buf.get_u32(),
+            proto: buf.get_u8(),
+            tos: buf.get_u8(),
+            sport: buf.get_u16(),
+            dport: buf.get_u16(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::Ipv4Prefix;
+
+    #[test]
+    fn roundtrip() {
+        let p = PacketMeta::tcp(
+            Ipv4Prefix::parse_addr("40.40.1.10").unwrap(),
+            Ipv4Prefix::parse_addr("40.40.2.2").unwrap(),
+            43211,
+            5001,
+            96,
+        );
+        let mut wire = p.encode();
+        assert_eq!(wire.len(), PacketMeta::WIRE_LEN);
+        assert_eq!(PacketMeta::decode(&mut wire), Some(p));
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let p = PacketMeta::icmp(1, 2);
+        let wire = p.encode();
+        let mut short = wire.slice(..10);
+        assert_eq!(PacketMeta::decode(&mut short), None);
+    }
+
+    #[test]
+    fn icmp_has_no_ports() {
+        let p = PacketMeta::icmp(1, 2);
+        assert_eq!(p.proto, PROTO_ICMP);
+        assert_eq!((p.sport, p.dport), (0, 0));
+    }
+}

@@ -1,0 +1,148 @@
+//! IPv4 prefixes for access-list matching.
+
+use crate::FreertrError;
+
+/// An IPv4 CIDR prefix, e.g. `40.40.1.0/24`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Builds from a host-order address and prefix length.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range");
+        Ipv4Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The all-matching prefix `0.0.0.0/0`.
+    pub fn any() -> Self {
+        Ipv4Prefix { addr: 0, len: 0 }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Parses `a.b.c.d/len` or a bare host address (`/32` implied).
+    pub fn parse(s: &str) -> Result<Self, FreertrError> {
+        let err = |m: &str| FreertrError::Parse {
+            line: 0,
+            message: format!("bad prefix {s:?}: {m}"),
+        };
+        let (addr_str, len) = match s.split_once('/') {
+            Some((a, l)) => (
+                a,
+                l.parse::<u8>().map_err(|_| err("invalid length"))?,
+            ),
+            None => (s, 32),
+        };
+        if len > 32 {
+            return Err(err("length > 32"));
+        }
+        let octets: Vec<&str> = addr_str.split('.').collect();
+        if octets.len() != 4 {
+            return Err(err("need four octets"));
+        }
+        let mut addr: u32 = 0;
+        for o in octets {
+            let v = o.parse::<u8>().map_err(|_| err("invalid octet"))?;
+            addr = (addr << 8) | v as u32;
+        }
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+
+    /// Parses a bare dotted-quad into a host-order `u32`.
+    pub fn parse_addr(s: &str) -> Result<u32, FreertrError> {
+        Ok(Self::parse(s)?.addr)
+    }
+
+    /// True when `addr` (host order) falls inside the prefix.
+    pub fn contains(&self, addr: u32) -> bool {
+        (addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length (match-all) prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            (self.addr >> 24) & 0xFF,
+            (self.addr >> 16) & 0xFF,
+            (self.addr >> 8) & 0xFF,
+            self.addr & 0xFF,
+            self.len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["40.40.1.0/24", "10.0.0.0/8", "192.168.1.7/32", "0.0.0.0/0"] {
+            let p = Ipv4Prefix::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn bare_address_is_host_prefix() {
+        let p = Ipv4Prefix::parse("40.40.2.2").unwrap();
+        assert_eq!(p.len(), 32);
+        assert!(p.contains(Ipv4Prefix::parse_addr("40.40.2.2").unwrap()));
+        assert!(!p.contains(Ipv4Prefix::parse_addr("40.40.2.3").unwrap()));
+    }
+
+    #[test]
+    fn containment_respects_mask() {
+        let p = Ipv4Prefix::parse("40.40.1.0/24").unwrap();
+        assert!(p.contains(Ipv4Prefix::parse_addr("40.40.1.1").unwrap()));
+        assert!(p.contains(Ipv4Prefix::parse_addr("40.40.1.255").unwrap()));
+        assert!(!p.contains(Ipv4Prefix::parse_addr("40.40.2.1").unwrap()));
+    }
+
+    #[test]
+    fn non_canonical_bits_are_masked() {
+        let p = Ipv4Prefix::parse("40.40.1.77/24").unwrap();
+        assert_eq!(p.to_string(), "40.40.1.0/24");
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let p = Ipv4Prefix::any();
+        assert!(p.contains(0));
+        assert!(p.contains(u32::MAX));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for s in ["1.2.3", "1.2.3.4.5", "300.1.1.1", "1.2.3.4/33", "a.b.c.d"] {
+            assert!(Ipv4Prefix::parse(s).is_err(), "{s} should fail");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Irreducibility testing and enumeration of irreducible polynomials.
+//!
+//! PolKA node identifiers must be pairwise coprime so the CRT has a unique
+//! solution; the architecture assigns *distinct irreducible* polynomials,
+//! which are coprime by construction. This module provides the Rabin test
+//! and a deterministic enumeration used by the node-ID allocator.
+
+use crate::Poly;
+
+/// Rabin's irreducibility test over GF(2).
+///
+/// A polynomial `f` of degree `n >= 1` is irreducible iff
+/// `x^(2^n) ≡ x (mod f)` and, for every prime divisor `p` of `n`,
+/// `gcd(x^(2^(n/p)) - x mod f, f) = 1`.
+pub fn is_irreducible(f: &Poly) -> bool {
+    let Some(n) = f.degree() else { return false };
+    if n == 0 {
+        return false; // units are not irreducible
+    }
+    // f must have a non-zero constant term unless f == t itself,
+    // otherwise t divides it. (Cheap pre-filter; the test below also
+    // catches this, but this mirrors hardware-friendly checks.)
+    let x = Poly::t();
+    if n == 1 {
+        return true; // t and t+1
+    }
+    if !f.coeff(0) {
+        return false;
+    }
+    // x^(2^n) mod f must equal x.
+    let frob_n = match x.frobenius_pow(n, f) {
+        Ok(p) => p,
+        Err(_) => return false,
+    };
+    if frob_n != x.rem_ref(f).expect("f non-zero") {
+        return false;
+    }
+    for p in prime_divisors(n) {
+        let e = n / p;
+        let frob = match x.frobenius_pow(e, f) {
+            Ok(q) => q,
+            Err(_) => return false,
+        };
+        let diff = &frob + &x; // subtraction == addition over GF(2)
+        if !f.gcd(&diff).is_one() {
+            return false;
+        }
+    }
+    true
+}
+
+/// All irreducible polynomials of exactly the given degree, in increasing
+/// order under [`Poly::cmp_poly`]. Intended for small degrees (node IDs are
+/// typically degree ≤ 16); the count follows Gauss' necklace formula.
+pub fn irreducibles_of_degree(degree: usize) -> Vec<Poly> {
+    assert!(degree >= 1, "degree must be at least 1");
+    assert!(
+        degree <= 24,
+        "enumeration by trial is intended for node-ID-sized degrees"
+    );
+    let mut out = Vec::new();
+    // Candidates have the top bit set; odd constant term required for
+    // degree >= 2 (even constant term means divisible by t).
+    let start = 1u64 << degree;
+    let end = 1u64 << (degree + 1);
+    for bits in start..end {
+        if degree >= 2 && bits & 1 == 0 {
+            continue;
+        }
+        let f = Poly::from_bits(bits);
+        if is_irreducible(&f) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// The `n`-th (0-based) irreducible polynomial of the given degree under the
+/// deterministic enumeration order, or `None` if there are fewer than `n+1`.
+pub fn nth_irreducible(degree: usize, n: usize) -> Option<Poly> {
+    irreducibles_of_degree(degree).into_iter().nth(n)
+}
+
+fn prime_divisors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Poly {
+        Poly::from_binary_str(s)
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        for s in ["10", "11", "111", "1011", "1101", "10011", "11111", "100101"] {
+            assert!(is_irreducible(&p(s)), "{s} should be irreducible");
+        }
+    }
+
+    #[test]
+    fn known_reducibles() {
+        // t^2+1 = (t+1)^2 ; t^2+t = t(t+1); t^3+t^2+t+1 = (t+1)(t^2+1)
+        for s in ["101", "110", "1111", "1001"] {
+            assert!(!is_irreducible(&p(s)), "{s} should be reducible");
+        }
+        assert!(!is_irreducible(&Poly::one()));
+        assert!(!is_irreducible(&Poly::zero()));
+    }
+
+    #[test]
+    fn counts_match_necklace_formula() {
+        // Number of monic irreducible polynomials of degree n over GF(2):
+        // n=1:2, n=2:1, n=3:2, n=4:3, n=5:6, n=6:9, n=7:18, n=8:30
+        let expected = [(1, 2), (2, 1), (3, 2), (4, 3), (5, 6), (6, 9), (7, 18), (8, 30)];
+        for (deg, count) in expected {
+            assert_eq!(
+                irreducibles_of_degree(deg).len(),
+                count,
+                "degree {deg} count"
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_is_sorted_and_deduplicated() {
+        let irr = irreducibles_of_degree(6);
+        for w in irr.windows(2) {
+            assert!(w[0].cmp_poly(&w[1]) == std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn products_of_irreducibles_are_reducible() {
+        let irr = irreducibles_of_degree(4);
+        for a in &irr {
+            for b in &irr {
+                assert!(!is_irreducible(&a.mul_ref(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn nth_irreducible_indexing() {
+        assert_eq!(nth_irreducible(3, 0), Some(p("1011")));
+        assert_eq!(nth_irreducible(3, 1), Some(p("1101")));
+        assert_eq!(nth_irreducible(3, 2), None);
+    }
+
+    #[test]
+    fn distinct_irreducibles_are_coprime() {
+        let irr = irreducibles_of_degree(5);
+        for (i, a) in irr.iter().enumerate() {
+            for b in irr.iter().skip(i + 1) {
+                assert!(a.gcd(b).is_one());
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Cross-validation of the Rabin irreducibility test against brute-force
+//! trial division for every polynomial up to degree 12. If these two
+//! disagree anywhere, PolKA's node-ID pool would silently contain
+//! reducible moduli and CRT uniqueness would break.
+
+use gf2poly::{is_irreducible, irreducibles_of_degree, Poly};
+
+/// Trial division: f (deg >= 1) is irreducible iff no polynomial of
+/// degree 1..=deg(f)/2 divides it.
+fn brute_force_irreducible(f: &Poly) -> bool {
+    let deg = match f.degree() {
+        None | Some(0) => return false,
+        Some(d) => d,
+    };
+    for dd in 1..=deg / 2 {
+        let start = 1u64 << dd;
+        let end = 1u64 << (dd + 1);
+        for bits in start..end {
+            let g = Poly::from_bits(bits);
+            if f.rem_ref(&g).expect("g non-zero").is_zero() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn rabin_matches_brute_force_up_to_degree_12() {
+    for deg in 1..=12usize {
+        let start = 1u64 << deg;
+        let end = 1u64 << (deg + 1);
+        for bits in start..end {
+            let f = Poly::from_bits(bits);
+            assert_eq!(
+                is_irreducible(&f),
+                brute_force_irreducible(&f),
+                "disagreement on {} (degree {deg})",
+                f.to_binary_str()
+            );
+        }
+    }
+}
+
+#[test]
+fn enumeration_matches_filtered_brute_force() {
+    for deg in 1..=10usize {
+        let enumerated = irreducibles_of_degree(deg);
+        let brute: Vec<Poly> = ((1u64 << deg)..(1u64 << (deg + 1)))
+            .map(Poly::from_bits)
+            .filter(brute_force_irreducible)
+            .collect();
+        assert_eq!(enumerated, brute, "degree {deg}");
+    }
+}

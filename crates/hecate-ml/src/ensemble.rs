@@ -1,0 +1,306 @@
+//! Averaging ensembles: Random Forest (R13) and Bagging (R3).
+//!
+//! scikit-learn defaults mirrored: `RandomForestRegressor(n_estimators=100,
+//! max_features=1.0, bootstrap=True)` and `BaggingRegressor(n_estimators=10,
+//! max_samples=1.0, bootstrap=True)` over full-depth CART trees.
+//!
+//! Tree fitting is embarrassingly parallel and runs on scoped threads
+//! ([`linalg::par::par_map_indexed`]); per-tree RNG streams are derived
+//! deterministically from the ensemble seed so parallel and sequential
+//! fits produce identical forests.
+
+use crate::model::Regressor;
+use crate::tree::{DecisionTreeRegressor, TreeConfig};
+use crate::{check_xy, MlError};
+use linalg::par::par_map_indexed;
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+fn fit_forest(
+    x: &Matrix,
+    y: &[f64],
+    n_estimators: usize,
+    base_config: &TreeConfig,
+    bootstrap: bool,
+    seed: u64,
+) -> Result<Vec<DecisionTreeRegressor>, MlError> {
+    let n = x.rows();
+    let trees: Vec<Result<DecisionTreeRegressor, MlError>> = par_map_indexed(n_estimators, |k| {
+        let mut rng = StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (xs, ys);
+        let (xr, yr): (&Matrix, &[f64]) = if bootstrap {
+            let idx = bootstrap_indices(n, &mut rng);
+            xs = x.select_rows(&idx);
+            ys = idx.iter().map(|&i| y[i]).collect::<Vec<f64>>();
+            (&xs, &ys)
+        } else {
+            (x, y)
+        };
+        let mut tree = DecisionTreeRegressor::with_config(TreeConfig {
+            seed: rng.gen(),
+            ..base_config.clone()
+        });
+        tree.fit(xr, yr)?;
+        Ok(tree)
+    });
+    trees.into_iter().collect()
+}
+
+fn predict_mean(trees: &[DecisionTreeRegressor], x: &Matrix) -> Result<Vec<f64>, MlError> {
+    if trees.is_empty() {
+        return Err(MlError::NotFitted);
+    }
+    let mut acc = vec![0.0; x.rows()];
+    for tree in trees {
+        let p = tree.predict(x)?;
+        for (a, v) in acc.iter_mut().zip(p) {
+            *a += v;
+        }
+    }
+    let k = trees.len() as f64;
+    for a in &mut acc {
+        *a /= k;
+    }
+    Ok(acc)
+}
+
+/// R13: Random Forest regressor.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    /// Number of trees (scikit-learn default 100).
+    pub n_estimators: usize,
+    /// Features considered per split (`None` = all, sklearn's regression
+    /// default `max_features=1.0`).
+    pub max_features: Option<usize>,
+    /// Maximum tree depth (`None` = unlimited).
+    pub max_depth: Option<usize>,
+    /// Ensemble seed.
+    pub seed: u64,
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl Default for RandomForestRegressor {
+    fn default() -> Self {
+        RandomForestRegressor {
+            n_estimators: 100,
+            max_features: None,
+            max_depth: None,
+            seed: 0,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl RandomForestRegressor {
+    /// Forest with scikit-learn defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forest with a custom size (used by the ablation bench).
+    pub fn with_trees(n_estimators: usize) -> Self {
+        RandomForestRegressor {
+            n_estimators,
+            ..Self::default()
+        }
+    }
+
+    /// Forest with a fixed seed.
+    pub fn with_seed(seed: u64) -> Self {
+        RandomForestRegressor {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        if self.n_estimators == 0 {
+            return Err(MlError::BadHyperparameter("n_estimators must be > 0".into()));
+        }
+        let config = TreeConfig {
+            max_depth: self.max_depth,
+            max_features: self.max_features,
+            ..TreeConfig::default()
+        };
+        self.trees = fit_forest(x, y, self.n_estimators, &config, true, self.seed)?;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        predict_mean(&self.trees, x)
+    }
+
+    fn name(&self) -> &'static str {
+        "RFR"
+    }
+}
+
+/// R3: Bagging regressor over full-depth trees.
+#[derive(Debug, Clone)]
+pub struct BaggingRegressor {
+    /// Number of bootstrap replicas (scikit-learn default 10).
+    pub n_estimators: usize,
+    /// Ensemble seed.
+    pub seed: u64,
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl Default for BaggingRegressor {
+    fn default() -> Self {
+        BaggingRegressor {
+            n_estimators: 10,
+            seed: 0,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl BaggingRegressor {
+    /// Bagging with scikit-learn defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bagging with a fixed seed.
+    pub fn with_seed(seed: u64) -> Self {
+        BaggingRegressor {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+impl Regressor for BaggingRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        check_xy(x, y)?;
+        if self.n_estimators == 0 {
+            return Err(MlError::BadHyperparameter("n_estimators must be > 0".into()));
+        }
+        let config = TreeConfig::default();
+        self.trees = fit_forest(x, y, self.n_estimators, &config, true, self.seed)?;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        predict_mean(&self.trees, x)
+    }
+
+    fn name(&self) -> &'static str {
+        "Bagging"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    fn wavy_data(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                vec![t.sin(), t.cos(), (2.0 * t).sin()]
+            })
+            .collect();
+        let y = rows.iter().map(|r| 3.0 * r[0] + r[1] * r[2]).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn forest_fits_nonlinear_target() {
+        let (x, y) = wavy_data(150);
+        let mut f = RandomForestRegressor::with_trees(30);
+        f.fit(&x, &y).unwrap();
+        let pred = f.predict(&x).unwrap();
+        assert!(rmse(&y, &pred) < 0.3, "rmse = {}", rmse(&y, &pred));
+        assert_eq!(f.tree_count(), 30);
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let (x, y) = wavy_data(80);
+        let mut a = RandomForestRegressor { n_estimators: 10, seed: 9, ..Default::default() };
+        let mut b = RandomForestRegressor { n_estimators: 10, seed: 9, ..Default::default() };
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn forest_beats_single_tree_on_noise() {
+        // noisy target: averaging should reduce variance on held-out data
+        let (x, y_clean) = wavy_data(200);
+        let mut rng_state = 12345u64;
+        let mut noise = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng_state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 1.0
+        };
+        let y: Vec<f64> = y_clean.iter().map(|v| v + noise()).collect();
+        let train = 150;
+        let xt = x.select_rows(&(0..train).collect::<Vec<_>>());
+        let yt = &y[..train];
+        let xv = x.select_rows(&(train..200).collect::<Vec<_>>());
+        let yv_clean = &y_clean[train..];
+
+        let mut forest = RandomForestRegressor { n_estimators: 50, seed: 1, ..Default::default() };
+        forest.fit(&xt, yt).unwrap();
+        let mut tree = crate::tree::DecisionTreeRegressor::new();
+        use crate::model::Regressor as _;
+        tree.fit(&xt, yt).unwrap();
+
+        let forest_err = rmse(yv_clean, &forest.predict(&xv).unwrap());
+        let tree_err = rmse(yv_clean, &tree.predict(&xv).unwrap());
+        assert!(
+            forest_err < tree_err,
+            "forest {forest_err} should beat single tree {tree_err}"
+        );
+    }
+
+    #[test]
+    fn bagging_fits_and_averages() {
+        let (x, y) = wavy_data(100);
+        let mut b = BaggingRegressor::with_seed(2);
+        b.fit(&x, &y).unwrap();
+        let pred = b.predict(&x).unwrap();
+        assert!(rmse(&y, &pred) < 0.5);
+    }
+
+    #[test]
+    fn zero_estimators_rejected() {
+        let (x, y) = wavy_data(20);
+        let mut f = RandomForestRegressor::with_trees(0);
+        assert!(f.fit(&x, &y).is_err());
+        let mut b = BaggingRegressor { n_estimators: 0, ..Default::default() };
+        assert!(b.fit(&x, &y).is_err());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        assert_eq!(
+            RandomForestRegressor::new()
+                .predict(&Matrix::zeros(1, 3))
+                .unwrap_err(),
+            MlError::NotFitted
+        );
+        assert_eq!(
+            BaggingRegressor::new()
+                .predict(&Matrix::zeros(1, 3))
+                .unwrap_err(),
+            MlError::NotFitted
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The [`Regressor`] trait and the paper's R1–R18 model registry.
+
+use crate::MlError;
+use linalg::Matrix;
+
+/// A supervised regression model.
+///
+/// Models are `Send + Sync` once fitted so the framework can evaluate
+/// paths concurrently.
+pub trait Regressor: Send + Sync {
+    /// Fits the model on the design matrix `x` and targets `y`.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError>;
+
+    /// Predicts targets for each row of `x`.
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError>;
+
+    /// Short model name (matches the paper's figure legend).
+    fn name(&self) -> &'static str;
+}
+
+/// The eighteen regressors of the paper, in the paper's alphabetical
+/// order and with the paper's labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegressorKind {
+    /// R1: Ada Boost Regressor.
+    AdaBoostR,
+    /// R2: ARD Regression.
+    Ardr,
+    /// R3: Bagging Regressor.
+    Bagging,
+    /// R4: Decision Tree Regressor.
+    Dtr,
+    /// R5: Elastic Net.
+    ElasticNet,
+    /// R6: Gradient Boosting Regressor.
+    Gbr,
+    /// R7: Gaussian Process Regressor.
+    Gpr,
+    /// R8: Histogram-based Gradient Boosting Regression.
+    Hgbr,
+    /// R9: Huber Regressor.
+    HuberR,
+    /// R10: Lasso.
+    Lasso,
+    /// R11: Linear Regression.
+    Lr,
+    /// R12: RANdom SAmple Consensus Regressor.
+    RansacR,
+    /// R13: Random Forest Regressor.
+    Rfr,
+    /// R14: Ridge.
+    Ridge,
+    /// R15: Stochastic Gradient Descent Regressor.
+    Sgdr,
+    /// R16: Support Vector Machine, linear kernel.
+    SvmLinear,
+    /// R17: Support Vector Machine, RBF kernel.
+    SvmRbf,
+    /// R18: Theil-Sen Regressor.
+    TheilSenR,
+}
+
+impl RegressorKind {
+    /// All eighteen kinds in paper order (R1..R18).
+    pub fn all() -> [RegressorKind; 18] {
+        use RegressorKind::*;
+        [
+            AdaBoostR, Ardr, Bagging, Dtr, ElasticNet, Gbr, Gpr, Hgbr, HuberR, Lasso, Lr,
+            RansacR, Rfr, Ridge, Sgdr, SvmLinear, SvmRbf, TheilSenR,
+        ]
+    }
+
+    /// The paper's identifier, e.g. `"R13"`.
+    pub fn paper_id(self) -> &'static str {
+        use RegressorKind::*;
+        match self {
+            AdaBoostR => "R1",
+            Ardr => "R2",
+            Bagging => "R3",
+            Dtr => "R4",
+            ElasticNet => "R5",
+            Gbr => "R6",
+            Gpr => "R7",
+            Hgbr => "R8",
+            HuberR => "R9",
+            Lasso => "R10",
+            Lr => "R11",
+            RansacR => "R12",
+            Rfr => "R13",
+            Ridge => "R14",
+            Sgdr => "R15",
+            SvmLinear => "R16",
+            SvmRbf => "R17",
+            TheilSenR => "R18",
+        }
+    }
+
+    /// The paper's display name, e.g. `"RFR"`.
+    pub fn label(self) -> &'static str {
+        use RegressorKind::*;
+        match self {
+            AdaBoostR => "AdaBoostR",
+            Ardr => "ARDR",
+            Bagging => "Bagging",
+            Dtr => "DTR",
+            ElasticNet => "ElasticNet",
+            Gbr => "GBR",
+            Gpr => "GPR",
+            Hgbr => "HGBR",
+            HuberR => "HuberR",
+            Lasso => "Lasso",
+            Lr => "LR",
+            RansacR => "RANSACR",
+            Rfr => "RFR",
+            Ridge => "Ridge",
+            Sgdr => "SGDR",
+            SvmLinear => "SVM_Linear",
+            SvmRbf => "SVM_RBF",
+            TheilSenR => "TheilSenR",
+        }
+    }
+
+    /// Instantiates the model with its scikit-learn default
+    /// hyperparameters and the given seed (for stochastic models).
+    pub fn build(self, seed: u64) -> Box<dyn Regressor> {
+        use RegressorKind::*;
+        match self {
+            AdaBoostR => Box::new(crate::boost::AdaBoostRegressor::new()),
+            Ardr => Box::new(crate::bayes::ArdRegression::new()),
+            Bagging => Box::new(crate::ensemble::BaggingRegressor::with_seed(seed)),
+            Dtr => Box::new(crate::tree::DecisionTreeRegressor::new()),
+            ElasticNet => Box::new(crate::coordinate::ElasticNet::new()),
+            Gbr => Box::new(crate::boost::GradientBoostingRegressor::new()),
+            Gpr => Box::new(crate::gp::GaussianProcessRegressor::new()),
+            Hgbr => Box::new(crate::hist::HistGradientBoostingRegressor::new()),
+            HuberR => Box::new(crate::robust::HuberRegressor::new()),
+            Lasso => Box::new(crate::coordinate::Lasso::new()),
+            Lr => Box::new(crate::linear::LinearRegression::new()),
+            RansacR => Box::new(crate::robust::RansacRegressor::with_seed(seed)),
+            Rfr => Box::new(crate::ensemble::RandomForestRegressor::with_seed(seed)),
+            Ridge => Box::new(crate::linear::Ridge::new()),
+            Sgdr => Box::new(crate::sgd::SgdRegressor::with_seed(seed)),
+            SvmLinear => Box::new(crate::svr::SvrRegressor::linear()),
+            SvmRbf => Box::new(crate::svr::SvrRegressor::rbf()),
+            TheilSenR => Box::new(crate::robust::TheilSenRegressor::with_seed(seed)),
+        }
+    }
+
+    /// Parses a paper id (`"R13"`) or label (`"RFR"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<RegressorKind> {
+        let s_low = s.to_ascii_lowercase();
+        RegressorKind::all().into_iter().find(|k| {
+            k.paper_id().to_ascii_lowercase() == s_low || k.label().to_ascii_lowercase() == s_low
+        })
+    }
+}
+
+impl std::fmt::Display for RegressorKind {
+    /// Renders as the paper writes it, e.g. `R13:RFR`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.paper_id(), self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_18_unique_models() {
+        let all = RegressorKind::all();
+        assert_eq!(all.len(), 18);
+        let ids: std::collections::BTreeSet<_> = all.iter().map(|k| k.paper_id()).collect();
+        assert_eq!(ids.len(), 18);
+        let labels: std::collections::BTreeSet<_> = all.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 18);
+    }
+
+    #[test]
+    fn paper_ids_are_sequential() {
+        for (i, k) in RegressorKind::all().into_iter().enumerate() {
+            assert_eq!(k.paper_id(), format!("R{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_and_reports_its_label() {
+        for k in RegressorKind::all() {
+            let model = k.build(0);
+            assert_eq!(model.name(), k.label(), "{k}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_ids_and_labels() {
+        assert_eq!(RegressorKind::parse("R13"), Some(RegressorKind::Rfr));
+        assert_eq!(RegressorKind::parse("rfr"), Some(RegressorKind::Rfr));
+        assert_eq!(RegressorKind::parse("SVM_rbf"), Some(RegressorKind::SvmRbf));
+        assert_eq!(RegressorKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_kind_fits_a_tiny_dataset() {
+        // Smoke test: each of the 18 models goes through fit+predict.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let t = i as f64 / 5.0;
+                vec![t.sin(), t.cos()]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] + 0.5 * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        for k in RegressorKind::all() {
+            let mut m = k.build(1);
+            m.fit(&x, &y).unwrap_or_else(|e| panic!("{k} fit failed: {e}"));
+            let p = m
+                .predict(&x)
+                .unwrap_or_else(|e| panic!("{k} predict failed: {e}"));
+            assert_eq!(p.len(), y.len(), "{k}");
+            assert!(p.iter().all(|v| v.is_finite()), "{k} produced non-finite");
+        }
+    }
+}

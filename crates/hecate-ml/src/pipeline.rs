@@ -1,0 +1,233 @@
+//! The paper's end-to-end evaluation pipeline (Sec. V-B) and Hecate's
+//! multi-step forecaster.
+//!
+//! Pipeline per path: sequential 75/25 split → StandardScaler fitted on
+//! the training series → lag-10 windows → fit → predict the test windows →
+//! inverse-transform → RMSE in the original (Mbps) scale.
+
+use crate::data::{make_supervised, sequential_split};
+use crate::metrics::{mae, r2, rmse};
+use crate::model::RegressorKind;
+use crate::scale::StandardScaler;
+use crate::MlError;
+use linalg::par::par_map;
+use linalg::Matrix;
+
+/// Configuration of the evaluation protocol.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// History window length (paper: 10).
+    pub lags: usize,
+    /// Training fraction of the series (paper: 0.75).
+    pub train_fraction: f64,
+    /// Seed handed to stochastic models.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            lags: 10,
+            train_fraction: 0.75,
+            seed: 42,
+        }
+    }
+}
+
+/// Evaluation result for one model on one series.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Which model.
+    pub kind: RegressorKind,
+    /// RMSE in the original scale (the paper's Fig 6 metric).
+    pub rmse: f64,
+    /// MAE in the original scale.
+    pub mae: f64,
+    /// R² on the test windows.
+    pub r2: f64,
+    /// Observed test targets (original scale), for Fig 7/8-style plots.
+    pub observed: Vec<f64>,
+    /// Predicted test targets (original scale).
+    pub predicted: Vec<f64>,
+    /// Wall-clock fit time.
+    pub fit_time: std::time::Duration,
+}
+
+/// Runs the paper's pipeline for one regressor on one series.
+pub fn evaluate_regressor(
+    kind: RegressorKind,
+    series: &[f64],
+    config: &PipelineConfig,
+) -> Result<EvalReport, MlError> {
+    let (train, test) = sequential_split(series, config.train_fraction);
+    if train.len() <= config.lags || test.len() <= config.lags {
+        return Err(MlError::BadShape(format!(
+            "series too short for lags={}: train={}, test={}",
+            config.lags,
+            train.len(),
+            test.len()
+        )));
+    }
+    // Scale using training statistics only (per the paper's protocol).
+    let mut scaler = StandardScaler::new();
+    let train_col = Matrix::from_vec(train.len(), 1, train.to_vec());
+    scaler.fit(&train_col)?;
+    let train_scaled = scaler.transform_column(train, 0)?;
+    let test_scaled = scaler.transform_column(test, 0)?;
+
+    let (x_train, y_train) =
+        make_supervised(&train_scaled, config.lags).ok_or(MlError::BadShape("train".into()))?;
+    let (x_test, y_test) =
+        make_supervised(&test_scaled, config.lags).ok_or(MlError::BadShape("test".into()))?;
+
+    let mut model = kind.build(config.seed);
+    let t0 = std::time::Instant::now();
+    model.fit(&x_train, &y_train)?;
+    let fit_time = t0.elapsed();
+    let pred_scaled = model.predict(&x_test)?;
+
+    // Back to the original scale for RMSE, as the paper does.
+    let observed = scaler.inverse_transform_column(&y_test, 0)?;
+    let predicted = scaler.inverse_transform_column(&pred_scaled, 0)?;
+    Ok(EvalReport {
+        kind,
+        rmse: rmse(&observed, &predicted),
+        mae: mae(&observed, &predicted),
+        r2: r2(&observed, &predicted),
+        observed,
+        predicted,
+        fit_time,
+    })
+}
+
+/// Evaluates all eighteen regressors on a series, in parallel
+/// (the Fig 6 sweep).
+pub fn evaluate_all(series: &[f64], config: &PipelineConfig) -> Vec<Result<EvalReport, MlError>> {
+    let kinds = RegressorKind::all();
+    par_map(&kinds, |k| evaluate_regressor(*k, series, config))
+}
+
+/// Recursive multi-step forecaster: "Hecate computes the predicted values
+/// for the next 10 steps and returns the best path."
+///
+/// Trains on the whole history (scaled), then feeds each prediction back
+/// into the lag window to roll the forecast forward `horizon` steps.
+/// Returns forecasts in the original scale.
+pub fn forecast_next(
+    kind: RegressorKind,
+    history: &[f64],
+    lags: usize,
+    horizon: usize,
+    seed: u64,
+) -> Result<Vec<f64>, MlError> {
+    if history.len() <= lags + 1 {
+        return Err(MlError::BadShape(format!(
+            "need more than {} samples, have {}",
+            lags + 1,
+            history.len()
+        )));
+    }
+    let mut scaler = StandardScaler::new();
+    let col = Matrix::from_vec(history.len(), 1, history.to_vec());
+    scaler.fit(&col)?;
+    let scaled = scaler.transform_column(history, 0)?;
+    let (x, y) = make_supervised(&scaled, lags).ok_or(MlError::BadShape("history".into()))?;
+    let mut model = kind.build(seed);
+    model.fit(&x, &y)?;
+
+    let mut window: Vec<f64> = scaled[scaled.len() - lags..].to_vec();
+    let mut out_scaled = Vec::with_capacity(horizon);
+    for _ in 0..horizon {
+        let x_next = Matrix::from_vec(1, lags, window.clone());
+        let pred = model.predict(&x_next)?[0];
+        out_scaled.push(pred);
+        window.rotate_left(1);
+        window[lags - 1] = pred;
+    }
+    scaler.inverse_transform_column(&out_scaled, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                20.0 + 8.0 * (t / 20.0).sin() + 2.0 * (t / 3.0).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_produces_finite_rmse() {
+        let series = synthetic_series(200);
+        let cfg = PipelineConfig::default();
+        let rep = evaluate_regressor(RegressorKind::Rfr, &series, &cfg).unwrap();
+        assert!(rep.rmse.is_finite() && rep.rmse >= 0.0);
+        assert_eq!(rep.observed.len(), rep.predicted.len());
+        // test windows: 50 - 10
+        assert_eq!(rep.observed.len(), 40);
+    }
+
+    #[test]
+    fn rfr_beats_predicting_the_mean() {
+        let series = synthetic_series(300);
+        let cfg = PipelineConfig::default();
+        let rep = evaluate_regressor(RegressorKind::Rfr, &series, &cfg).unwrap();
+        let mean = linalg::stats::mean(&rep.observed);
+        let mean_rmse = rmse(
+            &rep.observed,
+            &vec![mean; rep.observed.len()],
+        );
+        assert!(
+            rep.rmse < mean_rmse,
+            "RFR rmse {} should beat mean-prediction rmse {mean_rmse}",
+            rep.rmse
+        );
+    }
+
+    #[test]
+    fn observed_values_match_raw_series() {
+        // inverse_transform(observed) must reproduce the raw test targets.
+        let series = synthetic_series(120);
+        let cfg = PipelineConfig::default();
+        let rep = evaluate_regressor(RegressorKind::Lr, &series, &cfg).unwrap();
+        let (_, test) = sequential_split(&series, cfg.train_fraction);
+        for (o, raw) in rep.observed.iter().zip(&test[cfg.lags..]) {
+            assert!((o - raw).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        let cfg = PipelineConfig::default();
+        assert!(evaluate_regressor(RegressorKind::Lr, &[1.0; 20], &cfg).is_err());
+    }
+
+    #[test]
+    fn evaluate_all_covers_18_models() {
+        let series = synthetic_series(160);
+        let cfg = PipelineConfig::default();
+        let reports = evaluate_all(&series, &cfg);
+        assert_eq!(reports.len(), 18);
+        let ok = reports.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, 18, "all models must fit the smooth series");
+    }
+
+    #[test]
+    fn forecast_rolls_forward() {
+        let series = synthetic_series(150);
+        let fc = forecast_next(RegressorKind::Lr, &series, 10, 10, 0).unwrap();
+        assert_eq!(fc.len(), 10);
+        assert!(fc.iter().all(|v| v.is_finite()));
+        // Forecast of a bounded series stays in a sane envelope.
+        assert!(fc.iter().all(|v| *v > 0.0 && *v < 60.0), "{fc:?}");
+    }
+
+    #[test]
+    fn forecast_too_short_history_errors() {
+        assert!(forecast_next(RegressorKind::Lr, &[1.0; 11], 10, 5, 0).is_err());
+    }
+}

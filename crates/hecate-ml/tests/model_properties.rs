@@ -1,0 +1,168 @@
+//! Property tests over the ML substrate: invariants every regressor and
+//! preprocessing step must satisfy regardless of input.
+
+use hecate_ml::data::make_supervised;
+use hecate_ml::metrics::{mae, r2, rmse};
+use hecate_ml::model::{Regressor, RegressorKind};
+use hecate_ml::scale::StandardScaler;
+use hecate_ml::tree::DecisionTreeRegressor;
+use linalg::Matrix;
+use proptest::prelude::*;
+
+fn arb_series(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, min_len..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scaler_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec(-1e6f64..1e6, 3), 2..40
+    )) {
+        let x = Matrix::from_rows(&rows);
+        let mut s = StandardScaler::new();
+        let z = s.fit_transform(&x).unwrap();
+        let back = s.inverse_transform(&z).unwrap();
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            // relative tolerance: large magnitudes lose absolute precision
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn metrics_invariants(y in arb_series(2, 40), shift in -10.0f64..10.0) {
+        let y_pred: Vec<f64> = y.iter().map(|v| v + shift).collect();
+        prop_assert!(rmse(&y, &y_pred) >= 0.0);
+        prop_assert!(mae(&y, &y_pred) >= 0.0);
+        prop_assert!(mae(&y, &y_pred) <= rmse(&y, &y_pred) + 1e-12);
+        // identical predictions: zero error, r2 = 1 (or 0 convention)
+        prop_assert_eq!(rmse(&y, &y), 0.0);
+        let r = r2(&y, &y);
+        prop_assert!(r == 1.0 || r == 0.0);
+    }
+
+    #[test]
+    fn tree_predictions_bounded_by_targets(
+        raw in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 8..64)
+    ) {
+        let rows: Vec<Vec<f64>> = raw.iter().map(|(a, _)| vec![*a]).collect();
+        let y: Vec<f64> = raw.iter().map(|(_, b)| *b).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y).unwrap();
+        let (lo, hi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY),
+            |(l, h), &v| (l.min(v), h.max(v)));
+        for p in t.predict(&x).unwrap() {
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lag_windows_preserve_values(series in arb_series(12, 60), lags in 1usize..8) {
+        if let Some((x, y)) = make_supervised(&series, lags) {
+            prop_assert_eq!(x.rows(), series.len() - lags);
+            for i in 0..x.rows() {
+                for j in 0..lags {
+                    prop_assert_eq!(x[(i, j)], series[i + j]);
+                }
+                prop_assert_eq!(y[i], series[i + lags]);
+            }
+        } else {
+            prop_assert!(series.len() <= lags);
+        }
+    }
+
+    #[test]
+    fn linear_models_recover_linear_truth(
+        w0 in -5.0f64..5.0,
+        w1 in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64 / 3.0;
+                vec![t.sin(), (1.3 * t).cos()]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| w0 * r[0] + w1 * r[1] + b).collect();
+        let x = Matrix::from_rows(&rows);
+        for kind in [RegressorKind::Lr, RegressorKind::Ridge, RegressorKind::HuberR] {
+            let mut m = kind.build(0);
+            m.fit(&x, &y).unwrap();
+            let pred = m.predict(&x).unwrap();
+            // Ridge shrinks slightly; allow a loose tolerance.
+            prop_assert!(
+                rmse(&y, &pred) < 0.5 + 0.05 * (w0.abs() + w1.abs()),
+                "{kind:?} rmse {}", rmse(&y, &pred)
+            );
+        }
+    }
+}
+
+#[test]
+fn stochastic_models_are_seed_deterministic() {
+    let rows: Vec<Vec<f64>> = (0..50)
+        .map(|i| vec![(i as f64 / 4.0).sin(), (i as f64 / 9.0).cos()])
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 - r[1]).collect();
+    let x = Matrix::from_rows(&rows);
+    for kind in [
+        RegressorKind::Rfr,
+        RegressorKind::Bagging,
+        RegressorKind::RansacR,
+        RegressorKind::Sgdr,
+        RegressorKind::TheilSenR,
+    ] {
+        let mut a = kind.build(123);
+        let mut b = kind.build(123);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(
+            a.predict(&x).unwrap(),
+            b.predict(&x).unwrap(),
+            "{kind:?} must be deterministic for a fixed seed"
+        );
+    }
+}
+
+#[test]
+fn every_model_survives_constant_targets() {
+    // Degenerate input: constant y. Every model must fit and predict the
+    // constant (within loose tolerance), not crash. Features are
+    // standardized first, as the paper's pipeline always does — SGD (like
+    // scikit-learn's) legitimately diverges on raw magnitudes.
+    let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+    let y = vec![5.0; 40];
+    let raw = Matrix::from_rows(&rows);
+    let mut scaler = StandardScaler::new();
+    let x = scaler.fit_transform(&raw).unwrap();
+    for kind in RegressorKind::all() {
+        let mut m = kind.build(0);
+        m.fit(&x, &y)
+            .unwrap_or_else(|e| panic!("{kind} failed on constant targets: {e}"));
+        let pred = m.predict(&x).unwrap();
+        for p in pred {
+            assert!(
+                (p - 5.0).abs() < 1.0,
+                "{kind} predicted {p} for constant target 5.0"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_model_survives_two_samples() {
+    // Minimal viable dataset; models must not panic (errors are fine for
+    // models needing more data, but no unwinds).
+    let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+    let y = vec![0.0, 1.0];
+    for kind in RegressorKind::all() {
+        let mut m = kind.build(0);
+        // An explicit refusal (Err) is acceptable; a panic is not.
+        if m.fit(&x, &y).is_ok() {
+            let p = m.predict(&x).unwrap();
+            assert!(p.iter().all(|v| v.is_finite()), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Dense linear algebra and statistics substrate for the Hecate ML stack.
+//!
+//! The paper's ML side is scikit-learn; rebuilding its eighteen regressors
+//! in Rust needs a small but complete numerical core:
+//!
+//! * [`Matrix`] — row-major dense `f64` matrices with the usual products;
+//! * decompositions — LU with partial pivoting ([`Matrix::solve`]),
+//!   Cholesky ([`Matrix::solve_spd`], used by Ridge/ARD/GPR), and
+//!   Householder QR least squares ([`lstsq`], used by OLS/TheilSen/RANSAC);
+//! * order statistics and robust scale estimators ([`stats`]) for the
+//!   robust regressors (Huber, RANSAC, Theil-Sen) and AdaBoost.R2's
+//!   weighted median;
+//! * [`par`] — scoped-thread helpers (`std::thread::scope`) for
+//!   embarrassingly parallel model fitting (forests, bagging, the 18-model
+//!   evaluation sweep).
+//!
+//! Everything is plain safe Rust; the matrices involved are small
+//! (hundreds of rows, tens of columns), so clarity and cache-friendly
+//! row-major loops beat exotic blocking here.
+
+pub mod matrix;
+pub mod par;
+pub mod stats;
+
+pub use matrix::{lstsq, Matrix};
+
+/// Errors from numerical routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Dimensions do not conform for the requested operation.
+    DimensionMismatch {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Left-hand dimensions.
+        lhs: (usize, usize),
+        /// Right-hand dimensions.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or not positive definite for Cholesky).
+    Singular,
+    /// An empty system was supplied.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular or not positive definite"),
+            LinalgError::Empty => write!(f, "empty system"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,103 @@
+//! Scoped-thread parallel helpers.
+//!
+//! Ensemble regressors (Random Forest, Bagging) and the 18-model
+//! evaluation sweep are embarrassingly parallel: each task is independent
+//! and CPU-bound. `std::thread::scope` gives us data-race-free fork-join
+//! parallelism with borrowed inputs and no runtime dependency; results
+//! come back in input order, so parallel and sequential execution are
+//! observationally identical (the rayon discipline: if it compiles, it
+//! computes the same thing).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the available parallelism, capped by
+/// the task count so tiny workloads don't pay spawn overhead.
+pub fn worker_count(tasks: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(tasks).max(1)
+}
+
+/// Applies `f` to every index `0..n` on a scoped thread pool and returns
+/// the results in index order.
+///
+/// `f` must be `Sync` because multiple workers call it concurrently.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = w * chunk;
+                for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, preserving order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_order() {
+        let out = par_map_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = par_map_indexed(1000, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let xs = vec![1.0f64, 4.0, 9.0];
+        assert_eq!(par_map(&xs, |x| x.sqrt()), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert!(worker_count(1000) >= 1);
+        assert!(worker_count(2) <= 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Order statistics and robust scale estimators.
+//!
+//! The robust regressors (Huber, RANSAC, Theil-Sen) and AdaBoost.R2 need
+//! medians, MAD, quantiles and weighted medians; the telemetry pipeline
+//! uses the summary helpers.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices shorter than 1.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of middle pair for even lengths); `0.0` when empty.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Median absolute deviation (unscaled). RANSAC's default inlier
+/// threshold is the MAD of the targets, matching scikit-learn.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = median(xs);
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// Weighted median: the value `x_k` minimizing the weighted absolute
+/// deviation. Used by AdaBoost.R2 to combine estimator predictions.
+///
+/// Returns `0.0` when the slice is empty or all weights are zero.
+pub fn weighted_median(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len(), "values/weights mismatch");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in weighted_median input")
+    });
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let half = total / 2.0;
+    let mut acc = 0.0;
+    for &i in &idx {
+        acc += weights[i];
+        if acc >= half {
+            return values[i];
+        }
+    }
+    values[*idx.last().expect("non-empty")]
+}
+
+/// Summary statistics for a series, used by trace reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+}
+
+/// Computes a [`Summary`] of the series.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if xs.is_empty() {
+        min = 0.0;
+        max = 0.0;
+    }
+    Summary {
+        mean: mean(xs),
+        std: std_dev(xs),
+        min,
+        max,
+        median: median(xs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+        assert_eq!(quantile(&xs, 0.125), 1.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_outliers() {
+        let clean = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let dirty = [1.0, 2.0, 3.0, 4.0, 500.0];
+        assert_eq!(mad(&clean), 1.0);
+        assert_eq!(mad(&dirty), 1.0); // single outlier does not move MAD
+    }
+
+    #[test]
+    fn weighted_median_basic() {
+        // Heavy weight drags the median to that value.
+        assert_eq!(
+            weighted_median(&[1.0, 2.0, 10.0], &[1.0, 1.0, 10.0]),
+            10.0
+        );
+        // Equal weights behave like a lower median.
+        assert_eq!(weighted_median(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn weighted_median_degenerate() {
+        assert_eq!(weighted_median(&[], &[]), 0.0);
+        assert_eq!(weighted_median(&[1.0, 2.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = summarize(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.median, 4.0);
+    }
+}

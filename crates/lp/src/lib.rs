@@ -1,0 +1,34 @@
+//! Linear programming and the paper's traffic-engineering formulations.
+//!
+//! Section III of the paper casts flow allocation as "a combinatorial
+//! optimization problem … The problem of finding an optimal objective
+//! function becomes a Linear Programming (LP) problem, with all
+//! constraints being linear functions. This can be solved using LP
+//! solvers."
+//!
+//! * [`simplex`] — a dense two-phase (Big-M) primal simplex solver,
+//!   sufficient for the small path-allocation programs TE produces;
+//! * [`te`] — the concrete models from the paper:
+//!   the Eq. 1–2 two-path cost minimization, the Eq. 3 delay objective
+//!   (convex, solved by golden-section search), and the ISP min-max link
+//!   utilization program.
+
+pub mod simplex;
+pub mod te;
+
+pub use simplex::{Constraint, LinearProgram, Relation, SimplexError, Solution};
+
+#[cfg(test)]
+mod integration {
+    use super::*;
+
+    #[test]
+    fn crate_level_example_compiles_and_solves() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6  (classic toy LP)
+        let lp = LinearProgram::maximize(vec![1.0, 1.0])
+            .constraint(Constraint::new(vec![1.0, 2.0], Relation::Le, 4.0))
+            .constraint(Constraint::new(vec![3.0, 1.0], Relation::Le, 6.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 2.8).abs() < 1e-9);
+    }
+}

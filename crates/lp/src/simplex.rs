@@ -1,0 +1,359 @@
+//! Dense two-phase (Big-M) primal simplex.
+//!
+//! Solves `min/max c'x` subject to linear constraints and `x >= 0`. TE
+//! path-allocation programs have a handful of variables (paths) and
+//! constraints (links + demands), so a dense tableau with Bland's rule
+//! (no cycling) is the right tool — simple, exact, and fast at this size.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `>=`
+    Ge,
+}
+
+/// One linear constraint `coeffs . x (rel) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand-side coefficients (one per variable).
+    pub coeffs: Vec<f64>,
+    /// Sense.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Builds a constraint.
+    pub fn new(coeffs: Vec<f64>, relation: Relation, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            relation,
+            rhs,
+        }
+    }
+}
+
+/// Solver failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimplexError {
+    /// No feasible point satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// A constraint has the wrong number of coefficients.
+    BadShape,
+}
+
+impl std::fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplexError::Infeasible => write!(f, "LP is infeasible"),
+            SimplexError::Unbounded => write!(f, "LP is unbounded"),
+            SimplexError::BadShape => write!(f, "constraint arity mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SimplexError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the user's orientation).
+    pub objective: f64,
+}
+
+/// A linear program under construction.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    maximize: bool,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// `min c'x`.
+    pub fn minimize(c: Vec<f64>) -> Self {
+        LinearProgram {
+            objective: c,
+            maximize: false,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// `max c'x`.
+    pub fn maximize(c: Vec<f64>) -> Self {
+        LinearProgram {
+            objective: c,
+            maximize: true,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Adds a constraint in place.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Solves by Big-M simplex with Bland's anti-cycling rule.
+    #[allow(clippy::needless_range_loop)] // tableau pivoting is clearest with explicit indices
+    pub fn solve(&self) -> Result<Solution, SimplexError> {
+        let n = self.objective.len();
+        for c in &self.constraints {
+            if c.coeffs.len() != n {
+                return Err(SimplexError::BadShape);
+            }
+        }
+        let m = self.constraints.len();
+        // Normalize to rhs >= 0.
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                if c.rhs < 0.0 {
+                    let flipped = match c.relation {
+                        Relation::Le => Relation::Ge,
+                        Relation::Ge => Relation::Le,
+                        Relation::Eq => Relation::Eq,
+                    };
+                    (c.coeffs.iter().map(|v| -v).collect(), flipped, -c.rhs)
+                } else {
+                    (c.coeffs.clone(), c.relation, c.rhs)
+                }
+            })
+            .collect();
+        // Column layout: [x(n) | slacks/surpluses | artificials] + rhs.
+        let n_slack = rows
+            .iter()
+            .filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge))
+            .count();
+        let n_art = rows
+            .iter()
+            .filter(|(_, r, _)| matches!(r, Relation::Ge | Relation::Eq))
+            .count();
+        let total = n + n_slack + n_art;
+        let mut tableau = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        // objective row in minimization orientation
+        let mut cost = vec![0.0; total];
+        for (j, &cj) in self.objective.iter().enumerate() {
+            cost[j] = if self.maximize { -cj } else { cj };
+        }
+        let big_m = {
+            // A Big-M safely dominating the data magnitudes.
+            let mut mx: f64 = 1.0;
+            for (co, _, rhs) in &rows {
+                for v in co {
+                    mx = mx.max(v.abs());
+                }
+                mx = mx.max(rhs.abs());
+            }
+            for v in &cost {
+                mx = mx.max(v.abs());
+            }
+            mx * 1e7
+        };
+        let mut slack_idx = n;
+        let mut art_idx = n + n_slack;
+        for (i, (coeffs, rel, rhs)) in rows.drain(..).enumerate() {
+            tableau[i][..n].copy_from_slice(&coeffs);
+            tableau[i][total] = rhs;
+            match rel {
+                Relation::Le => {
+                    tableau[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    tableau[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    tableau[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    cost[art_idx] = big_m;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    tableau[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    cost[art_idx] = big_m;
+                    art_idx += 1;
+                }
+            }
+        }
+        // Reduced-cost row: z_j - c_j with basis costs folded in.
+        let mut obj_row = vec![0.0; total + 1];
+        for j in 0..=total {
+            let mut z = 0.0;
+            for i in 0..m {
+                z += cost[basis[i]] * tableau[i][j];
+            }
+            obj_row[j] = z - if j < total { cost[j] } else { 0.0 };
+        }
+        // Simplex iterations (Bland's rule).
+        let max_iters = 50_000;
+        for _ in 0..max_iters {
+            // entering column: smallest index with positive reduced cost
+            let Some(pivot_col) = (0..total).find(|&j| obj_row[j] > 1e-9) else {
+                break; // optimal
+            };
+            // ratio test
+            let mut pivot_row = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                if tableau[i][pivot_col] > 1e-12 {
+                    let ratio = tableau[i][total] / tableau[i][pivot_col];
+                    if ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && pivot_row.is_some_and(|r: usize| basis[i] < basis[r]))
+                    {
+                        best_ratio = ratio;
+                        pivot_row = Some(i);
+                    }
+                }
+            }
+            let Some(pr) = pivot_row else {
+                return Err(SimplexError::Unbounded);
+            };
+            // pivot
+            let pv = tableau[pr][pivot_col];
+            for v in tableau[pr].iter_mut() {
+                *v /= pv;
+            }
+            for i in 0..m {
+                if i != pr {
+                    let f = tableau[i][pivot_col];
+                    if f != 0.0 {
+                        for j in 0..=total {
+                            tableau[i][j] -= f * tableau[pr][j];
+                        }
+                    }
+                }
+            }
+            let f = obj_row[pivot_col];
+            if f != 0.0 {
+                for j in 0..=total {
+                    obj_row[j] -= f * tableau[pr][j];
+                }
+            }
+            basis[pr] = pivot_col;
+        }
+        // Artificials still basic at positive level => infeasible.
+        for i in 0..m {
+            if basis[i] >= n + n_slack && tableau[i][total] > 1e-6 {
+                return Err(SimplexError::Infeasible);
+            }
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..m {
+            if basis[i] < n {
+                x[basis[i]] = tableau[i][total];
+            }
+        }
+        let mut obj: f64 = self
+            .objective
+            .iter()
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum();
+        if obj == 0.0 {
+            obj = 0.0; // normalize -0.0
+        }
+        Ok(Solution { x, objective: obj })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximize_toy() {
+        // max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36
+        let lp = LinearProgram::maximize(vec![3.0, 5.0])
+            .constraint(Constraint::new(vec![1.0, 0.0], Relation::Le, 4.0))
+            .constraint(Constraint::new(vec![0.0, 2.0], Relation::Le, 12.0))
+            .constraint(Constraint::new(vec![3.0, 2.0], Relation::Le, 18.0));
+        let s = lp.solve().unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-8);
+        assert!((s.x[0] - 2.0).abs() < 1e-8);
+        assert!((s.x[1] - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn minimize_with_ge_and_eq() {
+        // min 2x + 3y, x + y = 10, x >= 4 -> x=10? No: cost favors x.
+        // With x+y=10, min 2x+3y = 2*10=20 at (10, 0), but x>=4 holds.
+        let lp = LinearProgram::minimize(vec![2.0, 3.0])
+            .constraint(Constraint::new(vec![1.0, 1.0], Relation::Eq, 10.0))
+            .constraint(Constraint::new(vec![1.0, 0.0], Relation::Ge, 4.0));
+        let s = lp.solve().unwrap();
+        assert!((s.objective - 20.0).abs() < 1e-6);
+        assert!((s.x[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = LinearProgram::minimize(vec![1.0])
+            .constraint(Constraint::new(vec![1.0], Relation::Le, 1.0))
+            .constraint(Constraint::new(vec![1.0], Relation::Ge, 2.0));
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LinearProgram::maximize(vec![1.0])
+            .constraint(Constraint::new(vec![-1.0], Relation::Le, 1.0));
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x >= 2 expressed as -x <= -2
+        let lp = LinearProgram::minimize(vec![1.0])
+            .constraint(Constraint::new(vec![-1.0], Relation::Le, -2.0));
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_system_exact() {
+        // x + y = 5, x - y = 1 -> (3, 2)
+        let lp = LinearProgram::minimize(vec![0.0, 0.0])
+            .constraint(Constraint::new(vec![1.0, 1.0], Relation::Eq, 5.0))
+            .constraint(Constraint::new(vec![1.0, -1.0], Relation::Eq, 1.0));
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] - 3.0).abs() < 1e-8);
+        assert!((s.x[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let lp = LinearProgram::minimize(vec![1.0, 2.0])
+            .constraint(Constraint::new(vec![1.0], Relation::Le, 1.0));
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::BadShape);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Degenerate vertices: Bland's rule must not cycle.
+        let lp = LinearProgram::maximize(vec![10.0, -57.0, -9.0, -24.0])
+            .constraint(Constraint::new(vec![0.5, -5.5, -2.5, 9.0], Relation::Le, 0.0))
+            .constraint(Constraint::new(vec![0.5, -1.5, -0.5, 1.0], Relation::Le, 0.0))
+            .constraint(Constraint::new(vec![1.0, 0.0, 0.0, 0.0], Relation::Le, 1.0));
+        let s = lp.solve().unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6);
+    }
+}

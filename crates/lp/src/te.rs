@@ -1,0 +1,255 @@
+//! The paper's Section III traffic-engineering models (Fig 2, Eqs 1–3).
+//!
+//! A demand `h` from `s` to `d` can split between the direct path
+//! (`x_sd`) and the path through the intermediate node (`x_sid`):
+//!
+//! * Eq. 1: `x_sd + x_sid = h`, `0 <= x <= c`;
+//! * Eq. 2: `min F = xi_sd * x_sd + xi_sid * x_sid` — solved as an LP;
+//! * Eq. 3: `min F = x_sd/(c - x_sd) + 2 x_sid/(c - x_sid)` — the M/M/1
+//!   delay objective (the factor 2 because the indirect path crosses two
+//!   links); convex on the open box, solved by golden-section search on
+//!   the single split degree of freedom;
+//! * min-max utilization: `min max_p (x_p / c_p)` over k paths — the ISP
+//!   objective the paper highlights, as an LP with an epigraph variable.
+
+use crate::simplex::{Constraint, LinearProgram, Relation, SimplexError};
+
+/// Result of a two-path split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPathSplit {
+    /// Flow on the direct path `s -> d`.
+    pub x_sd: f64,
+    /// Flow on the indirect path `s -> i -> d`.
+    pub x_sid: f64,
+    /// Objective value.
+    pub objective: f64,
+}
+
+/// Eq. 2: cost-minimal split of demand `h` between two capacity-`c` paths
+/// with unit costs `xi_sd` and `xi_sid`.
+pub fn min_cost_split(
+    h: f64,
+    c: f64,
+    xi_sd: f64,
+    xi_sid: f64,
+) -> Result<TwoPathSplit, SimplexError> {
+    let lp = LinearProgram::minimize(vec![xi_sd, xi_sid])
+        .constraint(Constraint::new(vec![1.0, 1.0], Relation::Eq, h))
+        .constraint(Constraint::new(vec![1.0, 0.0], Relation::Le, c))
+        .constraint(Constraint::new(vec![0.0, 1.0], Relation::Le, c));
+    let s = lp.solve()?;
+    Ok(TwoPathSplit {
+        x_sd: s.x[0],
+        x_sid: s.x[1],
+        objective: s.objective,
+    })
+}
+
+/// Eq. 3: the delay objective
+/// `F(x_sd) = x_sd/(c - x_sd) + 2 (h - x_sd)/(c - (h - x_sd))`.
+pub fn delay_objective(x_sd: f64, h: f64, c: f64) -> f64 {
+    let x_sid = h - x_sd;
+    let d1 = if x_sd < c { x_sd / (c - x_sd) } else { f64::INFINITY };
+    let d2 = if x_sid < c {
+        2.0 * x_sid / (c - x_sid)
+    } else {
+        f64::INFINITY
+    };
+    d1 + d2
+}
+
+/// Eq. 3: delay-minimal split via golden-section search (the objective is
+/// strictly convex in `x_sd` on the feasible interval).
+///
+/// Returns `None` when the demand cannot fit (`h >= 2c`, both links would
+/// saturate).
+pub fn min_delay_split(h: f64, c: f64) -> Option<TwoPathSplit> {
+    if h < 0.0 || c <= 0.0 || h >= 2.0 * c {
+        return None;
+    }
+    // Feasible x_sd: both x_sd < c and h - x_sd < c.
+    let lo = (h - c).max(0.0) + 1e-12;
+    let hi = h.min(c) - 1e-12;
+    if lo >= hi {
+        // Degenerate: all flow forced onto one path.
+        let x_sd = h.min(c * 0.999_999);
+        return Some(TwoPathSplit {
+            x_sd,
+            x_sid: h - x_sd,
+            objective: delay_objective(x_sd, h, c),
+        });
+    }
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c1 = b - phi * (b - a);
+    let mut c2 = a + phi * (b - a);
+    let mut f1 = delay_objective(c1, h, c);
+    let mut f2 = delay_objective(c2, h, c);
+    for _ in 0..200 {
+        if f1 < f2 {
+            b = c2;
+            c2 = c1;
+            f2 = f1;
+            c1 = b - phi * (b - a);
+            f1 = delay_objective(c1, h, c);
+        } else {
+            a = c1;
+            c1 = c2;
+            f1 = f2;
+            c2 = a + phi * (b - a);
+            f2 = delay_objective(c2, h, c);
+        }
+        if (b - a).abs() < 1e-12 {
+            break;
+        }
+    }
+    let x_sd = 0.5 * (a + b);
+    Some(TwoPathSplit {
+        x_sd,
+        x_sid: h - x_sd,
+        objective: delay_objective(x_sd, h, c),
+    })
+}
+
+/// Min-max utilization allocation over `k` paths with capacities
+/// `capacities`, splitting total demand `h`:
+///
+/// `min z  s.t.  sum x_p = h,  x_p <= c_p,  x_p / c_p <= z`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxAllocation {
+    /// Per-path flow.
+    pub flows: Vec<f64>,
+    /// The optimal maximum utilization.
+    pub max_utilization: f64,
+}
+
+/// Solves the min-max utilization LP.
+pub fn min_max_utilization(
+    h: f64,
+    capacities: &[f64],
+) -> Result<MinMaxAllocation, SimplexError> {
+    let k = capacities.len();
+    if k == 0 {
+        return Err(SimplexError::BadShape);
+    }
+    // Variables: x_1..x_k, z. Objective: minimize z.
+    let mut obj = vec![0.0; k + 1];
+    obj[k] = 1.0;
+    let mut lp = LinearProgram::minimize(obj);
+    // demand conservation
+    let mut demand_row = vec![1.0; k];
+    demand_row.push(0.0);
+    lp.add_constraint(Constraint::new(demand_row, Relation::Eq, h));
+    for (p, &cap) in capacities.iter().enumerate() {
+        // x_p <= cap
+        let mut cap_row = vec![0.0; k + 1];
+        cap_row[p] = 1.0;
+        lp.add_constraint(Constraint::new(cap_row, Relation::Le, cap));
+        // x_p - cap * z <= 0
+        let mut util_row = vec![0.0; k + 1];
+        util_row[p] = 1.0;
+        util_row[k] = -cap;
+        lp.add_constraint(Constraint::new(util_row, Relation::Le, 0.0));
+    }
+    let s = lp.solve()?;
+    Ok(MinMaxAllocation {
+        flows: s.x[..k].to_vec(),
+        max_utilization: s.x[k],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_cost_prefers_cheap_path() {
+        // Direct path cheaper: all demand goes direct while capacity lasts.
+        let s = min_cost_split(8.0, 10.0, 1.0, 3.0).unwrap();
+        assert!((s.x_sd - 8.0).abs() < 1e-8);
+        assert!(s.x_sid.abs() < 1e-8);
+        assert!((s.objective - 8.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn min_cost_overflows_to_expensive_path() {
+        // Demand above capacity must spill to the expensive path.
+        let s = min_cost_split(15.0, 10.0, 1.0, 3.0).unwrap();
+        assert!((s.x_sd - 10.0).abs() < 1e-6);
+        assert!((s.x_sid - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_cost_infeasible_when_demand_exceeds_both() {
+        assert!(min_cost_split(25.0, 10.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn delay_split_balances_away_from_double_hop() {
+        // With the 2x penalty on the indirect path, the optimum sends
+        // more (but not all) traffic on the direct path.
+        let s = min_delay_split(8.0, 10.0).unwrap();
+        assert!(s.x_sd > s.x_sid, "direct {} > indirect {}", s.x_sd, s.x_sid);
+        assert!(s.x_sd < 8.0, "but some traffic offloads: {}", s.x_sd);
+        // The optimum beats naive all-on-direct and 50/50 splits.
+        assert!(s.objective <= delay_objective(7.999, 8.0, 10.0));
+        assert!(s.objective <= delay_objective(4.0, 8.0, 10.0));
+    }
+
+    #[test]
+    fn delay_split_is_stationary_point() {
+        let s = min_delay_split(8.0, 10.0).unwrap();
+        let eps = 1e-5;
+        let f0 = delay_objective(s.x_sd, 8.0, 10.0);
+        assert!(delay_objective(s.x_sd + eps, 8.0, 10.0) >= f0 - 1e-9);
+        assert!(delay_objective(s.x_sd - eps, 8.0, 10.0) >= f0 - 1e-9);
+    }
+
+    #[test]
+    fn delay_split_rejects_oversized_demand() {
+        assert!(min_delay_split(20.0, 10.0).is_none());
+        assert!(min_delay_split(5.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn delay_split_low_demand_still_splits_correctly() {
+        // Tiny demand: delay ~ x/c + 2x'/c; optimum puts all on direct.
+        let s = min_delay_split(0.1, 10.0).unwrap();
+        assert!(s.x_sd > 0.099, "x_sd = {}", s.x_sd);
+    }
+
+    #[test]
+    fn min_max_equalizes_utilization() {
+        // Equal capacities: flows split evenly, utilization = h / (k c).
+        let a = min_max_utilization(30.0, &[20.0, 20.0, 20.0]).unwrap();
+        assert!((a.max_utilization - 0.5).abs() < 1e-6);
+        for f in &a.flows {
+            assert!((f - 10.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn min_max_respects_heterogeneous_capacities() {
+        // Paper Fig 12 capacities: 20, 10, 5 with h = 30.
+        let a = min_max_utilization(30.0, &[20.0, 10.0, 5.0]).unwrap();
+        // Optimal max utilization: 30/35.
+        assert!((a.max_utilization - 30.0 / 35.0).abs() < 1e-6);
+        // Flows proportional to capacity at the optimum.
+        assert!((a.flows[0] - 20.0 * 30.0 / 35.0).abs() < 1e-5);
+        assert!((a.flows[1] - 10.0 * 30.0 / 35.0).abs() < 1e-5);
+        assert!((a.flows[2] - 5.0 * 30.0 / 35.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn min_max_infeasible_demand() {
+        assert!(min_max_utilization(100.0, &[20.0, 10.0]).is_err());
+    }
+
+    #[test]
+    fn min_max_empty_paths_rejected() {
+        assert_eq!(
+            min_max_utilization(1.0, &[]).unwrap_err(),
+            SimplexError::BadShape
+        );
+    }
+}

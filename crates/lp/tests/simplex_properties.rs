@@ -1,0 +1,124 @@
+//! Property tests for the simplex solver and the TE models.
+
+use lp::te::{delay_objective, min_cost_split, min_delay_split, min_max_utilization};
+use lp::{Constraint, LinearProgram, Relation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solution_satisfies_all_constraints(
+        c in prop::collection::vec(-5.0f64..5.0, 2..5),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.1f64..5.0, 2..5), 1.0f64..50.0), 1..6
+        ),
+    ) {
+        // Constraints a.x <= b with positive coefficients and x >= 0 are
+        // always feasible (x = 0); maximization may be unbounded only if
+        // some c_j > 0 has no binding row, which positive coefficients
+        // prevent.
+        let n = c.len();
+        let mut lp = LinearProgram::maximize(c.clone());
+        let mut used = Vec::new();
+        for (coeffs, b) in rows {
+            let mut a = coeffs;
+            a.resize(n, 1.0);
+            used.push((a.clone(), b));
+            lp.add_constraint(Constraint::new(a, Relation::Le, b));
+        }
+        let sol = lp.solve().unwrap();
+        for (a, b) in used {
+            let lhs: f64 = a.iter().zip(&sol.x).map(|(ai, xi)| ai * xi).sum();
+            prop_assert!(lhs <= b + 1e-6, "violated: {lhs} > {b}");
+        }
+        for xi in &sol.x {
+            prop_assert!(*xi >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn optimum_dominates_random_feasible_points(
+        scale in 1.0f64..20.0,
+        probe in prop::collection::vec(0.0f64..1.0, 3),
+    ) {
+        // min x+y+z subject to x+y+z >= scale, x,y,z <= scale.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0])
+            .constraint(Constraint::new(vec![1.0, 1.0, 1.0], Relation::Ge, scale))
+            .constraint(Constraint::new(vec![1.0, 0.0, 0.0], Relation::Le, scale))
+            .constraint(Constraint::new(vec![0.0, 1.0, 0.0], Relation::Le, scale))
+            .constraint(Constraint::new(vec![0.0, 0.0, 1.0], Relation::Le, scale));
+        let sol = lp.solve().unwrap();
+        prop_assert!((sol.objective - scale).abs() < 1e-6);
+        // any feasible probe point (scaled to satisfy the >= constraint)
+        // has an objective at least as large
+        let sum: f64 = probe.iter().sum();
+        if sum > 0.0 {
+            let k = scale / sum;
+            let feasible: Vec<f64> = probe.iter().map(|p| (p * k).min(scale)).collect();
+            let fsum: f64 = feasible.iter().sum();
+            if fsum >= scale - 1e-9 {
+                prop_assert!(fsum >= sol.objective - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cost_split_conserves_demand(h in 0.1f64..19.9, xi1 in 0.1f64..5.0, xi2 in 0.1f64..5.0) {
+        let c = 10.0;
+        if h < 2.0 * c {
+            let s = min_cost_split(h, c, xi1, xi2).unwrap();
+            prop_assert!((s.x_sd + s.x_sid - h).abs() < 1e-6);
+            prop_assert!(s.x_sd <= c + 1e-9 && s.x_sid <= c + 1e-9);
+            prop_assert!(s.x_sd >= -1e-9 && s.x_sid >= -1e-9);
+            // cheaper path carries at least as much as the pricier one
+            // whenever both fit
+            if h <= c {
+                if xi1 < xi2 {
+                    prop_assert!(s.x_sd >= s.x_sid - 1e-6);
+                } else if xi2 < xi1 {
+                    prop_assert!(s.x_sid >= s.x_sd - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_delay_split_is_global_minimum(h in 0.5f64..15.0) {
+        let c = 10.0;
+        if let Some(s) = min_delay_split(h, c) {
+            prop_assert!((s.x_sd + s.x_sid - h).abs() < 1e-6);
+            // sample the feasible interval; nothing beats the optimum
+            let lo = (h - c).max(0.0);
+            let hi = h.min(c);
+            for k in 1..20 {
+                let x = lo + (hi - lo) * (k as f64) / 20.0;
+                prop_assert!(
+                    delay_objective(x, h, c) >= s.objective - 1e-6,
+                    "x={x} beats optimum"
+                );
+            }
+        } else {
+            prop_assert!(h >= 2.0 * c);
+        }
+    }
+
+    #[test]
+    fn minmax_utilization_is_balanced(
+        caps in prop::collection::vec(1.0f64..50.0, 1..6),
+        frac in 0.05f64..0.95,
+    ) {
+        let total: f64 = caps.iter().sum();
+        let h = total * frac;
+        let a = min_max_utilization(h, &caps).unwrap();
+        // conservation
+        let sum: f64 = a.flows.iter().sum();
+        prop_assert!((sum - h).abs() < 1e-5);
+        // optimal max utilization for divisible demand = h / total
+        prop_assert!((a.max_utilization - frac).abs() < 1e-5);
+        // no path exceeds the reported max utilization
+        for (f, c) in a.flows.iter().zip(&caps) {
+            prop_assert!(f / c <= a.max_utilization + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Max-min fair bandwidth allocation (progressive filling with demands).
+//!
+//! When several TCP flows share bottlenecks, their steady-state goodput is
+//! well approximated by the max-min fair allocation: every flow gets as
+//! much as possible subject to no link exceeding capacity, and no flow can
+//! gain without a poorer flow losing. The classic water-filling algorithm:
+//! repeatedly find the most constrained link, freeze its flows at the fair
+//! share, remove the used capacity, and continue. Demand-limited flows
+//! freeze at their demand as soon as the rising water level reaches it.
+
+use crate::topo::{LinkId, NodeIdx, Topology};
+use std::collections::HashMap;
+
+/// One flow's view for the allocator: its links and optional demand cap.
+#[derive(Debug, Clone)]
+pub struct AllocFlow {
+    /// Links the flow traverses (direction-collapsed; see note below).
+    pub links: Vec<(LinkId, Direction)>,
+    /// Demand cap in Mbps; `None` = greedy.
+    pub demand: Option<f64>,
+}
+
+/// Direction of traversal over an undirected link record (full-duplex
+/// links have independent capacity per direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From `link.a` to `link.b`.
+    Forward,
+    /// From `link.b` to `link.a`.
+    Reverse,
+}
+
+/// Derives the directed link sequence of a node path.
+pub fn directed_links(
+    topo: &Topology,
+    path: &[NodeIdx],
+) -> Result<Vec<(LinkId, Direction)>, crate::NetsimError> {
+    let mut out = Vec::with_capacity(path.len().saturating_sub(1));
+    for w in path.windows(2) {
+        let lid = topo.link_between(w[0], w[1])?;
+        let link = topo.link(lid);
+        let dir = if link.a == w[0] {
+            Direction::Forward
+        } else {
+            Direction::Reverse
+        };
+        out.push((lid, dir));
+    }
+    Ok(out)
+}
+
+/// Computes the max-min fair allocation. Returns one rate per flow, in
+/// input order. Flows crossing failed links get 0.
+pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    // Per directed-link remaining capacity and unfrozen flow lists.
+    let mut remaining: HashMap<(LinkId, Direction), f64> = HashMap::new();
+    let mut members: HashMap<(LinkId, Direction), Vec<usize>> = HashMap::new();
+    let mut frozen = vec![false; n];
+    for (i, f) in flows.iter().enumerate() {
+        let dead = f
+            .links
+            .iter()
+            .any(|(lid, _)| !topo.link(*lid).up);
+        if dead || f.links.is_empty() {
+            frozen[i] = true; // rate stays 0 (or demand handled below for empty)
+            if f.links.is_empty() {
+                rates[i] = f.demand.unwrap_or(0.0);
+            }
+            continue;
+        }
+        for &(lid, dir) in &f.links {
+            remaining
+                .entry((lid, dir))
+                .or_insert_with(|| topo.link(lid).capacity_mbps);
+            members.entry((lid, dir)).or_default().push(i);
+        }
+    }
+    // Water level rises; at each step the binding constraint is either a
+    // link's fair share or some flow's demand.
+    for _round in 0..n + remaining.len() + 1 {
+        if frozen.iter().all(|f| *f) {
+            break;
+        }
+        // Fair share offered by each still-shared link.
+        let mut min_share = f64::INFINITY;
+        let mut min_key: Option<(LinkId, Direction)> = None;
+        for (key, cap) in &remaining {
+            let count = members[key].iter().filter(|&&i| !frozen[i]).count();
+            if count == 0 {
+                continue;
+            }
+            let share = *cap / count as f64;
+            if share < min_share {
+                min_share = share;
+                min_key = Some(*key);
+            }
+        }
+        let Some(bottleneck) = min_key else { break };
+        // Any unfrozen demand below the water level freezes at demand
+        // first (its leftover capacity raises everyone else).
+        let demand_limited: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !frozen[i]
+                    && flows[i]
+                        .demand
+                        .is_some_and(|d| d <= min_share + 1e-12)
+            })
+            .collect();
+        let to_freeze: Vec<(usize, f64)> = if demand_limited.is_empty() {
+            members[&bottleneck]
+                .iter()
+                .filter(|&&i| !frozen[i])
+                .map(|&i| (i, min_share))
+                .collect()
+        } else {
+            demand_limited
+                .into_iter()
+                .map(|i| (i, flows[i].demand.expect("checked demand-limited")))
+                .collect()
+        };
+        for (i, rate) in to_freeze {
+            frozen[i] = true;
+            rates[i] = rate;
+            for &(lid, dir) in &flows[i].links {
+                if let Some(cap) = remaining.get_mut(&(lid, dir)) {
+                    *cap = (*cap - rate).max(0.0);
+                }
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{global_p4_lab, NodeKind};
+
+    fn flow_on(topo: &Topology, names: &[&str], demand: Option<f64>) -> AllocFlow {
+        let path = topo.path_by_names(names).unwrap();
+        AllocFlow {
+            links: directed_links(topo, &path).unwrap(),
+            demand,
+        }
+    }
+
+    #[test]
+    fn single_flow_takes_bottleneck() {
+        let t = global_p4_lab();
+        let f = flow_on(&t, &["host1", "MIA", "SAO", "AMS", "host2"], None);
+        let rates = max_min_allocation(&t, &[f]);
+        assert!((rates[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_greedy_flows_share_tunnel1_equally() {
+        // Experiment 2, phase 1: all flows on MIA-SAO-AMS (20 Mbps).
+        let t = global_p4_lab();
+        let flows: Vec<AllocFlow> = (0..3)
+            .map(|_| flow_on(&t, &["host1", "MIA", "SAO", "AMS", "host2"], None))
+            .collect();
+        let rates = max_min_allocation(&t, &flows);
+        for r in &rates {
+            assert!((r - 20.0 / 3.0).abs() < 1e-9, "rates {rates:?}");
+        }
+    }
+
+    #[test]
+    fn split_flows_use_their_own_bottlenecks() {
+        // Experiment 2, phase 2: tunnels 1 (20), 2 (10), 3 (5).
+        let t = global_p4_lab();
+        let flows = vec![
+            flow_on(&t, &["host1", "MIA", "SAO", "AMS", "host2"], None),
+            flow_on(&t, &["host1", "MIA", "CHI", "AMS", "host2"], None),
+            flow_on(&t, &["host1", "MIA", "CAL", "CHI", "AMS", "host2"], None),
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        assert!((rates[0] - 20.0).abs() < 1e-9);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+        assert!((rates[2] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_limited_flow_leaves_capacity_to_others() {
+        let t = global_p4_lab();
+        let flows = vec![
+            flow_on(&t, &["MIA", "SAO", "AMS"], Some(4.0)),
+            flow_on(&t, &["MIA", "SAO", "AMS"], None),
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        assert!((rates[0] - 4.0).abs() < 1e-9);
+        assert!((rates[1] - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_link_oversubscribed() {
+        let t = global_p4_lab();
+        let flows = vec![
+            flow_on(&t, &["host1", "MIA", "SAO", "AMS", "host2"], None),
+            flow_on(&t, &["host1", "MIA", "SAO", "AMS", "host2"], Some(3.0)),
+            flow_on(&t, &["host1", "MIA", "CHI", "AMS", "host2"], None),
+            flow_on(&t, &["host1", "MIA", "CAL", "CHI", "AMS", "host2"], None),
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        // Recompute per-directed-link usage and compare with capacity.
+        let mut usage: HashMap<(LinkId, Direction), f64> = HashMap::new();
+        for (f, r) in flows.iter().zip(&rates) {
+            for &(lid, dir) in &f.links {
+                *usage.entry((lid, dir)).or_insert(0.0) += r;
+            }
+        }
+        for ((lid, _), used) in usage {
+            assert!(
+                used <= t.link(lid).capacity_mbps + 1e-9,
+                "link {lid:?} over capacity: {used}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_link_zeroes_flows() {
+        let mut t = global_p4_lab();
+        let mia = t.node("MIA").unwrap();
+        let sao = t.node("SAO").unwrap();
+        let f = flow_on(&t, &["MIA", "SAO", "AMS"], None);
+        let lid = t.link_between(mia, sao).unwrap();
+        t.link_mut(lid).up = false;
+        let rates = max_min_allocation(&t, &[f]);
+        assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        // Full-duplex: a->b and b->a flows each get full capacity.
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Host);
+        t.add_link(a, b, 10.0, 1.0);
+        let fwd = AllocFlow {
+            links: directed_links(&t, &[a, b]).unwrap(),
+            demand: None,
+        };
+        let rev = AllocFlow {
+            links: directed_links(&t, &[b, a]).unwrap(),
+            demand: None,
+        };
+        let rates = max_min_allocation(&t, &[fwd, rev]);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let t = global_p4_lab();
+        assert!(max_min_allocation(&t, &[]).is_empty());
+    }
+
+    #[test]
+    fn classic_three_flow_two_link_example() {
+        // Chain a-b-c, both links 10: long flow a-c competes on both,
+        // short flows a-b and b-c. Max-min: all get 5.
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Core);
+        let b = t.add_node("b", NodeKind::Core);
+        let c = t.add_node("c", NodeKind::Core);
+        t.add_link(a, b, 10.0, 1.0);
+        t.add_link(b, c, 10.0, 1.0);
+        let flows = vec![
+            AllocFlow { links: directed_links(&t, &[a, b, c]).unwrap(), demand: None },
+            AllocFlow { links: directed_links(&t, &[a, b]).unwrap(), demand: None },
+            AllocFlow { links: directed_links(&t, &[b, c]).unwrap(), demand: None },
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        for r in &rates {
+            assert!((r - 5.0).abs() < 1e-9, "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_chain_gives_maxmin_not_equal_split() {
+        // a-b at 10, b-c at 4: the long flow a-c freezes at the b-c
+        // bottleneck (4), after which the short a-b flow takes the
+        // leftover 6 — the defining max-min property.
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Core);
+        let b = t.add_node("b", NodeKind::Core);
+        let c = t.add_node("c", NodeKind::Core);
+        t.add_link(a, b, 10.0, 1.0);
+        t.add_link(b, c, 4.0, 1.0);
+        let flows = vec![
+            AllocFlow { links: directed_links(&t, &[a, b, c]).unwrap(), demand: None },
+            AllocFlow { links: directed_links(&t, &[a, b]).unwrap(), demand: None },
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        assert!((rates[0] - 4.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 6.0).abs() < 1e-9, "{rates:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Flows: demands, paths, and TCP-like rate state.
+
+use crate::topo::NodeIdx;
+
+/// Unique flow identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A flow request, as the Scheduler hands to the Controller.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Ingress node (host or edge).
+    pub src: NodeIdx,
+    /// Egress node.
+    pub dst: NodeIdx,
+    /// Offered load in Mbps; `None` = greedy TCP (take whatever the
+    /// network gives, like an iperf3 run).
+    pub demand_mbps: Option<f64>,
+    /// DiffServ/ToS marking — the paper differentiates its three
+    /// Experiment-2 flows by ToS.
+    pub tos: u8,
+    /// Human-readable label for telemetry and dashboards.
+    pub label: String,
+}
+
+/// A live flow inside the simulator.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Identifier.
+    pub id: FlowId,
+    /// Specification.
+    pub spec: FlowSpec,
+    /// Node path currently assigned (edge-to-edge, hosts included).
+    pub path: Vec<NodeIdx>,
+    /// Instantaneous goodput (Mbps) after TCP convergence dynamics.
+    pub rate_mbps: f64,
+    /// The max-min fair allocation the flow is converging toward.
+    pub fair_share_mbps: f64,
+}
+
+impl Flow {
+    /// Creates a flow at rate 0 (slow start).
+    pub fn new(id: FlowId, spec: FlowSpec, path: Vec<NodeIdx>) -> Self {
+        Flow {
+            id,
+            spec,
+            path,
+            rate_mbps: 0.0,
+            fair_share_mbps: 0.0,
+        }
+    }
+
+    /// First-order convergence toward the fair share: a fluid stand-in
+    /// for TCP's ramp (slow start + congestion avoidance). `tau` is the
+    /// convergence time constant in seconds.
+    pub fn step_rate(&mut self, dt_s: f64, tau_s: f64) {
+        let alpha = 1.0 - (-dt_s / tau_s).exp();
+        self.rate_mbps += (self.fair_share_mbps - self.rate_mbps) * alpha;
+        if self.rate_mbps < 0.0 {
+            self.rate_mbps = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FlowSpec {
+        FlowSpec {
+            src: NodeIdx(0),
+            dst: NodeIdx(1),
+            demand_mbps: None,
+            tos: 0,
+            label: "test".into(),
+        }
+    }
+
+    #[test]
+    fn rate_converges_to_fair_share() {
+        let mut f = Flow::new(FlowId(1), spec(), vec![NodeIdx(0), NodeIdx(1)]);
+        f.fair_share_mbps = 10.0;
+        for _ in 0..100 {
+            f.step_rate(0.1, 1.0);
+        }
+        assert!((f.rate_mbps - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rate_tracks_reduced_share_downward() {
+        let mut f = Flow::new(FlowId(1), spec(), vec![NodeIdx(0), NodeIdx(1)]);
+        f.fair_share_mbps = 10.0;
+        for _ in 0..100 {
+            f.step_rate(0.1, 1.0);
+        }
+        f.fair_share_mbps = 2.0;
+        for _ in 0..100 {
+            f.step_rate(0.1, 1.0);
+        }
+        assert!((f.rate_mbps - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn convergence_speed_scales_with_tau() {
+        let mut fast = Flow::new(FlowId(1), spec(), vec![]);
+        let mut slow = Flow::new(FlowId(2), spec(), vec![]);
+        fast.fair_share_mbps = 10.0;
+        slow.fair_share_mbps = 10.0;
+        fast.step_rate(1.0, 0.5);
+        slow.step_rate(1.0, 5.0);
+        assert!(fast.rate_mbps > slow.rate_mbps);
+    }
+
+    #[test]
+    fn rate_never_negative() {
+        let mut f = Flow::new(FlowId(1), spec(), vec![]);
+        f.rate_mbps = 1.0;
+        f.fair_share_mbps = 0.0;
+        for _ in 0..200 {
+            f.step_rate(0.5, 1.0);
+        }
+        assert!(f.rate_mbps >= 0.0);
+    }
+}

@@ -1,0 +1,573 @@
+//! The discrete-event simulation engine: events, TCP dynamics, probes,
+//! and telemetry recording.
+
+use crate::fairness::{directed_links, max_min_allocation, AllocFlow, Direction};
+use crate::flow::{Flow, FlowId, FlowSpec};
+use crate::topo::{LinkId, NodeIdx, Topology};
+use crate::NetsimError;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation time in integer milliseconds (deterministic ordering).
+pub type SimTimeMs = u64;
+
+/// Scheduled events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Start a flow on an explicit node path.
+    StartFlow {
+        /// The flow description.
+        spec: FlowSpec,
+        /// Explicit path (hosts/edges included).
+        path: Vec<NodeIdx>,
+        /// Id to assign (caller-chosen so tests/controllers can refer to it).
+        id: FlowId,
+    },
+    /// Stop (and remove) a flow.
+    StopFlow(FlowId),
+    /// Atomically reroute a flow onto a new path — the PolKA path
+    /// migration: one PBR rewrite at the ingress edge.
+    SetFlowPath(FlowId, Vec<NodeIdx>),
+    /// Change a link's capacity (trace-driven modulation).
+    SetLinkCapacity(LinkId, f64),
+    /// Fail or restore a link.
+    SetLinkUp(LinkId, bool),
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTimeMs,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed for a min-heap
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One telemetry sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRecord {
+    /// Sample time (ms).
+    pub at_ms: SimTimeMs,
+    /// Series key, e.g. `flow:f1:rate` or `link:MIA-SAO:util`.
+    pub key: String,
+    /// Value (Mbps, ratio, or ms depending on the series).
+    pub value: f64,
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct Simulation {
+    /// The network graph (public: controllers read topology state).
+    pub topo: Topology,
+    flows: HashMap<FlowId, Flow>,
+    flow_order: Vec<FlowId>,
+    events: BinaryHeap<Scheduled>,
+    seq: u64,
+    now_ms: SimTimeMs,
+    /// TCP convergence time constant (seconds).
+    pub tcp_tau_s: f64,
+    /// Protocol efficiency: goodput = efficiency * fair share. Calibrated
+    /// so three saturated tunnels (20+10+5 Mbps raw) yield the ≈30 Mbps
+    /// aggregate the paper measures in Fig 12.
+    pub efficiency: f64,
+    /// Queueing delay scale (ms of queue at 50% utilization).
+    pub queue_ms_at_half_util: f64,
+    rng: StdRng,
+    telemetry: Vec<TelemetryRecord>,
+    dirty: bool,
+}
+
+impl Simulation {
+    /// A simulation over a topology with default TCP/queue parameters.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        Simulation {
+            topo,
+            flows: HashMap::new(),
+            flow_order: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now_ms: 0,
+            tcp_tau_s: 1.2,
+            efficiency: 0.86,
+            queue_ms_at_half_util: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+            telemetry: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    /// Current simulation time (ms).
+    pub fn now_ms(&self) -> SimTimeMs {
+        self.now_ms
+    }
+
+    /// Schedules an event at an absolute time.
+    pub fn schedule(&mut self, at_ms: SimTimeMs, event: Event) {
+        let at = at_ms.max(self.now_ms);
+        self.seq += 1;
+        self.events.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Runs the simulation until `until_ms`, stepping flow dynamics every
+    /// `dt_ms` and sampling telemetry every `sample_ms`.
+    pub fn run_until(&mut self, until_ms: SimTimeMs, dt_ms: u64, sample_ms: u64) {
+        assert!(dt_ms > 0 && sample_ms > 0, "time steps must be positive");
+        let mut next_sample = if self.now_ms == 0 {
+            0
+        } else {
+            self.now_ms.div_ceil(sample_ms) * sample_ms
+        };
+        while self.now_ms < until_ms {
+            // apply all events due at or before now
+            while let Some(top) = self.events.peek() {
+                if top.at > self.now_ms {
+                    break;
+                }
+                let ev = self.events.pop().expect("peeked").event;
+                self.apply(ev);
+            }
+            if self.dirty {
+                self.recompute_fair_shares();
+                self.dirty = false;
+            }
+            // telemetry sampling before dynamics, at exact sample points
+            if self.now_ms >= next_sample {
+                self.sample_telemetry();
+                next_sample += sample_ms;
+            }
+            // advance dynamics
+            let dt_s = dt_ms as f64 / 1000.0;
+            for id in &self.flow_order {
+                if let Some(f) = self.flows.get_mut(id) {
+                    f.step_rate(dt_s, self.tcp_tau_s);
+                }
+            }
+            self.now_ms += dt_ms;
+        }
+    }
+
+    fn apply(&mut self, event: Event) {
+        match event {
+            Event::StartFlow { spec, path, id } => {
+                let flow = Flow::new(id, spec, path);
+                if self.flows.insert(id, flow).is_none() {
+                    self.flow_order.push(id);
+                }
+                self.dirty = true;
+            }
+            Event::StopFlow(id) => {
+                self.flows.remove(&id);
+                self.flow_order.retain(|f| *f != id);
+                self.dirty = true;
+            }
+            Event::SetFlowPath(id, path) => {
+                if let Some(f) = self.flows.get_mut(&id) {
+                    f.path = path;
+                    self.dirty = true;
+                }
+            }
+            Event::SetLinkCapacity(lid, cap) => {
+                self.topo.link_mut(lid).capacity_mbps = cap;
+                self.dirty = true;
+            }
+            Event::SetLinkUp(lid, up) => {
+                self.topo.link_mut(lid).up = up;
+                self.dirty = true;
+            }
+        }
+    }
+
+    fn recompute_fair_shares(&mut self) {
+        let alloc_flows: Vec<AllocFlow> = self
+            .flow_order
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                AllocFlow {
+                    links: directed_links(&self.topo, &f.path).unwrap_or_default(),
+                    demand: f.spec.demand_mbps,
+                }
+            })
+            .collect();
+        let rates = max_min_allocation(&self.topo, &alloc_flows);
+        for (id, rate) in self.flow_order.iter().zip(rates) {
+            if let Some(f) = self.flows.get_mut(id) {
+                f.fair_share_mbps = rate * self.efficiency;
+            }
+        }
+    }
+
+    /// Per-directed-link utilization implied by current flow rates.
+    fn link_utilization(&self) -> HashMap<(LinkId, Direction), f64> {
+        let mut used: HashMap<(LinkId, Direction), f64> = HashMap::new();
+        for f in self.flows.values() {
+            if let Ok(links) = directed_links(&self.topo, &f.path) {
+                for (lid, dir) in links {
+                    *used.entry((lid, dir)).or_insert(0.0) += f.rate_mbps;
+                }
+            }
+        }
+        used.into_iter()
+            .map(|((lid, dir), mbps)| {
+                let cap = self.topo.link(lid).capacity_mbps.max(1e-9);
+                ((lid, dir), (mbps / cap).min(1.0))
+            })
+            .collect()
+    }
+
+    fn sample_telemetry(&mut self) {
+        let at = self.now_ms;
+        let utils = self.link_utilization();
+        let mut records = Vec::new();
+        for f in self.flow_order.iter().filter_map(|id| self.flows.get(id)) {
+            records.push(TelemetryRecord {
+                at_ms: at,
+                key: format!("flow:{}:rate", f.spec.label),
+                value: f.rate_mbps,
+            });
+        }
+        for ((lid, dir), u) in utils {
+            let link = self.topo.link(lid);
+            let (from, to) = match dir {
+                Direction::Forward => (link.a, link.b),
+                Direction::Reverse => (link.b, link.a),
+            };
+            records.push(TelemetryRecord {
+                at_ms: at,
+                key: format!(
+                    "link:{}-{}:util",
+                    self.topo.node_name(from),
+                    self.topo.node_name(to)
+                ),
+                value: u,
+            });
+        }
+        self.telemetry.extend(records);
+    }
+
+    /// Drives a link's capacity from a bandwidth trace: sample `i` of
+    /// `values` becomes the link's capacity at
+    /// `start_ms + i * interval_ms`. This is how the UQ wireless traces
+    /// are attached to the emulated access links in the trace-driven
+    /// steering extension.
+    pub fn schedule_capacity_trace(
+        &mut self,
+        link: LinkId,
+        start_ms: SimTimeMs,
+        interval_ms: u64,
+        values: &[f64],
+    ) {
+        for (i, &v) in values.iter().enumerate() {
+            self.schedule(
+                start_ms + i as u64 * interval_ms,
+                Event::SetLinkCapacity(link, v.max(0.0)),
+            );
+        }
+    }
+
+    /// All telemetry so far.
+    pub fn telemetry(&self) -> &[TelemetryRecord] {
+        &self.telemetry
+    }
+
+    /// Extracts one telemetry series as `(t_ms, value)` pairs.
+    pub fn series(&self, key: &str) -> Vec<(SimTimeMs, f64)> {
+        self.telemetry
+            .iter()
+            .filter(|r| r.key == key)
+            .map(|r| (r.at_ms, r.value))
+            .collect()
+    }
+
+    /// A live flow's current goodput.
+    pub fn flow_rate(&self, id: FlowId) -> Result<f64, NetsimError> {
+        self.flows
+            .get(&id)
+            .map(|f| f.rate_mbps)
+            .ok_or(NetsimError::UnknownFlow(id.0))
+    }
+
+    /// A live flow's current path.
+    pub fn flow_path(&self, id: FlowId) -> Result<&[NodeIdx], NetsimError> {
+        self.flows
+            .get(&id)
+            .map(|f| f.path.as_slice())
+            .ok_or(NetsimError::UnknownFlow(id.0))
+    }
+
+    /// ICMP-style round-trip time measurement along a path **right now**:
+    /// propagation both ways plus utilization-dependent queueing and a
+    /// small seeded jitter. Stands in for the paper's `ping` runs.
+    pub fn ping(&mut self, path: &[NodeIdx]) -> Result<f64, NetsimError> {
+        let links = self.topo.path_links(path)?;
+        let utils = self.link_utilization();
+        let mut rtt = 0.0;
+        for lid in links {
+            let link = self.topo.link(lid);
+            if !link.up {
+                return Err(NetsimError::BadPath(format!(
+                    "link {:?} is down",
+                    lid
+                )));
+            }
+            // both directions' propagation
+            rtt += 2.0 * link.delay_ms;
+            // queueing per direction: M/M/1-style growth u/(1-u),
+            // normalized so u=0.5 costs `queue_ms_at_half_util`.
+            for dir in [Direction::Forward, Direction::Reverse] {
+                let u = utils.get(&(lid, dir)).copied().unwrap_or(0.0).min(0.99);
+                rtt += self.queue_ms_at_half_util * (u / (1.0 - u));
+            }
+        }
+        // measurement jitter: +/- 3%
+        let jitter: f64 = self.rng.gen_range(-0.03..0.03);
+        Ok(rtt * (1.0 + jitter))
+    }
+
+    /// Available bandwidth estimate for a path: bottleneck residual
+    /// capacity given current flow rates (what the telemetry service
+    /// feeds Hecate).
+    pub fn path_available_mbps(&self, path: &[NodeIdx]) -> Result<f64, NetsimError> {
+        let links = directed_links(&self.topo, path)?;
+        let utils = self.link_utilization();
+        let mut avail = f64::INFINITY;
+        for (lid, dir) in links {
+            let cap = self.topo.link(lid).capacity_mbps;
+            let u = utils.get(&(lid, dir)).copied().unwrap_or(0.0);
+            avail = avail.min(cap * (1.0 - u));
+        }
+        Ok(avail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::global_p4_lab;
+
+    fn tunnel1(t: &Topology) -> Vec<NodeIdx> {
+        t.path_by_names(&["host1", "MIA", "SAO", "AMS", "host2"]).unwrap()
+    }
+    fn tunnel2(t: &Topology) -> Vec<NodeIdx> {
+        t.path_by_names(&["host1", "MIA", "CHI", "AMS", "host2"]).unwrap()
+    }
+
+    fn greedy_spec(t: &Topology, label: &str, tos: u8) -> FlowSpec {
+        FlowSpec {
+            src: t.node("host1").unwrap(),
+            dst: t.node("host2").unwrap(),
+            demand_mbps: None,
+            tos,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn single_flow_ramps_to_bottleneck() {
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let spec = greedy_spec(&topo, "f1", 0);
+        let mut sim = Simulation::new(topo, 1);
+        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.run_until(20_000, 100, 1000);
+        let r = sim.flow_rate(FlowId(1)).unwrap();
+        // 20 Mbps bottleneck * 0.86 efficiency
+        assert!((r - 20.0 * 0.86).abs() < 0.2, "rate {r}");
+    }
+
+    #[test]
+    fn rate_ramps_gradually_not_instantly() {
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let spec = greedy_spec(&topo, "f1", 0);
+        let mut sim = Simulation::new(topo, 1);
+        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.run_until(500, 100, 100);
+        let early = sim.flow_rate(FlowId(1)).unwrap();
+        sim.run_until(10_000, 100, 1000);
+        let late = sim.flow_rate(FlowId(1)).unwrap();
+        assert!(early < late * 0.5, "early {early} should be well below {late}");
+    }
+
+    #[test]
+    fn migration_changes_rate_cap() {
+        // Start on tunnel 2 (10 Mbps), migrate to tunnel 1 (20 Mbps).
+        let topo = global_p4_lab();
+        let p2 = tunnel2(&topo);
+        let p1 = tunnel1(&topo);
+        let spec = greedy_spec(&topo, "f1", 0);
+        let mut sim = Simulation::new(topo, 1);
+        sim.schedule(0, Event::StartFlow { spec, path: p2, id: FlowId(1) });
+        sim.schedule(30_000, Event::SetFlowPath(FlowId(1), p1));
+        sim.run_until(29_000, 100, 1000);
+        let before = sim.flow_rate(FlowId(1)).unwrap();
+        sim.run_until(60_000, 100, 1000);
+        let after = sim.flow_rate(FlowId(1)).unwrap();
+        assert!((before - 10.0 * 0.86).abs() < 0.2, "before {before}");
+        assert!((after - 20.0 * 0.86).abs() < 0.2, "after {after}");
+    }
+
+    #[test]
+    fn stop_flow_releases_capacity() {
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let mut sim = Simulation::new(topo, 1);
+        let s1 = greedy_spec(&sim.topo, "f1", 0);
+        let s2 = greedy_spec(&sim.topo, "f2", 4);
+        sim.schedule(0, Event::StartFlow { spec: s1, path: path.clone(), id: FlowId(1) });
+        sim.schedule(0, Event::StartFlow { spec: s2, path, id: FlowId(2) });
+        sim.run_until(20_000, 100, 1000);
+        let shared = sim.flow_rate(FlowId(1)).unwrap();
+        assert!((shared - 10.0 * 0.86).abs() < 0.3, "shared {shared}");
+        sim.schedule(20_000, Event::StopFlow(FlowId(2)));
+        sim.run_until(45_000, 100, 1000);
+        let alone = sim.flow_rate(FlowId(1)).unwrap();
+        assert!((alone - 20.0 * 0.86).abs() < 0.3, "alone {alone}");
+    }
+
+    #[test]
+    fn ping_reflects_path_delay_and_load() {
+        let topo = global_p4_lab();
+        let p1 = topo.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
+        let p2 = topo.path_by_names(&["MIA", "CHI", "AMS"]).unwrap();
+        let mut sim = Simulation::new(topo, 7);
+        let rtt1 = sim.ping(&p1).unwrap();
+        let rtt2 = sim.ping(&p2).unwrap();
+        // idle RTTs ~ 2*(20+9)=58 and 2*(3+5)=16, +-3% jitter
+        assert!((rtt1 - 58.0).abs() < 3.0, "rtt1 {rtt1}");
+        assert!((rtt2 - 16.0).abs() < 1.0, "rtt2 {rtt2}");
+    }
+
+    #[test]
+    fn ping_grows_under_load() {
+        let topo = global_p4_lab();
+        let probe_path = topo.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
+        let flow_path = tunnel1(&topo);
+        let mut sim = Simulation::new(topo, 7);
+        let idle: f64 = (0..20).map(|_| sim.ping(&probe_path).unwrap()).sum::<f64>() / 20.0;
+        let spec = greedy_spec(&sim.topo, "f1", 0);
+        sim.schedule(0, Event::StartFlow { spec, path: flow_path, id: FlowId(1) });
+        sim.run_until(20_000, 100, 1000);
+        let loaded: f64 = (0..20).map(|_| sim.ping(&probe_path).unwrap()).sum::<f64>() / 20.0;
+        assert!(loaded > idle + 2.0, "idle {idle} vs loaded {loaded}");
+    }
+
+    #[test]
+    fn link_failure_stalls_flow_and_fails_ping() {
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let mia = topo.node("MIA").unwrap();
+        let sao = topo.node("SAO").unwrap();
+        let lid = topo.link_between(mia, sao).unwrap();
+        let mut sim = Simulation::new(topo, 1);
+        let spec = greedy_spec(&sim.topo, "f1", 0);
+        sim.schedule(0, Event::StartFlow { spec, path: path.clone(), id: FlowId(1) });
+        sim.run_until(10_000, 100, 1000);
+        sim.schedule(10_000, Event::SetLinkUp(lid, false));
+        sim.run_until(30_000, 100, 1000);
+        let r = sim.flow_rate(FlowId(1)).unwrap();
+        assert!(r < 0.1, "flow should stall, rate {r}");
+        assert!(sim.ping(&path).is_err());
+    }
+
+    #[test]
+    fn telemetry_sampling_cadence() {
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let mut sim = Simulation::new(topo, 1);
+        let spec = greedy_spec(&sim.topo, "f1", 0);
+        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.run_until(10_000, 100, 1000);
+        let series = sim.series("flow:f1:rate");
+        assert_eq!(series.len(), 10, "one sample per second");
+        assert!(series.windows(2).all(|w| w[1].0 - w[0].0 == 1000));
+        // the ramp is visible in telemetry
+        assert!(series.first().unwrap().1 < series.last().unwrap().1);
+    }
+
+    #[test]
+    fn available_bandwidth_shrinks_under_load() {
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let inner = topo.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
+        let mut sim = Simulation::new(topo, 1);
+        let before = sim.path_available_mbps(&inner).unwrap();
+        let spec = greedy_spec(&sim.topo, "f1", 0);
+        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.run_until(20_000, 100, 1000);
+        let after = sim.path_available_mbps(&inner).unwrap();
+        assert_eq!(before, 20.0);
+        assert!(after < 5.0, "loaded available {after}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let topo = global_p4_lab();
+            let path = tunnel1(&topo);
+            let mut sim = Simulation::new(topo, seed);
+            let spec = greedy_spec(&sim.topo, "f1", 0);
+            sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+            sim.run_until(5_000, 100, 1000);
+            let p = sim.topo.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
+            (sim.flow_rate(FlowId(1)).unwrap(), sim.ping(&p).unwrap())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1); // jitter differs across seeds
+    }
+
+    #[test]
+    fn unknown_flow_is_error() {
+        let sim = Simulation::new(global_p4_lab(), 1);
+        assert!(sim.flow_rate(FlowId(99)).is_err());
+    }
+
+    #[test]
+    fn capacity_trace_modulates_flow_rate() {
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let mia = topo.node("MIA").unwrap();
+        let sao = topo.node("SAO").unwrap();
+        let lid = topo.link_between(mia, sao).unwrap();
+        let mut sim = Simulation::new(topo, 1);
+        // capacity drops to 4 Mbps between t=10s and t=20s, then recovers
+        let trace = [20.0, 4.0, 20.0];
+        sim.schedule_capacity_trace(lid, 0, 10_000, &trace);
+        let spec = greedy_spec(&sim.topo, "f1", 0);
+        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.run_until(9_000, 100, 1000);
+        let high = sim.flow_rate(FlowId(1)).unwrap();
+        sim.run_until(19_000, 100, 1000);
+        let low = sim.flow_rate(FlowId(1)).unwrap();
+        sim.run_until(35_000, 100, 1000);
+        let recovered = sim.flow_rate(FlowId(1)).unwrap();
+        assert!(high > 15.0, "high {high}");
+        assert!(low < 5.0, "low {low}");
+        assert!(recovered > 15.0, "recovered {recovered}");
+    }
+}

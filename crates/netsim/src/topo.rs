@@ -1,0 +1,666 @@
+//! Topology: nodes, capacitated/delayed links, and path computation.
+
+use crate::NetsimError;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Index of a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIdx(pub u32);
+
+/// Index of an (undirected) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// Node role, mirroring the testbed: hosts sit at the edge, routers
+/// run PolKA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// End host (traffic source/sink).
+    Host,
+    /// Edge router (classifies, encapsulates PolKA headers).
+    Edge,
+    /// Core router (stateless PolKA forwarding).
+    Core,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NodeInfo {
+    pub name: String,
+    pub kind: NodeKind,
+}
+
+/// A full-duplex link: `capacity_mbps` applies independently to each
+/// direction; `delay_ms` is the one-way propagation delay.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeIdx,
+    /// Other endpoint.
+    pub b: NodeIdx,
+    /// Per-direction capacity in Mbps.
+    pub capacity_mbps: f64,
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: f64,
+    /// False once failed.
+    pub up: bool,
+}
+
+/// The network graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<NodeInfo>,
+    names: HashMap<String, NodeIdx>,
+    links: Vec<Link>,
+    /// adjacency: node -> (neighbor, link id)
+    adj: Vec<Vec<(NodeIdx, LinkId)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node; names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate names — topology construction is programmatic
+    /// and a duplicate is a bug in the caller.
+    pub fn add_node(&mut self, name: &str, kind: NodeKind) -> NodeIdx {
+        assert!(
+            !self.names.contains_key(name),
+            "duplicate node name {name:?}"
+        );
+        let idx = NodeIdx(self.nodes.len() as u32);
+        self.nodes.push(NodeInfo {
+            name: name.to_string(),
+            kind,
+        });
+        self.names.insert(name.to_string(), idx);
+        self.adj.push(Vec::new());
+        idx
+    }
+
+    /// Adds a full-duplex link.
+    pub fn add_link(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        capacity_mbps: f64,
+        delay_ms: f64,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            a,
+            b,
+            capacity_mbps,
+            delay_ms,
+            up: true,
+        });
+        self.adj[a.0 as usize].push((b, id));
+        self.adj[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Node index by name.
+    pub fn node(&self, name: &str) -> Result<NodeIdx, NetsimError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetsimError::UnknownNode(name.to_string()))
+    }
+
+    /// Node name by index.
+    pub fn node_name(&self, idx: NodeIdx) -> &str {
+        &self.nodes[idx.0 as usize].name
+    }
+
+    /// Node kind by index.
+    pub fn node_kind(&self, idx: NodeIdx) -> NodeKind {
+        self.nodes[idx.0 as usize].kind
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Link by id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Mutable link by id (capacity changes, failures).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link between two adjacent nodes.
+    pub fn link_between(&self, a: NodeIdx, b: NodeIdx) -> Result<LinkId, NetsimError> {
+        self.adj[a.0 as usize]
+            .iter()
+            .find(|(n, l)| *n == b && self.links[l.0 as usize].up)
+            .map(|(_, l)| *l)
+            .ok_or_else(|| {
+                NetsimError::NotAdjacent(
+                    self.node_name(a).to_string(),
+                    self.node_name(b).to_string(),
+                )
+            })
+    }
+
+    /// Resolves a node-name path to indices, validating adjacency.
+    pub fn path_by_names(&self, names: &[&str]) -> Result<Vec<NodeIdx>, NetsimError> {
+        if names.len() < 2 {
+            return Err(NetsimError::BadPath("need at least two nodes".into()));
+        }
+        let idx: Vec<NodeIdx> = names
+            .iter()
+            .map(|n| self.node(n))
+            .collect::<Result<_, _>>()?;
+        for w in idx.windows(2) {
+            self.link_between(w[0], w[1])?;
+        }
+        Ok(idx)
+    }
+
+    /// The links along a node path.
+    pub fn path_links(&self, path: &[NodeIdx]) -> Result<Vec<LinkId>, NetsimError> {
+        if path.len() < 2 {
+            return Err(NetsimError::BadPath("need at least two nodes".into()));
+        }
+        path.windows(2)
+            .map(|w| self.link_between(w[0], w[1]))
+            .collect()
+    }
+
+    /// One-way propagation delay of a path in milliseconds.
+    pub fn path_delay_ms(&self, path: &[NodeIdx]) -> Result<f64, NetsimError> {
+        Ok(self
+            .path_links(path)?
+            .iter()
+            .map(|l| self.link(*l).delay_ms)
+            .sum())
+    }
+
+    /// Bottleneck (minimum) capacity along a path in Mbps.
+    pub fn path_capacity_mbps(&self, path: &[NodeIdx]) -> Result<f64, NetsimError> {
+        Ok(self
+            .path_links(path)?
+            .iter()
+            .map(|l| self.link(*l).capacity_mbps)
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    /// The 1-based physical port on `a` that faces neighbor `b`. Ports
+    /// are numbered by ascending neighbor index, so the mapping is
+    /// deterministic for a given topology — this is what the PolKA
+    /// resolver encodes into routeIDs. Port 0 is reserved for "deliver
+    /// locally".
+    pub fn neighbor_port(&self, a: NodeIdx, b: NodeIdx) -> Option<u16> {
+        let mut neighbors: Vec<NodeIdx> =
+            self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
+        neighbors.sort_by_key(|n| n.0);
+        neighbors
+            .iter()
+            .position(|n| *n == b)
+            .map(|p| (p + 1) as u16)
+    }
+
+    /// Inverse of [`Topology::neighbor_port`]: which neighbor a 1-based
+    /// port faces.
+    pub fn neighbor_by_port(&self, a: NodeIdx, port: u16) -> Option<NodeIdx> {
+        if port == 0 {
+            return None;
+        }
+        let mut neighbors: Vec<NodeIdx> =
+            self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
+        neighbors.sort_by_key(|n| n.0);
+        neighbors.get(port as usize - 1).copied()
+    }
+
+    /// Maximum port number used anywhere in the topology (sizes the
+    /// PolKA node-ID degree).
+    pub fn max_port(&self) -> u16 {
+        self.adj
+            .iter()
+            .map(|n| n.len() as u16)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Dijkstra shortest path by propagation delay. Returns `None` when
+    /// disconnected. Failed links are skipped.
+    pub fn shortest_path_by_delay(&self, src: NodeIdx, dst: NodeIdx) -> Option<Vec<NodeIdx>> {
+        #[derive(PartialEq)]
+        struct State {
+            cost: f64,
+            node: NodeIdx,
+        }
+        impl Eq for State {}
+        impl Ord for State {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .cost
+                    .total_cmp(&self.cost)
+                    .then_with(|| other.node.0.cmp(&self.node.0))
+            }
+        }
+        impl PartialOrd for State {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeIdx>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.0 as usize] = 0.0;
+        heap.push(State {
+            cost: 0.0,
+            node: src,
+        });
+        while let Some(State { cost, node }) = heap.pop() {
+            if node == dst {
+                break;
+            }
+            if cost > dist[node.0 as usize] {
+                continue;
+            }
+            for &(next, lid) in &self.adj[node.0 as usize] {
+                let link = &self.links[lid.0 as usize];
+                if !link.up {
+                    continue;
+                }
+                let nd = cost + link.delay_ms;
+                if nd < dist[next.0 as usize] {
+                    dist[next.0 as usize] = nd;
+                    prev[next.0 as usize] = Some(node);
+                    heap.push(State {
+                        cost: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+        if dist[dst.0 as usize].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = prev[cur.0 as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Yen's algorithm: the `k` loop-free shortest paths by propagation
+    /// delay, in increasing delay order. Used by the framework to
+    /// discover candidate tunnels automatically on topologies where the
+    /// operator has not pre-declared them (the paper's continent-wide
+    /// future-work scenario).
+    pub fn k_shortest_paths(&self, src: NodeIdx, dst: NodeIdx, k: usize) -> Vec<Vec<NodeIdx>> {
+        let Some(first) = self.shortest_path_by_delay(src, dst) else {
+            return Vec::new();
+        };
+        let mut confirmed: Vec<Vec<NodeIdx>> = vec![first];
+        let mut candidates: Vec<(f64, Vec<NodeIdx>)> = Vec::new();
+        while confirmed.len() < k {
+            let last = confirmed.last().expect("non-empty").clone();
+            // Spur from every node of the previous path.
+            for spur_idx in 0..last.len() - 1 {
+                let spur_node = last[spur_idx];
+                let root = &last[..=spur_idx];
+                // Temporarily remove edges that would recreate confirmed
+                // paths sharing this root, and the root's interior nodes.
+                let mut removed_links: Vec<LinkId> = Vec::new();
+                let mut scratch = self.clone();
+                for path in confirmed.iter() {
+                    if path.len() > spur_idx + 1 && path[..=spur_idx] == *root {
+                        if let Ok(lid) = scratch.link_between(path[spur_idx], path[spur_idx + 1]) {
+                            scratch.link_mut(lid).up = false;
+                            removed_links.push(lid);
+                        }
+                    }
+                }
+                for &n in &root[..spur_idx] {
+                    // knock out all links of interior root nodes
+                    let neighbors: Vec<(NodeIdx, LinkId)> =
+                        scratch.adj[n.0 as usize].clone();
+                    for (_, lid) in neighbors {
+                        scratch.link_mut(lid).up = false;
+                    }
+                }
+                if let Some(spur) = scratch.shortest_path_by_delay(spur_node, dst) {
+                    let mut total: Vec<NodeIdx> = root[..spur_idx].to_vec();
+                    total.extend(spur);
+                    // discard paths with repeated nodes (loops)
+                    let mut seen = std::collections::HashSet::new();
+                    if total.iter().all(|n| seen.insert(*n))
+                        && !confirmed.contains(&total)
+                        && !candidates.iter().any(|(_, p)| *p == total)
+                    {
+                        if let Ok(delay) = self.path_delay_ms(&total) {
+                            candidates.push((delay, total));
+                        }
+                    }
+                }
+            }
+            candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if candidates.is_empty() {
+                break;
+            }
+            confirmed.push(candidates.remove(0).1);
+        }
+        confirmed
+    }
+
+    /// All simple paths from `src` to `dst` with at most `max_hops` links,
+    /// in DFS order. Used to enumerate candidate tunnels.
+    pub fn simple_paths(&self, src: NodeIdx, dst: NodeIdx, max_hops: usize) -> Vec<Vec<NodeIdx>> {
+        let mut out = Vec::new();
+        let mut stack = vec![src];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[src.0 as usize] = true;
+        self.dfs_paths(dst, max_hops, &mut stack, &mut visited, &mut out);
+        out
+    }
+
+    fn dfs_paths(
+        &self,
+        dst: NodeIdx,
+        max_hops: usize,
+        stack: &mut Vec<NodeIdx>,
+        visited: &mut Vec<bool>,
+        out: &mut Vec<Vec<NodeIdx>>,
+    ) {
+        let cur = *stack.last().expect("non-empty stack");
+        if cur == dst {
+            out.push(stack.clone());
+            return;
+        }
+        if stack.len() > max_hops {
+            return;
+        }
+        // deterministic neighbor order
+        let mut neighbors = self.adj[cur.0 as usize].clone();
+        neighbors.sort_by_key(|(n, _)| n.0);
+        for (next, lid) in neighbors {
+            if visited[next.0 as usize] || !self.links[lid.0 as usize].up {
+                continue;
+            }
+            visited[next.0 as usize] = true;
+            stack.push(next);
+            self.dfs_paths(dst, max_hops, stack, visited, out);
+            stack.pop();
+            visited[next.0 as usize] = false;
+        }
+    }
+}
+
+/// The emulated Global P4 Lab subset of Fig 9: five experiment routers
+/// (MIA, CHI, CAL, SAO, AMS), two GÉANT-side routers that complete the
+/// European ring (PAR, POZ), and the two measurement hosts.
+///
+/// Capacities and delays follow the paper's Experiment 2 setup: "we
+/// restricted the bandwidths of the links: MIA-SAO, SAO-AMS, and CHI-AMS
+/// to 20 Mbps, MIA-CHI to 10 Mbps, and MIA-CAL and CAL-CHI to 5 Mbps",
+/// plus the 20 ms delay injected between MIA and SAO for Experiment 1.
+pub fn global_p4_lab() -> Topology {
+    let mut t = Topology::new();
+    let host1 = t.add_node("host1", NodeKind::Host);
+    let host2 = t.add_node("host2", NodeKind::Host);
+    let mia = t.add_node("MIA", NodeKind::Edge);
+    let ams = t.add_node("AMS", NodeKind::Edge);
+    let chi = t.add_node("CHI", NodeKind::Core);
+    let cal = t.add_node("CAL", NodeKind::Core);
+    let sao = t.add_node("SAO", NodeKind::Core);
+    let par = t.add_node("PAR", NodeKind::Core);
+    let poz = t.add_node("POZ", NodeKind::Core);
+
+    // host attachments (fast, negligible delay)
+    t.add_link(host1, mia, 1000.0, 0.05);
+    t.add_link(host2, ams, 1000.0, 0.05);
+    // experiment links (Fig 9 / Sec V-C-2)
+    t.add_link(mia, sao, 20.0, 20.0); // tc-injected 20 ms
+    t.add_link(sao, ams, 20.0, 9.0);
+    t.add_link(mia, chi, 10.0, 3.0);
+    t.add_link(chi, ams, 20.0, 5.0);
+    t.add_link(mia, cal, 5.0, 2.0);
+    t.add_link(cal, chi, 5.0, 2.0);
+    // European ring completion (not used by the experiments, but present
+    // in the Global P4 Lab subset the VMs emulate)
+    t.add_link(ams, par, 100.0, 4.0);
+    t.add_link(par, poz, 100.0, 6.0);
+    t.add_link(poz, ams, 100.0, 5.0);
+    t
+}
+
+/// The 3-node illustration topology of Fig 2: source, intermediate,
+/// destination, with a direct s-d link and an s-i-d detour.
+pub fn simple3(capacity_mbps: f64) -> Topology {
+    let mut t = Topology::new();
+    let s = t.add_node("s", NodeKind::Edge);
+    let i = t.add_node("i", NodeKind::Core);
+    let d = t.add_node("d", NodeKind::Edge);
+    t.add_link(s, d, capacity_mbps, 5.0);
+    t.add_link(s, i, capacity_mbps, 3.0);
+    t.add_link(i, d, capacity_mbps, 3.0);
+    t
+}
+
+/// A deterministic random-ish mesh for scaling benches: `n` core nodes,
+/// ring plus chords every `chord_stride`, uniform capacity/delay.
+pub fn mesh(n: usize, chord_stride: usize, capacity_mbps: f64) -> Topology {
+    let mut t = Topology::new();
+    let nodes: Vec<NodeIdx> = (0..n)
+        .map(|i| t.add_node(&format!("n{i}"), NodeKind::Core))
+        .collect();
+    for i in 0..n {
+        t.add_link(nodes[i], nodes[(i + 1) % n], capacity_mbps, 1.0);
+    }
+    if chord_stride >= 2 {
+        for i in (0..n).step_by(chord_stride) {
+            let j = (i + n / 2) % n;
+            if j != i && t.link_between(nodes[i], nodes[j]).is_err() {
+                t.add_link(nodes[i], nodes[j], capacity_mbps, 1.0);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_topology_inventory() {
+        let t = global_p4_lab();
+        assert_eq!(t.node_count(), 9, "paper used 9 VMs");
+        for name in ["host1", "host2", "MIA", "AMS", "CHI", "CAL", "SAO"] {
+            assert!(t.node(name).is_ok(), "{name} must exist");
+        }
+        // Experiment 2 capacities
+        let mia = t.node("MIA").unwrap();
+        let sao = t.node("SAO").unwrap();
+        let chi = t.node("CHI").unwrap();
+        let cal = t.node("CAL").unwrap();
+        assert_eq!(t.link(t.link_between(mia, sao).unwrap()).capacity_mbps, 20.0);
+        assert_eq!(t.link(t.link_between(mia, chi).unwrap()).capacity_mbps, 10.0);
+        assert_eq!(t.link(t.link_between(mia, cal).unwrap()).capacity_mbps, 5.0);
+        // Experiment 1 delay
+        assert_eq!(t.link(t.link_between(mia, sao).unwrap()).delay_ms, 20.0);
+    }
+
+    #[test]
+    fn tunnel_paths_resolve() {
+        let t = global_p4_lab();
+        // The paper's three tunnels.
+        for tunnel in [
+            vec!["MIA", "SAO", "AMS"],
+            vec!["MIA", "CHI", "AMS"],
+            vec!["MIA", "CAL", "CHI", "AMS"],
+        ] {
+            let p = t.path_by_names(&tunnel).unwrap();
+            assert_eq!(p.len(), tunnel.len());
+        }
+    }
+
+    #[test]
+    fn tunnel_capacities_match_paper() {
+        let t = global_p4_lab();
+        let t1 = t.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
+        let t2 = t.path_by_names(&["MIA", "CHI", "AMS"]).unwrap();
+        let t3 = t.path_by_names(&["MIA", "CAL", "CHI", "AMS"]).unwrap();
+        assert_eq!(t.path_capacity_mbps(&t1).unwrap(), 20.0);
+        assert_eq!(t.path_capacity_mbps(&t2).unwrap(), 10.0);
+        assert_eq!(t.path_capacity_mbps(&t3).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn tunnel1_is_high_latency_tunnel2_low() {
+        let t = global_p4_lab();
+        let t1 = t.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
+        let t2 = t.path_by_names(&["MIA", "CHI", "AMS"]).unwrap();
+        let d1 = t.path_delay_ms(&t1).unwrap();
+        let d2 = t.path_delay_ms(&t2).unwrap();
+        assert!(d1 > 3.0 * d2, "tunnel1 {d1}ms vs tunnel2 {d2}ms");
+    }
+
+    #[test]
+    fn dijkstra_finds_low_delay_route() {
+        let t = global_p4_lab();
+        let mia = t.node("MIA").unwrap();
+        let ams = t.node("AMS").unwrap();
+        let p = t.shortest_path_by_delay(mia, ams).unwrap();
+        // MIA-CHI-AMS (8 ms) beats MIA-SAO-AMS (29 ms) and the CAL detour.
+        let names: Vec<&str> = p.iter().map(|&i| t.node_name(i)).collect();
+        assert_eq!(names, vec!["MIA", "CHI", "AMS"]);
+    }
+
+    #[test]
+    fn dijkstra_reroutes_around_failure() {
+        let mut t = global_p4_lab();
+        let mia = t.node("MIA").unwrap();
+        let chi = t.node("CHI").unwrap();
+        let ams = t.node("AMS").unwrap();
+        let lid = t.link_between(mia, chi).unwrap();
+        t.link_mut(lid).up = false;
+        let p = t.shortest_path_by_delay(mia, ams).unwrap();
+        let names: Vec<&str> = p.iter().map(|&i| t.node_name(i)).collect();
+        assert_ne!(names[1], "CHI", "failed link must be avoided: {names:?}");
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Host);
+        assert!(t.shortest_path_by_delay(a, b).is_none());
+    }
+
+    #[test]
+    fn k_shortest_orders_the_experiment_tunnels() {
+        let t = global_p4_lab();
+        let mia = t.node("MIA").unwrap();
+        let ams = t.node("AMS").unwrap();
+        let paths = t.k_shortest_paths(mia, ams, 3);
+        assert_eq!(paths.len(), 3);
+        let names: Vec<Vec<&str>> = paths
+            .iter()
+            .map(|p| p.iter().map(|&i| t.node_name(i)).collect())
+            .collect();
+        // Increasing delay: CHI (8 ms) < CAL-CHI (9 ms) < SAO (29 ms).
+        assert_eq!(names[0], vec!["MIA", "CHI", "AMS"]);
+        assert_eq!(names[1], vec!["MIA", "CAL", "CHI", "AMS"]);
+        assert_eq!(names[2], vec!["MIA", "SAO", "AMS"]);
+        // Delays strictly increase.
+        let d: Vec<f64> = paths.iter().map(|p| t.path_delay_ms(p).unwrap()).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]), "{d:?}");
+    }
+
+    #[test]
+    fn k_shortest_paths_are_loop_free_and_distinct() {
+        let t = mesh(12, 3, 10.0);
+        let paths = t.k_shortest_paths(NodeIdx(0), NodeIdx(6), 5);
+        assert!(!paths.is_empty());
+        for (i, p) in paths.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            assert!(p.iter().all(|n| seen.insert(*n)), "loop in {p:?}");
+            for q in paths.iter().skip(i + 1) {
+                assert_ne!(p, q, "duplicate path");
+            }
+        }
+    }
+
+    #[test]
+    fn k_shortest_on_disconnected_is_empty() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Host);
+        assert!(t.k_shortest_paths(a, b, 3).is_empty());
+    }
+
+    #[test]
+    fn simple_paths_enumerates_tunnels() {
+        let t = global_p4_lab();
+        let mia = t.node("MIA").unwrap();
+        let ams = t.node("AMS").unwrap();
+        let paths = t.simple_paths(mia, ams, 4);
+        // Must include all three experiment tunnels.
+        let as_names: Vec<Vec<&str>> = paths
+            .iter()
+            .map(|p| p.iter().map(|&i| t.node_name(i)).collect())
+            .collect();
+        assert!(as_names.contains(&vec!["MIA", "SAO", "AMS"]));
+        assert!(as_names.contains(&vec!["MIA", "CHI", "AMS"]));
+        assert!(as_names.contains(&vec!["MIA", "CAL", "CHI", "AMS"]));
+    }
+
+    #[test]
+    fn path_validation_rejects_non_adjacent() {
+        let t = global_p4_lab();
+        assert!(t.path_by_names(&["MIA", "AMS"]).is_err()); // no direct link
+        assert!(t.path_by_names(&["MIA"]).is_err());
+        assert!(t.path_by_names(&["MIA", "NOPE"]).is_err());
+    }
+
+    #[test]
+    fn simple3_matches_fig2() {
+        let t = simple3(10.0);
+        let s = t.node("s").unwrap();
+        let d = t.node("d").unwrap();
+        let paths = t.simple_paths(s, d, 3);
+        assert_eq!(paths.len(), 2, "direct and via-i");
+    }
+
+    #[test]
+    fn mesh_scales() {
+        let t = mesh(50, 5, 10.0);
+        assert_eq!(t.node_count(), 50);
+        assert!(t.link_count() >= 50);
+        let p = t.shortest_path_by_delay(NodeIdx(0), NodeIdx(25));
+        assert!(p.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_panic() {
+        let mut t = Topology::new();
+        t.add_node("x", NodeKind::Host);
+        t.add_node("x", NodeKind::Host);
+    }
+}

@@ -1,0 +1,107 @@
+//! Port-switching source routing: the baseline PolKA is compared against.
+//!
+//! "The most common method of implementing SR is Port Switching, where the
+//! route label represents an ordered list of output ports. Each hop executes
+//! the forwarding operation by popping the first element of the list,
+//! necessitating an update to the route label in the packet at each hop."
+//! (paper, Sec. II-B). MPLS label stacks and SRv6 segment lists are
+//! instances of this scheme.
+//!
+//! The key behavioural difference this module makes measurable:
+//!
+//! * per-hop work is O(1) pop **plus a header rewrite** (the packet
+//!   mutates at every hop);
+//! * the label shrinks along the path, so the header is largest at
+//!   ingress;
+//! * migrating a path requires rewriting the whole list (not one residue).
+
+use crate::PortId;
+
+/// A segment-list route: ordered output ports, popped front-first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentListRoute {
+    segments: Vec<PortId>,
+    cursor: usize,
+}
+
+impl SegmentListRoute {
+    /// Builds a route from the ordered list of output ports.
+    pub fn new(segments: Vec<PortId>) -> Self {
+        SegmentListRoute {
+            segments,
+            cursor: 0,
+        }
+    }
+
+    /// Remaining (un-popped) segments.
+    pub fn remaining(&self) -> &[PortId] {
+        &self.segments[self.cursor..]
+    }
+
+    /// Header size in bits if each port label is `port_bits` wide —
+    /// the size comparison metric against [`crate::RouteId::label_bits`].
+    pub fn label_bits(&self, port_bits: usize) -> usize {
+        self.remaining().len() * port_bits
+    }
+
+    /// The per-hop operation: pop the next port and "rewrite the header"
+    /// (advance the cursor; a real device shifts the label stack).
+    pub fn pop_forward(&mut self) -> Option<PortId> {
+        let port = self.segments.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(port)
+    }
+
+    /// True once every segment has been consumed (packet at egress).
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.segments.len()
+    }
+
+    /// Simulates the full path, returning the port taken at each hop.
+    pub fn walk(mut self) -> Vec<PortId> {
+        let mut out = Vec::with_capacity(self.segments.len());
+        while let Some(p) = self.pop_forward() {
+            out.push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_order_and_exhausts() {
+        let mut r = SegmentListRoute::new(vec![PortId(1), PortId(2), PortId(6)]);
+        assert!(!r.exhausted());
+        assert_eq!(r.pop_forward(), Some(PortId(1)));
+        assert_eq!(r.pop_forward(), Some(PortId(2)));
+        assert_eq!(r.pop_forward(), Some(PortId(6)));
+        assert!(r.exhausted());
+        assert_eq!(r.pop_forward(), None);
+    }
+
+    #[test]
+    fn label_shrinks_along_path() {
+        let mut r = SegmentListRoute::new(vec![PortId(1); 5]);
+        let at_ingress = r.label_bits(8);
+        r.pop_forward();
+        r.pop_forward();
+        assert_eq!(at_ingress, 40);
+        assert_eq!(r.label_bits(8), 24);
+    }
+
+    #[test]
+    fn walk_returns_all_ports() {
+        let r = SegmentListRoute::new(vec![PortId(3), PortId(4)]);
+        assert_eq!(r.walk(), vec![PortId(3), PortId(4)]);
+    }
+
+    #[test]
+    fn empty_route_is_immediately_exhausted() {
+        let mut r = SegmentListRoute::new(vec![]);
+        assert!(r.exhausted());
+        assert_eq!(r.pop_forward(), None);
+    }
+}

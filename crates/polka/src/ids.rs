@@ -1,0 +1,272 @@
+//! Node and port identifiers.
+//!
+//! A PolKA `nodeID` is an irreducible polynomial over GF(2); distinct
+//! irreducibles are pairwise coprime, which is exactly the CRT requirement.
+//! A port label is an arbitrary polynomial of degree strictly below the
+//! node's degree, so a node of degree `d` can address `2^d - 1` ports
+//! (port 0 is reserved to mean "deliver locally / punt to edge").
+
+use crate::PolkaError;
+use gf2poly::{irreducibles_of_degree, Poly};
+use std::collections::BTreeMap;
+
+/// An output-port label. Encoded as the binary polynomial whose bits are
+/// the port number (port 2 ↔ `t`, port 6 ↔ `t^2 + t`, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The polynomial representation of the port label.
+    pub fn to_poly(self) -> Poly {
+        Poly::from_bits(self.0 as u64)
+    }
+
+    /// Recovers a port from a remainder polynomial. Remainders with degree
+    /// above 15 do not correspond to a port and return `None`.
+    pub fn from_poly(p: &Poly) -> Option<PortId> {
+        match p.degree() {
+            Some(d) if d > 15 => None,
+            _ => Some(PortId(p.low_bits() as u16)),
+        }
+    }
+
+    /// Number of bits needed to represent this port.
+    pub fn bits(self) -> usize {
+        (16 - self.0.leading_zeros()) as usize
+    }
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// A core-node identifier: a named irreducible polynomial.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    name: String,
+    poly: Poly,
+}
+
+impl NodeId {
+    /// Wraps a polynomial as a node identifier.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the polynomial is not irreducible; the
+    /// RNS breaks silently with reducible node IDs, so this is a
+    /// programming error rather than a runtime condition.
+    pub fn new(name: impl Into<String>, poly: Poly) -> Self {
+        debug_assert!(
+            gf2poly::is_irreducible(&poly),
+            "nodeID must be irreducible"
+        );
+        NodeId {
+            name: name.into(),
+            poly,
+        }
+    }
+
+    /// The router's human-readable name (e.g. `"MIA"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's polynomial identifier.
+    pub fn poly(&self) -> &Poly {
+        &self.poly
+    }
+
+    /// Degree of the node polynomial; ports up to `2^degree - 1` fit.
+    pub fn degree(&self) -> usize {
+        self.poly.degree().expect("irreducible => non-zero")
+    }
+
+    /// Checks that a port label fits under this node's polynomial
+    /// (the port polynomial's degree must be strictly below the node's).
+    pub fn check_port(&self, port: PortId) -> Result<(), PolkaError> {
+        if port.bits() > self.degree() {
+            return Err(PolkaError::PortTooLarge {
+                node: self.name.clone(),
+                port: port.0 as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.name, self.poly)
+    }
+}
+
+/// Deterministic allocator of node identifiers.
+///
+/// Assigns the lexicographically-next unused irreducible polynomial of a
+/// fixed degree to each router name. The degree bounds the number of
+/// addressable ports per node (`2^degree - 1`) and the routeID length
+/// (`path_len * degree` bits), matching the sizing discussion in the
+/// PolKA papers.
+#[derive(Debug, Clone)]
+pub struct NodeIdAllocator {
+    degree: usize,
+    pool: Vec<Poly>,
+    next: usize,
+    assigned: BTreeMap<String, NodeId>,
+}
+
+impl NodeIdAllocator {
+    /// Creates an allocator handing out irreducibles of `degree`.
+    ///
+    /// `degree` must be at least 2 so that at least ports 1..3 fit.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree >= 2, "node degree must be >= 2");
+        NodeIdAllocator {
+            degree,
+            pool: irreducibles_of_degree(degree),
+            next: 0,
+            assigned: BTreeMap::new(),
+        }
+    }
+
+    /// An allocator sized for a network with `max_port` ports per node:
+    /// picks the smallest degree that both fits the port labels and has
+    /// enough irreducible polynomials for `nodes` routers.
+    pub fn for_network(nodes: usize, max_port: u16) -> Self {
+        let port_bits = (16 - max_port.leading_zeros()) as usize;
+        let mut degree = port_bits.max(2);
+        loop {
+            let pool = irreducibles_of_degree(degree);
+            if pool.len() >= nodes {
+                return NodeIdAllocator {
+                    degree,
+                    pool,
+                    next: 0,
+                    assigned: BTreeMap::new(),
+                };
+            }
+            degree += 1;
+        }
+    }
+
+    /// The degree of the polynomials this allocator hands out.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Assigns (or returns the existing) node ID for a router name.
+    pub fn assign(&mut self, name: &str) -> Result<NodeId, PolkaError> {
+        if let Some(id) = self.assigned.get(name) {
+            return Ok(id.clone());
+        }
+        let poly = self
+            .pool
+            .get(self.next)
+            .cloned()
+            .ok_or(PolkaError::AllocatorExhausted {
+                degree: self.degree,
+            })?;
+        self.next += 1;
+        let id = NodeId::new(name, poly);
+        self.assigned.insert(name.to_string(), id.clone());
+        Ok(id)
+    }
+
+    /// Looks up an already-assigned node ID.
+    pub fn get(&self, name: &str) -> Option<&NodeId> {
+        self.assigned.get(name)
+    }
+
+    /// All assignments made so far, in name order.
+    pub fn assignments(&self) -> impl Iterator<Item = (&str, &NodeId)> {
+        self.assigned.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Remaining capacity at this degree.
+    pub fn remaining(&self) -> usize {
+        self.pool.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_poly_roundtrip() {
+        for n in [0u16, 1, 2, 6, 7, 255, 1023] {
+            let p = PortId(n);
+            assert_eq!(PortId::from_poly(&p.to_poly()), Some(p));
+        }
+    }
+
+    #[test]
+    fn port_from_oversized_poly_is_none() {
+        assert_eq!(PortId::from_poly(&Poly::monomial(20)), None);
+    }
+
+    #[test]
+    fn paper_port_encodings() {
+        // Fig 1: o1(t)=1 -> port 1, o2(t)=t -> port 2, o3(t)=t^2+t -> port 6.
+        assert_eq!(PortId(1).to_poly(), Poly::from_binary_str("1"));
+        assert_eq!(PortId(2).to_poly(), Poly::from_binary_str("10"));
+        assert_eq!(PortId(6).to_poly(), Poly::from_binary_str("110"));
+    }
+
+    #[test]
+    fn node_port_capacity() {
+        let s2 = NodeId::new("s2", Poly::from_binary_str("111")); // degree 2
+        assert!(s2.check_port(PortId(1)).is_ok());
+        assert!(s2.check_port(PortId(3)).is_ok());
+        assert!(s2.check_port(PortId(4)).is_err()); // needs 3 bits
+    }
+
+    #[test]
+    fn allocator_is_deterministic_and_distinct() {
+        let mut a = NodeIdAllocator::new(8);
+        let mut b = NodeIdAllocator::new(8);
+        let names = ["MIA", "CHI", "CAL", "SAO", "AMS"];
+        for n in names {
+            assert_eq!(a.assign(n).unwrap(), b.assign(n).unwrap());
+        }
+        // All polynomials distinct and pairwise coprime.
+        let polys: Vec<_> = names
+            .iter()
+            .map(|n| a.get(n).unwrap().poly().clone())
+            .collect();
+        for i in 0..polys.len() {
+            for j in i + 1..polys.len() {
+                assert!(polys[i].gcd(&polys[j]).is_one());
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_reuses_existing_assignment() {
+        let mut a = NodeIdAllocator::new(4);
+        let first = a.assign("X").unwrap();
+        let again = a.assign("X").unwrap();
+        assert_eq!(first, again);
+        assert_eq!(a.remaining(), 2); // degree 4 has 3 irreducibles
+    }
+
+    #[test]
+    fn allocator_exhaustion() {
+        let mut a = NodeIdAllocator::new(2); // only t^2+t+1
+        a.assign("A").unwrap();
+        assert!(matches!(
+            a.assign("B"),
+            Err(PolkaError::AllocatorExhausted { degree: 2 })
+        ));
+    }
+
+    #[test]
+    fn for_network_sizes_degree() {
+        let a = NodeIdAllocator::for_network(30, 255);
+        // 255 ports need 8 bits => degree >= 8; degree 8 has 30 irreducibles.
+        assert_eq!(a.degree(), 8);
+        let b = NodeIdAllocator::for_network(31, 255);
+        assert!(b.degree() > 8);
+    }
+}

@@ -1,0 +1,182 @@
+//! mPolKA: multipath/multicast route labels (Pereira et al., AINA 2023 —
+//! reference \[31\] of the paper).
+//!
+//! Standard PolKA encodes *one* output port per node. mPolKA instead lets
+//! the remainder at a node be a **port bitmask**: bit `p` set means
+//! "replicate the packet out of port `p`". The same CRT machinery applies —
+//! only the interpretation of the residue changes — which is why the
+//! extension is nearly free on hardware that already computes the mod.
+//!
+//! This enables in-band telemetry over multiple paths at once and
+//! edge-controlled multicast trees, both cited by the paper as companion
+//! work to the Hecate integration.
+
+use crate::{NodeId, PolkaError, RouteId};
+use gf2poly::{crt, Poly};
+
+/// The set of output ports a node should replicate a packet to,
+/// encoded as a bitmask (bit `p` = physical port `p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortSet(pub u16);
+
+impl PortSet {
+    /// An empty set (packet is consumed at this node).
+    pub fn empty() -> Self {
+        PortSet(0)
+    }
+
+    /// Builds a set from individual port numbers (bit positions).
+    ///
+    /// # Panics
+    /// Panics if any port number is 16 or larger.
+    pub fn from_ports(ports: &[u8]) -> Self {
+        let mut mask = 0u16;
+        for &p in ports {
+            assert!(p < 16, "mPolKA port bitmask is 16 bits wide");
+            mask |= 1 << p;
+        }
+        PortSet(mask)
+    }
+
+    /// Iterates the port numbers present in the set.
+    pub fn ports(self) -> impl Iterator<Item = u8> {
+        (0..16).filter(move |p| self.0 & (1 << p) != 0)
+    }
+
+    /// Number of replication targets.
+    pub fn fanout(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Polynomial encoding of the bitmask.
+    pub fn to_poly(self) -> Poly {
+        Poly::from_bits(self.0 as u64)
+    }
+
+    /// Decodes a remainder polynomial into a port set.
+    pub fn from_poly(p: &Poly) -> Option<PortSet> {
+        match p.degree() {
+            Some(d) if d > 15 => None,
+            _ => Some(PortSet(p.low_bits() as u16)),
+        }
+    }
+
+    /// Bits needed to represent this mask.
+    fn bits(self) -> usize {
+        (16 - self.0.leading_zeros()) as usize
+    }
+}
+
+/// A multicast/multipath route: each node maps to a set of output ports.
+#[derive(Debug, Clone)]
+pub struct MulticastSpec {
+    hops: Vec<(NodeId, PortSet)>,
+}
+
+impl MulticastSpec {
+    /// Builds a spec from `(node, port set)` pairs.
+    pub fn new(hops: Vec<(NodeId, PortSet)>) -> Self {
+        MulticastSpec { hops }
+    }
+
+    /// The hops.
+    pub fn hops(&self) -> &[(NodeId, PortSet)] {
+        &self.hops
+    }
+
+    /// Compiles the multicast label via CRT over the bitmask residues.
+    pub fn compile(&self) -> Result<RouteId, PolkaError> {
+        if self.hops.is_empty() {
+            return Err(PolkaError::EmptyPath);
+        }
+        let mut system = Vec::with_capacity(self.hops.len());
+        for (i, (node, set)) in self.hops.iter().enumerate() {
+            if set.bits() > node.degree() {
+                return Err(PolkaError::PortTooLarge {
+                    node: node.name().to_string(),
+                    port: set.0 as u64,
+                });
+            }
+            for (prev, _) in &self.hops[..i] {
+                if prev.poly() == node.poly() {
+                    return Err(PolkaError::DuplicateNode(node.name().to_string()));
+                }
+            }
+            system.push((set.to_poly(), node.poly().clone()));
+        }
+        Ok(RouteId::from_poly(crt(&system)?))
+    }
+}
+
+/// Data-plane replication decision at one node.
+pub fn replicate_at(route: &RouteId, node: &NodeId) -> Option<PortSet> {
+    let rem = route.poly().rem_ref(node.poly()).ok()?;
+    PortSet::from_poly(&rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeIdAllocator;
+
+    #[test]
+    fn portset_construction_and_iteration() {
+        let s = PortSet::from_ports(&[0, 2, 5]);
+        assert_eq!(s.0, 0b100101);
+        assert_eq!(s.ports().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(s.fanout(), 3);
+        assert_eq!(PortSet::empty().fanout(), 0);
+    }
+
+    #[test]
+    fn multicast_label_replicates_correctly() {
+        let mut alloc = NodeIdAllocator::new(8);
+        let a = alloc.assign("a").unwrap();
+        let b = alloc.assign("b").unwrap();
+        let c = alloc.assign("c").unwrap();
+        let spec = MulticastSpec::new(vec![
+            (a.clone(), PortSet::from_ports(&[1, 3])), // branch point
+            (b.clone(), PortSet::from_ports(&[2])),
+            (c.clone(), PortSet::from_ports(&[4, 5, 6])),
+        ]);
+        let route = spec.compile().unwrap();
+        assert_eq!(
+            replicate_at(&route, &a),
+            Some(PortSet::from_ports(&[1, 3]))
+        );
+        assert_eq!(replicate_at(&route, &b), Some(PortSet::from_ports(&[2])));
+        assert_eq!(
+            replicate_at(&route, &c),
+            Some(PortSet::from_ports(&[4, 5, 6]))
+        );
+    }
+
+    #[test]
+    fn unicast_is_a_special_case_of_multicast() {
+        // A one-bit mask at every node behaves like classic PolKA.
+        let mut alloc = NodeIdAllocator::new(8);
+        let a = alloc.assign("a").unwrap();
+        let spec = MulticastSpec::new(vec![(a.clone(), PortSet::from_ports(&[2]))]);
+        let route = spec.compile().unwrap();
+        assert_eq!(replicate_at(&route, &a).unwrap().fanout(), 1);
+    }
+
+    #[test]
+    fn oversized_mask_is_rejected() {
+        let mut alloc = NodeIdAllocator::new(4); // masks limited to 4 bits
+        let a = alloc.assign("a").unwrap();
+        let spec = MulticastSpec::new(vec![(a, PortSet::from_ports(&[7]))]);
+        assert!(matches!(
+            spec.compile(),
+            Err(PolkaError::PortTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        assert!(matches!(
+            MulticastSpec::new(vec![]).compile(),
+            Err(PolkaError::EmptyPath)
+        ));
+    }
+}

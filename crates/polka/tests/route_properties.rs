@@ -1,0 +1,81 @@
+//! Property tests: every compiled route must forward every hop to exactly
+//! the requested port, for arbitrary paths and port choices, and the
+//! header codec must round-trip arbitrary labels.
+
+use polka::header::PolkaHeader;
+use polka::{NodeIdAllocator, PortId, RouteId, RouteSpec, SegmentListRoute};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_routes_forward_exactly(
+        n_hops in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut alloc = NodeIdAllocator::new(8); // 30 irreducibles, ports < 256
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u16
+        };
+        let hops: Vec<_> = (0..n_hops)
+            .map(|i| {
+                let node = alloc.assign(&format!("n{i}")).unwrap();
+                let port = PortId(next() % 255 + 1);
+                (node, port)
+            })
+            .collect();
+        let route = RouteSpec::new(hops.clone()).compile().unwrap();
+        for (node, port) in &hops {
+            let mut core = polka::CoreNode::new(node.clone());
+            prop_assert_eq!(core.forward(&route), Some(*port));
+        }
+        // The polynomial label never exceeds the sum of node degrees.
+        prop_assert!(route.label_bits() <= n_hops * 8);
+    }
+
+    #[test]
+    fn header_roundtrip_arbitrary_labels(limbs in prop::collection::vec(any::<u64>(), 0..8), ttl in any::<u8>(), pot in any::<u64>()) {
+        let route = RouteId::from_poly(gf2poly::Poly::from_limbs(limbs));
+        let mut hdr = PolkaHeader::new(route);
+        hdr.ttl = ttl;
+        hdr.pot = pot;
+        let mut wire = hdr.encode();
+        let back = PolkaHeader::decode(&mut wire).unwrap();
+        prop_assert_eq!(back, hdr);
+    }
+
+    #[test]
+    fn baseline_walk_preserves_order(ports in prop::collection::vec(0u16..1024, 0..32)) {
+        let route = SegmentListRoute::new(ports.iter().copied().map(PortId).collect());
+        let walked: Vec<u16> = route.walk().into_iter().map(|p| p.0).collect();
+        prop_assert_eq!(walked, ports);
+    }
+
+    #[test]
+    fn pot_verifies_iff_path_untampered(
+        n_hops in 2usize..8,
+        tamper in 0usize..8,
+    ) {
+        let mut alloc = NodeIdAllocator::new(8);
+        let hops: Vec<_> = (0..n_hops)
+            .map(|i| (alloc.assign(&format!("n{i}")).unwrap(), PortId(i as u16 + 1)))
+            .collect();
+        let spec = RouteSpec::new(hops.clone());
+        let route = spec.compile().unwrap();
+        let nodes: Vec<_> = hops.iter().map(|(n, _)| n.clone()).collect();
+
+        // Clean traversal verifies.
+        let clean = polka::pot::accumulate_pot(&route, &nodes);
+        prop_assert!(polka::pot::verify_pot(&spec, clean));
+
+        // Dropping any single hop breaks verification.
+        let tamper = tamper % n_hops;
+        let mut tampered_nodes = nodes.clone();
+        tampered_nodes.remove(tamper);
+        let bad = polka::pot::accumulate_pot(&route, &tampered_nodes);
+        prop_assert!(!polka::pot::verify_pot(&spec, bad));
+    }
+}

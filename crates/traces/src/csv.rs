@@ -1,0 +1,176 @@
+//! Minimal CSV reading/writing for bandwidth traces (no third-party
+//! parser: traces are plain `time,value[,value...]` numeric tables).
+
+use crate::TraceError;
+use std::io::{BufReader, Write};
+use std::path::Path;
+
+/// A named multi-column numeric table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column names from the header row.
+    pub columns: Vec<String>,
+    /// Row-major values; every row has `columns.len()` entries.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Builds a table, checking that all rows are rectangular.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Self, TraceError> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != columns.len() {
+                return Err(TraceError::Parse {
+                    line: i + 2,
+                    message: format!("expected {} fields, found {}", columns.len(), r.len()),
+                });
+            }
+        }
+        Ok(Table { columns, rows })
+    }
+
+    /// Extracts a column by name.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Serializes to CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            let line: Vec<String> = r.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes CSV to a file.
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(())
+    }
+
+    /// Parses CSV text (header row required).
+    pub fn from_csv(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(TraceError::Parse {
+            line: 1,
+            message: "empty file".into(),
+        })?;
+        let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+        let mut rows = Vec::new();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<f64>, _> = line
+                .split(',')
+                .map(|tok| tok.trim().parse::<f64>())
+                .collect();
+            let row = row.map_err(|e| TraceError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            })?;
+            if row.len() != columns.len() {
+                return Err(TraceError::Parse {
+                    line: i + 1,
+                    message: format!("expected {} fields, found {}", columns.len(), row.len()),
+                });
+            }
+            rows.push(row);
+        }
+        Ok(Table { columns, rows })
+    }
+
+    /// Reads CSV from a file.
+    pub fn load(path: &Path) -> Result<Self, TraceError> {
+        let f = std::fs::File::open(path)?;
+        let mut reader = BufReader::new(f);
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        Table::from_csv(&text)
+    }
+}
+
+use std::io::Read;
+
+/// Convenience: the UQ dataset as a `time,wifi,lte` table.
+pub fn uq_to_table(d: &crate::UqDataset) -> Table {
+    let rows = d
+        .wifi
+        .iter()
+        .zip(&d.lte)
+        .enumerate()
+        .map(|(t, (w, l))| vec![t as f64, *w, *l])
+        .collect();
+    Table::new(
+        vec!["time_s".into(), "wifi_mbps".into(), "lte_mbps".into()],
+        rows,
+    )
+    .expect("rectangular by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let t = Table::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.5], vec![-3.0, 4.0]],
+        )
+        .unwrap();
+        let back = Table::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("polka_hecate_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let t = uq_to_table(&crate::UqDataset::default_dataset());
+        t.save(&path).unwrap();
+        let back = Table::load(&path).unwrap();
+        assert_eq!(back.columns, t.columns);
+        assert_eq!(back.rows.len(), 500);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn column_extraction() {
+        let t = uq_to_table(&crate::UqDataset::default_dataset());
+        let wifi = t.column("wifi_mbps").unwrap();
+        assert_eq!(wifi.len(), 500);
+        assert!(t.column("nope").is_none());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let e = Table::from_csv("a,b\n1.0\n").unwrap_err();
+        match e {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        assert!(Table::from_csv("a\nhello\n").is_err());
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(Table::from_csv("").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = Table::from_csv("a\n1\n\n2\n").unwrap();
+        assert_eq!(t.rows.len(), 2);
+    }
+}

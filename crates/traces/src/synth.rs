@@ -1,0 +1,152 @@
+//! Generic bandwidth workload generators for the extension experiments
+//! (lag-window sweeps, policy ablations, netsim trace-driven links).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Workload shapes beyond the UQ walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// Flat mean with Gaussian noise.
+    Constant {
+        /// Mean level (Mbps).
+        mean: f64,
+        /// Noise standard deviation.
+        std: f64,
+    },
+    /// Slow sinusoid (diurnal-style) plus noise.
+    Diurnal {
+        /// Baseline level.
+        base: f64,
+        /// Peak-to-baseline amplitude.
+        amplitude: f64,
+        /// Period in samples.
+        period: f64,
+        /// Noise standard deviation.
+        std: f64,
+    },
+    /// Calm baseline with occasional multiplicative bursts.
+    Bursty {
+        /// Baseline level.
+        base: f64,
+        /// Burst multiplier.
+        burst_gain: f64,
+        /// Per-sample probability a burst starts.
+        burst_prob: f64,
+        /// Mean burst duration in samples.
+        burst_len: usize,
+    },
+}
+
+/// Generates `len` samples of the shape, deterministically from `seed`.
+/// Values are clamped at zero.
+pub fn generate(shape: Shape, len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gauss = move |rng: &mut StdRng| {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    match shape {
+        Shape::Constant { mean, std } => (0..len)
+            .map(|_| (mean + std * gauss(&mut rng)).max(0.0))
+            .collect(),
+        Shape::Diurnal {
+            base,
+            amplitude,
+            period,
+            std,
+        } => (0..len)
+            .map(|t| {
+                let s = base
+                    + amplitude * (2.0 * std::f64::consts::PI * t as f64 / period).sin()
+                    + std * gauss(&mut rng);
+                s.max(0.0)
+            })
+            .collect(),
+        Shape::Bursty {
+            base,
+            burst_gain,
+            burst_prob,
+            burst_len,
+        } => {
+            let mut out = Vec::with_capacity(len);
+            let mut remaining = 0usize;
+            for _ in 0..len {
+                if remaining == 0 && rng.gen_range(0.0..1.0) < burst_prob {
+                    remaining = 1 + rng.gen_range(0..burst_len.max(1) * 2);
+                }
+                let level = if remaining > 0 {
+                    remaining -= 1;
+                    base * burst_gain
+                } else {
+                    base
+                };
+                let jitter = 1.0 + 0.05 * gauss(&mut rng);
+                out.push((level * jitter).max(0.0));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::stats::{mean, std_dev};
+
+    #[test]
+    fn constant_shape_statistics() {
+        let s = generate(Shape::Constant { mean: 20.0, std: 2.0 }, 2000, 1);
+        assert!((mean(&s) - 20.0).abs() < 0.5);
+        assert!((std_dev(&s) - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn diurnal_shape_oscillates() {
+        let s = generate(
+            Shape::Diurnal {
+                base: 30.0,
+                amplitude: 10.0,
+                period: 100.0,
+                std: 0.1,
+            },
+            200,
+            2,
+        );
+        // Peak near t=25, trough near t=75.
+        assert!(s[25] > s[75] + 10.0);
+    }
+
+    #[test]
+    fn bursty_shape_has_two_levels() {
+        let s = generate(
+            Shape::Bursty {
+                base: 5.0,
+                burst_gain: 8.0,
+                burst_prob: 0.05,
+                burst_len: 10,
+            },
+            3000,
+            3,
+        );
+        let high = s.iter().filter(|v| **v > 20.0).count();
+        let low = s.iter().filter(|v| **v < 10.0).count();
+        assert!(high > 50, "bursts present: {high}");
+        assert!(low > 1000, "baseline dominates: {low}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(Shape::Constant { mean: 1.0, std: 0.5 }, 100, 9);
+        let b = generate(Shape::Constant { mean: 1.0, std: 0.5 }, 100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_never_negative() {
+        let s = generate(Shape::Constant { mean: 0.5, std: 5.0 }, 1000, 4);
+        assert!(s.iter().all(|v| *v >= 0.0));
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's Fig 6 evaluation: all eighteen regressors on the UQ
+//! wireless traces, RMSE per path, run in parallel.
+//!
+//! Prints the RMSE table in the paper's format (`R13: RFR(wifi, lte)`)
+//! plus the ranking insight the paper draws from it: tree ensembles in
+//! the lower-left corner, Lasso/ElasticNet over-shrunk, GPR off the
+//! chart.
+//!
+//! Run with: `cargo run --release --example regressor_shootout`
+
+use polka_hecate::hecate_ml::{evaluate_all, PipelineConfig};
+use polka_hecate::traces::UqDataset;
+
+fn main() {
+    let data = UqDataset::default_dataset();
+    let config = PipelineConfig::default();
+
+    println!("evaluating 18 regressors on WiFi (Path 1) and LTE (Path 2)…");
+    let wifi = evaluate_all(&data.wifi, &config);
+    let lte = evaluate_all(&data.lte, &config);
+
+    println!("\n{:<4} {:<12} {:>10} {:>10} {:>9}", "id", "model", "WiFi RMSE", "LTE RMSE", "fit ms");
+    let mut rows = Vec::new();
+    for (w, l) in wifi.iter().zip(&lte) {
+        let (w, l) = match (w, l) {
+            (Ok(w), Ok(l)) => (w, l),
+            _ => continue,
+        };
+        println!(
+            "{:<4} {:<12} {:>10.2} {:>10.2} {:>9.1}",
+            w.kind.paper_id(),
+            w.kind.label(),
+            w.rmse,
+            l.rmse,
+            w.fit_time.as_secs_f64() * 1000.0
+        );
+        rows.push((w.kind, w.rmse, l.rmse));
+    }
+
+    // The paper's reading of the scatter plot.
+    rows.sort_by(|a, b| (a.1 + a.2).total_cmp(&(b.1 + b.2)));
+    println!("\nbest by combined RMSE:");
+    for (kind, w, l) in rows.iter().take(4) {
+        println!("  {kind}  (wifi {w:.2}, lte {l:.2})");
+    }
+    println!("worst by combined RMSE:");
+    for (kind, w, l) in rows.iter().rev().take(3) {
+        println!("  {kind}  (wifi {w:.2}, lte {l:.2})");
+    }
+    let best = rows.first().expect("at least one model");
+    println!(
+        "\nselected for the routing framework: {} — the paper chose R13:RFR",
+        best.0
+    );
+}

@@ -1,0 +1,43 @@
+//! # polka-hecate
+//!
+//! A full Rust reproduction of *"Framework for Integrating Machine
+//! Learning Methods for Path-Aware Source Routing"* (SC 2024,
+//! arXiv:2501.04624): ML-driven traffic engineering (Hecate) steering a
+//! polynomial source-routing data plane (PolKA) over an emulated
+//! RARE/freeRtr testbed.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`gf2poly`] — GF(2)\[t\] polynomial arithmetic (CRT, irreducibles);
+//! * [`polka`] — routeID compilation, stateless forwarding, migration,
+//!   proof-of-transit and multipath extensions, port-switching baseline;
+//! * [`linalg`] — dense linear algebra + parallel helpers;
+//! * [`hecate_ml`] — the paper's eighteen regressors and the evaluation
+//!   pipeline;
+//! * [`traces`] — the synthetic UQ wireless dataset and workload shapes;
+//! * [`lp`] — simplex and the Sec. III TE formulations;
+//! * [`netsim`] — the discrete-event flow-level network emulator;
+//! * [`freertr`] — control-plane emulation (config dialect, ACL/PBR,
+//!   message-queue router agents);
+//! * [`framework`] — the integrated self-driving network and the two
+//!   experiment runners (Fig 11, Fig 12).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use polka_hecate::framework::sdn::SelfDrivingNetwork;
+//!
+//! let mut sdn = SelfDrivingNetwork::testbed(42).unwrap();
+//! let result = sdn.run_latency_migration(20).unwrap();
+//! assert!(result.mean_after_ms < result.mean_before_ms);
+//! ```
+
+pub use framework;
+pub use freertr;
+pub use gf2poly;
+pub use hecate_ml;
+pub use linalg;
+pub use lp;
+pub use netsim;
+pub use polka;
+pub use traces;
