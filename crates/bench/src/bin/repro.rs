@@ -20,45 +20,35 @@ use bench::figures;
 use bench::format_series;
 use hecate_ml::RegressorKind;
 
+/// The single source of truth for figure names and their runners.
+const FIGURES: [(&str, fn()); 12] = [
+    ("fig1", fig1),
+    ("fig2", fig2),
+    ("fig5", fig5),
+    ("fig6", fig6),
+    ("fig7", || fig7_or_8(RegressorKind::Rfr, "fig7")),
+    ("fig8", || fig7_or_8(RegressorKind::Gpr, "fig8")),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("ablation", ablation),
+    ("steering", steering),
+    ("mlp", mlp),
+    ("cv", cv),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(|s| s.as_str()).unwrap_or("all");
     let all = which == "all";
-    if all || which == "fig1" {
-        fig1();
+    if !all && !FIGURES.iter().any(|(name, _)| *name == which) {
+        let names: Vec<&str> = FIGURES.iter().map(|(name, _)| *name).collect();
+        eprintln!("unknown figure {which:?}; choose one of: all {}", names.join(" "));
+        std::process::exit(2);
     }
-    if all || which == "fig2" {
-        fig2();
-    }
-    if all || which == "fig5" {
-        fig5();
-    }
-    if all || which == "fig6" {
-        fig6();
-    }
-    if all || which == "fig7" {
-        fig7_or_8(RegressorKind::Rfr, "fig7");
-    }
-    if all || which == "fig8" {
-        fig7_or_8(RegressorKind::Gpr, "fig8");
-    }
-    if all || which == "fig11" {
-        fig11();
-    }
-    if all || which == "fig12" {
-        fig12();
-    }
-    if all || which == "ablation" {
-        ablation();
-    }
-    if all || which == "steering" {
-        steering();
-    }
-    if all || which == "mlp" {
-        mlp();
-    }
-    if all || which == "cv" {
-        cv();
+    for (name, run) in FIGURES {
+        if all || which == name {
+            run();
+        }
     }
 }
 

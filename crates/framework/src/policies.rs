@@ -7,11 +7,12 @@
 //! QoS parameter of routes for t_{i+x}."
 //!
 //! The ablation drives two paths with the UQ-style WiFi/LTE traces and
-//! asks each policy, every step, which path the next interval's traffic
-//! should use. The payoff of a step is the chosen path's *actual* next
-//! bandwidth. A policy that merely mirrors the last sample whipsaws on
-//! noise and fades; forecasts smooth them out; static allocation misses
-//! the regime switch entirely.
+//! asks each policy, at every decision time, which path the next
+//! `lags`-step interval's traffic should use. The payoff of a decision
+//! is the chosen path's *actual* bandwidth over that interval. A policy
+//! that merely mirrors the last sample whipsaws on noise and fades —
+//! and commits a whole interval to the mistake; forecasts smooth them
+//! out; static allocation misses the regime switch entirely.
 
 use hecate_ml::pipeline::forecast_next;
 use hecate_ml::RegressorKind;
@@ -48,19 +49,26 @@ impl Policy {
 pub struct PolicyReport {
     /// Policy evaluated.
     pub policy: String,
-    /// Mean delivered bandwidth (Mbps) across decision steps.
+    /// Mean delivered bandwidth (Mbps) per trace step across all
+    /// committed intervals.
     pub mean_goodput: f64,
-    /// How many times the policy switched paths.
+    /// How many decisions switched paths relative to the previous
+    /// interval.
     pub switches: usize,
-    /// Fraction of steps where the policy chose the better path.
+    /// Fraction of decision intervals where the policy chose the path
+    /// with the better actual interval mean.
     pub hit_rate: f64,
 }
 
 /// Runs one policy over a pair of bandwidth traces.
 ///
-/// At each step `t >= warmup`, the policy sees samples `..=t` and commits
-/// to a path for step `t+1`; the payoff is that path's actual bandwidth
-/// at `t+1`.
+/// Decisions are made at the paper's cadence: at each decision time
+/// `t >= warmup` the policy sees samples `..=t` and commits the traffic
+/// to one path for the next `lags`-step interval (Hecate "computes the
+/// predicted values for the next 10 steps and returns the best path");
+/// the payoff is that path's actual bandwidth over the committed
+/// interval. Committing an interval is what makes snapshot whipsaw
+/// costly: one blip or fade-edge sample misallocates the whole block.
 pub fn run_policy(
     policy: Policy,
     path1: &[f64],
@@ -76,8 +84,15 @@ pub fn run_policy(
     let mut payoff_sum = 0.0;
     let mut hits = 0usize;
     let mut steps = 0usize;
+    let mut blocks = 0usize;
     let static_choice = if path1[0] >= path2[0] { 0 } else { 1 };
-    for t in warmup..n - 1 {
+    let block_mean = |path: &[f64], t: usize, h: usize| {
+        path[t + 1..t + 1 + h].iter().sum::<f64>() / h as f64
+    };
+    let mut t = warmup;
+    while t + 1 < n {
+        // steps committed by this decision
+        let h = lags.max(1).min(n - 1 - t);
         let choice = match policy {
             Policy::Static => static_choice,
             Policy::LastSample => {
@@ -88,19 +103,20 @@ pub fn run_policy(
                 }
             }
             Policy::Oracle => {
-                if path1[t + 1] >= path2[t + 1] {
+                if block_mean(path1, t, h) >= block_mean(path2, t, h) {
                     0
                 } else {
                     1
                 }
             }
             Policy::HecateForecast(kind) => {
-                let f1 = forecast_next(kind, &path1[..=t], lags, 1, 7)
-                    .map(|v| v[0])
-                    .unwrap_or(path1[t]);
-                let f2 = forecast_next(kind, &path2[..=t], lags, 1, 7)
-                    .map(|v| v[0])
-                    .unwrap_or(path2[t]);
+                let mean_forecast = |path: &[f64]| {
+                    forecast_next(kind, path, lags, h, 7)
+                        .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+                        .unwrap_or_else(|_| path[path.len() - 1])
+                };
+                let f1 = mean_forecast(&path1[..=t]);
+                let f2 = mean_forecast(&path2[..=t]);
                 if f1 >= f2 {
                     0
                 } else {
@@ -112,18 +128,20 @@ pub fn run_policy(
             switches += 1;
         }
         choice_prev = Some(choice);
-        let actual = [path1[t + 1], path2[t + 1]];
-        payoff_sum += actual[choice];
+        let actual = [block_mean(path1, t, h), block_mean(path2, t, h)];
+        payoff_sum += actual[choice] * h as f64;
         if actual[choice] >= actual[1 - choice] {
             hits += 1;
         }
-        steps += 1;
+        steps += h;
+        blocks += 1;
+        t += h;
     }
     PolicyReport {
         policy: policy.name(),
         mean_goodput: payoff_sum / steps.max(1) as f64,
         switches,
-        hit_rate: hits as f64 / steps.max(1) as f64,
+        hit_rate: hits as f64 / blocks.max(1) as f64,
     }
 }
 
@@ -147,14 +165,17 @@ mod tests {
     use super::*;
     use traces::{UqDataset, UqSpec};
 
-    /// Short traces keep the per-step refits cheap in test builds; the
+    /// Medium-length walk with a long arrival phase: the block-commit
+    /// decisions keep refits cheap, the outdoor leg punishes the static
+    /// choice, and the fade-rich arrival leg (where WiFi fades cross
+    /// below LTE) is where forecasting separates from the snapshot. The
     /// full-length comparison runs in the bench harness and `repro`.
     fn dataset() -> UqDataset {
         UqDataset::generate(&UqSpec {
-            len: 120,
-            outdoor_at: 45,
-            arrival_at: 100,
-            seed: 11,
+            len: 240,
+            outdoor_at: 50,
+            arrival_at: 130,
+            seed: 5,
         })
     }
 

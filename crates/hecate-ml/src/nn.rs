@@ -65,9 +65,11 @@ struct Layer {
 }
 
 impl Layer {
-    fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
-        // He initialization for ReLU-family nets.
-        let scale = (2.0 / input as f64).sqrt();
+    fn new(input: usize, output: usize, gain: f64, rng: &mut StdRng) -> Self {
+        // He initialization (gain 2) for ReLU nets, Xavier (gain 1) for
+        // tanh — a too-hot tanh init saturates units and strands
+        // training on a plateau.
+        let scale = (gain / input as f64).sqrt();
         let mut weights = Matrix::zeros(output, input);
         for i in 0..output {
             for j in 0..input {
@@ -142,10 +144,16 @@ impl MlpRegressor {
     }
 
     /// A smaller MLP suitable for lag-window forecasting workloads.
+    ///
+    /// Uses true mini-batches (32) rather than the full-batch default:
+    /// on the few-hundred-sample datasets this model targets, full-batch
+    /// Adam has no gradient noise and can park in symmetric local
+    /// minima of small tanh nets.
     pub fn compact(seed: u64) -> Self {
         MlpRegressor {
             hidden: vec![32, 16],
             max_iter: 300,
+            batch_size: 32,
             seed,
             ..Self::default()
         }
@@ -269,8 +277,12 @@ impl Regressor for MlpRegressor {
         let mut widths = vec![x.cols()];
         widths.extend_from_slice(&self.hidden);
         widths.push(1);
+        let gain = match self.activation {
+            Activation::Relu => 2.0,
+            Activation::Tanh => 1.0,
+        };
         for w in widths.windows(2) {
-            self.layers.push(Layer::new(w[0], w[1], &mut rng));
+            self.layers.push(Layer::new(w[0], w[1], gain, &mut rng));
         }
         let n = x.rows();
         let batch_size = self.batch_size.min(n).max(1);

@@ -115,11 +115,11 @@ const WIFI_PROFILE: Profile = Profile {
     ar: 0.85,
     sigma: 0.5,
     // WiFi at walking speed fades hard and often (multipath,
-    // obstructions), then snaps back to the pre-fade plateau: V-shaped
+    // obstructions), then snaps back to the pre-fade plateau: U-shaped
     // events a lag-window tree can learn but a linear model smears.
-    fade_prob: 0.12,
+    fade_prob: 0.18,
     fade_steps: 4.5,
-    fade_mean_s: 3.0,
+    fade_mean_s: 6.0,
 };
 
 const LTE_PROFILE: Profile = Profile {
@@ -152,14 +152,25 @@ fn gen_series(rng: &mut StdRng, spec: &UqSpec, p: &Profile) -> Vec<f64> {
         let u2: f64 = rng.gen_range(0.0..1.0);
         let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         snr_idx = p.ar * snr_idx + (1.0 - p.ar) * target + p.sigma * (1.0 - p.ar).sqrt() * gauss;
-        if fade_left == 0 && rng.gen_range(0.0..1.0) < p.fade_prob {
+        // Obstruction fades start preferentially when the latent SNR is
+        // already below its regime mean (the radio is near the edge of
+        // its plateau): a *threshold* trigger that tree splits represent
+        // exactly and linear models cannot.
+        let below_mean = snr_idx < target - 0.15;
+        let onset_prob = if below_mean {
+            3.0 * p.fade_prob
+        } else {
+            p.fade_prob / 3.0
+        };
+        if fade_left == 0 && rng.gen_range(0.0..1.0) < onset_prob {
             fade_total = (p.fade_mean_s as usize).max(2);
             fade_left = fade_total;
         }
         let mut effective_idx = snr_idx;
         if fade_left > 0 {
             fade_left -= 1;
-            // full depth during the fade, half depth on the way out
+            // full depth in the trough, half depth on the way out — a
+            // U-shape whose exit timing is readable from the lag window
             effective_idx -= if fade_left == 0 {
                 p.fade_steps * 0.5
             } else {
@@ -170,7 +181,7 @@ fn gen_series(rng: &mut StdRng, spec: &UqSpec, p: &Profile) -> Vec<f64> {
         let max_idx = (p.ladder.len() - 1) as f64;
         let level = effective_idx.round().clamp(0.0, max_idx) as usize;
         // measurement efficiency jitter (MAC overhead, iperf granularity)
-        let eff = rng.gen_range(0.90..0.97);
+        let eff = rng.gen_range(0.92..0.96);
         out.push(p.ladder[level] * eff);
     }
     let _ = fade_total;

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `crossbeam` 0.8 API surface this workspace
+//! uses: `crossbeam::channel::{bounded, unbounded, Sender, Receiver}`.
+//!
+//! Backed by `std::sync::mpsc`. The semantics the workspace relies on
+//! hold: `Sender` is `Clone + Send + Debug`, `send` fails once the
+//! receiver is dropped, `recv` blocks and fails once all senders are
+//! dropped, and `bounded(n)` applies backpressure after `n` queued
+//! messages.
+
+pub mod channel {
+    //! Multi-producer channels (mpsc subset of crossbeam's mpmc).
+
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the channel is closed;
+    /// carries the unsent message like crossbeam's.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a closed channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    pub use std::sync::mpsc::RecvError;
+    /// Error returned by [`Receiver::try_recv`].
+    pub use std::sync::mpsc::TryRecvError;
+
+    enum SenderFlavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderFlavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderFlavor::Unbounded(tx) => SenderFlavor::Unbounded(tx.clone()),
+                SenderFlavor::Bounded(tx) => SenderFlavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        flavor: SenderFlavor<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                flavor: self.flavor.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking on a full bounded channel. Fails iff the
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.flavor {
+                SenderFlavor::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+                SenderFlavor::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv()
+        }
+
+        /// A blocking iterator over received messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.rx.iter()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                flavor: SenderFlavor::Unbounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    /// A channel holding at most `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                flavor: SenderFlavor::Bounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(41u32).unwrap());
+            tx.send(1).unwrap();
+            let sum = rx.recv().unwrap() + rx.recv().unwrap();
+            assert_eq!(sum, 42);
+        }
+
+        #[test]
+        fn bounded_ack_pattern() {
+            let (tx, rx) = bounded(1);
+            tx.send("ack").unwrap();
+            assert_eq!(rx.recv(), Ok("ack"));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}
