@@ -1,0 +1,89 @@
+//! Bench: flow-arrival decision throughput, cold vs warm ForecastEngine
+//! (ISSUE 2's tentpole artifact).
+//!
+//! `cold` is the seed reproduction's behavior — refit every path's
+//! regressor for every arriving flow; `warm` serves the same decision
+//! from the trained-model cache; `warm_batch` amortizes one consultation
+//! across a 64-flow scheduler tick via `decide_flows`. All three decide
+//! against identical netsim-driven telemetry (8 candidate tunnels over
+//! the Fig 9 testbed grown by path discovery), so the recommendations
+//! are identical — only the cost differs.
+
+use bench::figures::throughput_testbed;
+use criterion::{criterion_group, criterion_main, Criterion};
+use framework::controller::{decide_flows, decide_path, SequenceLog};
+use framework::optimizer::{select_path, Objective};
+use framework::scheduler::FlowRequest;
+use framework::{HecateService, Metric};
+use std::hint::black_box;
+
+fn bench_decisions(c: &mut Criterion) {
+    let (telemetry, names) = throughput_testbed(8);
+    let mut group = c.benchmark_group("decision_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    // Cold: refit all 8 path models per decision (the old hot path).
+    let cold = HecateService::new();
+    group.bench_function("cold/8paths/RFR", |b| {
+        b.iter(|| {
+            let forecasts =
+                cold.forecast_all_uncached(&telemetry, &names, Metric::AvailableBandwidth);
+            black_box(
+                select_path(Objective::MaxBandwidth, &forecasts)
+                    .unwrap()
+                    .path
+                    .clone(),
+            )
+        })
+    });
+
+    // Warm: identical decision served from the trained-model cache.
+    let warm = HecateService::new();
+    let mut log = SequenceLog::default();
+    decide_path(&warm, &telemetry, &names, Objective::MaxBandwidth, &mut log)
+        .expect("prime the cache");
+    group.bench_function("warm/8paths/RFR", |b| {
+        b.iter(|| {
+            let mut log = SequenceLog::default();
+            black_box(
+                decide_path(&warm, &telemetry, &names, Objective::MaxBandwidth, &mut log)
+                    .unwrap()
+                    .tunnel,
+            )
+        })
+    });
+
+    // Warm, batched: a 64-flow scheduler tick per iteration — report
+    // the per-tick cost; per-flow cost is this divided by 64.
+    let tick: Vec<FlowRequest> = (0..64)
+        .map(|i| FlowRequest {
+            label: format!("f{i}"),
+            tos: 0,
+            demand_mbps: None,
+            start_ms: 0,
+        })
+        .collect();
+    group.bench_function("warm_batch64/8paths/RFR", |b| {
+        b.iter(|| {
+            let mut log = SequenceLog::default();
+            black_box(
+                decide_flows(
+                    &warm,
+                    &telemetry,
+                    &tick,
+                    &names,
+                    Objective::MaxBandwidth,
+                    &mut log,
+                )
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -27,11 +27,9 @@ fn bench_fit(c: &mut Criterion) {
         RegressorKind::SvmRbf,
         RegressorKind::TheilSenR,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &k| b.iter(|| black_box(evaluate_regressor(k, &data.wifi, &cfg).unwrap().rmse)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| black_box(evaluate_regressor(k, &data.wifi, &cfg).unwrap().rmse))
+        });
     }
     group.finish();
 }
@@ -45,17 +43,9 @@ fn bench_forecast(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(5));
     for kind in [RegressorKind::Lr, RegressorKind::Rfr] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &k| {
-                b.iter(|| {
-                    black_box(
-                        hecate_ml::pipeline::forecast_next(k, history, 10, 10, 7).unwrap(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| black_box(hecate_ml::pipeline::forecast_next(k, history, 10, 10, 7).unwrap()))
+        });
     }
     group.finish();
 }

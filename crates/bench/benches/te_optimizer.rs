@@ -40,5 +40,10 @@ fn bench_assignment_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_min_max_lp, bench_delay_split, bench_assignment_search);
+criterion_group!(
+    benches,
+    bench_min_max_lp,
+    bench_delay_split,
+    bench_assignment_search
+);
 criterion_main!(benches);

@@ -12,6 +12,7 @@
 //!   repro fig11          # latency migration experiment
 //!   repro fig12          # flow aggregation experiment
 //!   repro ablation       # decision-policy ablation (Sec III)
+//!   repro throughput     # cold vs warm ForecastEngine decisions/sec
 //!   repro steering       # framework-in-the-loop steering extension
 //!   repro mlp            # future-work MLP extension
 //!   repro cv             # walk-forward model selection extension
@@ -21,7 +22,7 @@ use bench::format_series;
 use hecate_ml::RegressorKind;
 
 /// The single source of truth for figure names and their runners.
-const FIGURES: [(&str, fn()); 12] = [
+const FIGURES: [(&str, fn()); 13] = [
     ("fig1", fig1),
     ("fig2", fig2),
     ("fig5", fig5),
@@ -31,6 +32,7 @@ const FIGURES: [(&str, fn()); 12] = [
     ("fig11", fig11),
     ("fig12", fig12),
     ("ablation", ablation),
+    ("throughput", throughput),
     ("steering", steering),
     ("mlp", mlp),
     ("cv", cv),
@@ -42,7 +44,10 @@ fn main() {
     let all = which == "all";
     if !all && !FIGURES.iter().any(|(name, _)| *name == which) {
         let names: Vec<&str> = FIGURES.iter().map(|(name, _)| *name).collect();
-        eprintln!("unknown figure {which:?}; choose one of: all {}", names.join(" "));
+        eprintln!(
+            "unknown figure {which:?}; choose one of: all {}",
+            names.join(" ")
+        );
         std::process::exit(2);
     }
     for (name, run) in FIGURES {
@@ -90,7 +95,10 @@ fn fig5() {
 }
 
 fn fig6() {
-    banner("fig6", "RMSE of 18 regression models (WiFi = Path 1, LTE = Path 2)");
+    banner(
+        "fig6",
+        "RMSE of 18 regression models (WiFi = Path 1, LTE = Path 2)",
+    );
     let rows = figures::fig6();
     println!("{:<5} {:<12} {:>10} {:>10}", "id", "model", "WiFi", "LTE");
     for (kind, wifi, lte) in &rows {
@@ -118,9 +126,18 @@ fn fig7_or_8(kind: RegressorKind, name: &str) {
     );
     let (wifi, lte) = figures::fig7_fig8(kind);
     for (path, rep) in [("WiFi/Path1", &wifi), ("LTE/Path2", &lte)] {
-        println!("{path}: rmse {:.2}, mae {:.2}, r2 {:.3}", rep.rmse, rep.mae, rep.r2);
+        println!(
+            "{path}: rmse {:.2}, mae {:.2}, r2 {:.3}",
+            rep.rmse, rep.mae, rep.r2
+        );
         println!("  t+idx  observed  predicted");
-        for (i, (o, p)) in rep.observed.iter().zip(&rep.predicted).enumerate().step_by(10) {
+        for (i, (o, p)) in rep
+            .observed
+            .iter()
+            .zip(&rep.predicted)
+            .enumerate()
+            .step_by(10)
+        {
             println!("  {i:5} {o:9.2} {p:10.2}");
         }
     }
@@ -129,10 +146,7 @@ fn fig7_or_8(kind: RegressorKind, name: &str) {
 fn fig11() {
     banner("fig11", "agile migration to a lower-latency path");
     let r = figures::fig11(60, 42);
-    print!(
-        "{}",
-        format_series("RTT (ms) @1Hz:", &r.rtt_series, 5)
-    );
+    print!("{}", format_series("RTT (ms) @1Hz:", &r.rtt_series, 5));
     println!(
         "migration at t={}s: {} -> {}",
         r.migration_at_s, r.tunnel_before, r.tunnel_after
@@ -149,7 +163,10 @@ fn fig12() {
     banner("fig12", "flow aggregation with multiple paths");
     let r = figures::fig12(60, 42);
     for (label, series) in &r.per_flow {
-        print!("{}", format_series(&format!("{label} goodput (Mbps):"), series, 10));
+        print!(
+            "{}",
+            format_series(&format!("{label} goodput (Mbps):"), series, 10)
+        );
     }
     print!("{}", format_series("total goodput (Mbps):", &r.total, 10));
     println!("redistribution at t={}s:", r.redistribution_at_s);
@@ -176,6 +193,34 @@ fn ablation() {
     }
 }
 
+fn throughput() {
+    banner(
+        "throughput",
+        "flow-arrival decisions/sec, cold (refit every decision) vs warm (ForecastEngine)",
+    );
+    let r = figures::decision_throughput(8, 20, 5000);
+    println!(
+        "{} candidate paths, RFR, identical telemetry for both engines",
+        r.paths
+    );
+    println!(
+        "  cold  (seed behavior)    {:>12.1} decisions/s   ({} flows)",
+        r.cold_dps, r.cold_flows
+    );
+    println!(
+        "  warm  (trained cache)    {:>12.1} decisions/s   ({} flows)",
+        r.warm_dps, r.warm_flows
+    );
+    println!(
+        "  warm  (64-flow batches)  {:>12.1} decisions/s",
+        r.warm_batch_dps
+    );
+    println!(
+        "  speedup {:.0}x, recommendations matched: {}, cache {:?}",
+        r.speedup, r.matched, r.cache
+    );
+}
+
 fn steering() {
     banner(
         "ext-steering",
@@ -196,7 +241,10 @@ fn steering() {
 }
 
 fn mlp() {
-    banner("ext-mlp", "future-work neural network vs the paper's models");
+    banner(
+        "ext-mlp",
+        "future-work neural network vs the paper's models",
+    );
     println!("{:<8} {:>10} {:>10}", "model", "WiFi RMSE", "LTE RMSE");
     for (name, wifi, lte) in figures::ext_mlp() {
         println!("{name:<8} {wifi:>10.2} {lte:>10.2}");
@@ -211,6 +259,11 @@ fn cv() {
     println!("{:<12} {:>10}  fold RMSEs", "model", "mean RMSE");
     for r in figures::ext_cv() {
         let folds: Vec<String> = r.fold_rmse.iter().map(|v| format!("{v:.2}")).collect();
-        println!("{:<12} {:>10.2}  [{}]", r.kind.label(), r.mean_rmse, folds.join(", "));
+        println!(
+            "{:<12} {:>10.2}  [{}]",
+            r.kind.label(),
+            r.mean_rmse,
+            folds.join(", ")
+        );
     }
 }

@@ -7,7 +7,8 @@
 //! flow through it by adjusting the edge routers."
 
 use crate::hecate::HecateService;
-use crate::optimizer::{select_path, Objective};
+use crate::optimizer::{assign_flows, select_path, Objective};
+use crate::scheduler::FlowRequest;
 use crate::telemetry::{Metric, TelemetryService};
 use crate::FrameworkError;
 
@@ -19,8 +20,12 @@ pub struct PathDecision {
     /// Whether the decision used Hecate forecasts (false = fallback to
     /// the arbitrary first candidate, the paper's "phase (i)").
     pub used_forecast: bool,
-    /// Score of the chosen path under the objective (forecast mean).
-    pub score: f64,
+    /// Score of the chosen path under the objective (forecast mean);
+    /// `None` on the cold-start fallback, where no forecast exists.
+    /// (The seed used `f64::NAN` here, which silently broke the derived
+    /// `PartialEq`: two identical cold-start decisions compared
+    /// unequal.)
+    pub score: Option<f64>,
 }
 
 /// The Fig 4 message sequence, recorded step by step so tests and the
@@ -70,7 +75,7 @@ pub fn decide_path(
         return Ok(PathDecision {
             tunnel: candidates[0].clone(),
             used_forecast: false,
-            score: f64::NAN,
+            score: None,
         });
     }
     let best = select_path(objective, &forecasts)?;
@@ -78,8 +83,138 @@ pub fn decide_path(
     Ok(PathDecision {
         tunnel: best.path.clone(),
         used_forecast: true,
-        score: best.mean(),
+        score: Some(best.mean()),
     })
+}
+
+/// Exhaustive assignment is k^n; above this bound the batch falls back
+/// to the online greedy placement.
+const EXHAUSTIVE_ASSIGNMENT_BOUND: u64 = 100_000;
+
+/// Batched decision function: one Fig 4 consultation for *every* flow
+/// due in the same scheduler tick.
+///
+/// The per-path forecasts are computed once (fanned out in parallel,
+/// served from Hecate's trained-model cache) and amortized across the
+/// whole batch — the AMPF insight that per-flow ML path assignment only
+/// scales when classifier cost is shared across arriving flows. Returns
+/// one decision per request, in request order.
+///
+/// Placement semantics per objective:
+///
+/// * a batch of one always decides exactly like [`decide_path`];
+/// * [`Objective::MaxBandwidth`] places the batch jointly: the
+///   exhaustive [`assign_flows`] search (the same optimum the
+///   re-optimizer uses) when `candidates^flows` is small enough,
+///   otherwise an online greedy water-fill where each flow takes the
+///   tunnel currently offering it the best share;
+/// * the latency/utilization objectives have no flow-interaction model,
+///   so every flow gets the single [`select_path`] winner;
+/// * cold start sends the whole batch to the first candidate (phase i).
+pub fn decide_flows(
+    hecate: &HecateService,
+    telemetry: &TelemetryService,
+    requests: &[FlowRequest],
+    candidates: &[String],
+    objective: Objective,
+    log: &mut SequenceLog,
+) -> Result<Vec<PathDecision>, FrameworkError> {
+    if candidates.is_empty() {
+        return Err(FrameworkError::NoFeasiblePath);
+    }
+    if requests.is_empty() {
+        return Ok(Vec::new());
+    }
+    if requests.len() == 1 {
+        return Ok(vec![decide_path(
+            hecate, telemetry, candidates, objective, log,
+        )?]);
+    }
+    log.record("getTelemetry");
+    let metric = match objective {
+        Objective::MinLatency => Metric::Rtt,
+        _ => Metric::AvailableBandwidth,
+    };
+    log.record("askHecatePath");
+    let forecasts = hecate.forecast_all(telemetry, candidates, metric);
+    if forecasts.is_empty() {
+        log.record("fallbackArbitraryPath");
+        return Ok(requests
+            .iter()
+            .map(|_| PathDecision {
+                tunnel: candidates[0].clone(),
+                used_forecast: false,
+                score: None,
+            })
+            .collect());
+    }
+    let decisions = match objective {
+        Objective::MaxBandwidth => {
+            let caps: Vec<f64> = forecasts.iter().map(|f| f.mean().max(0.0)).collect();
+            let tunnel_of_flow = place_batch(
+                &caps,
+                &requests.iter().map(|r| r.demand_mbps).collect::<Vec<_>>(),
+            )?;
+            tunnel_of_flow
+                .into_iter()
+                .map(|t| PathDecision {
+                    tunnel: forecasts[t].path.clone(),
+                    used_forecast: true,
+                    score: Some(forecasts[t].mean()),
+                })
+                .collect()
+        }
+        _ => {
+            let best = select_path(objective, &forecasts)?;
+            requests
+                .iter()
+                .map(|_| PathDecision {
+                    tunnel: best.path.clone(),
+                    used_forecast: true,
+                    score: Some(best.mean()),
+                })
+                .collect()
+        }
+    };
+    log.record("optimizerReturn");
+    Ok(decisions)
+}
+
+/// Places a batch of flows on tunnels with predicted capacities `caps`:
+/// the exhaustive optimum when the search space is small, an online
+/// greedy water-fill otherwise.
+fn place_batch(caps: &[f64], demands: &[Option<f64>]) -> Result<Vec<usize>, FrameworkError> {
+    let k = caps.len() as u64;
+    let exhaustive_fits = k
+        .checked_pow(demands.len().min(u32::MAX as usize) as u32)
+        .is_some_and(|space| space <= EXHAUSTIVE_ASSIGNMENT_BOUND);
+    if exhaustive_fits {
+        return Ok(assign_flows(caps, demands)?.tunnel_of_flow);
+    }
+    // Online greedy: each flow takes the tunnel currently offering it
+    // the best share. Greedy flows split a tunnel's residual evenly;
+    // demand-limited flows reserve their demand. O(flows * tunnels).
+    let mut reserved = vec![0.0f64; caps.len()];
+    let mut greedy_count = vec![0usize; caps.len()];
+    let mut placement = Vec::with_capacity(demands.len());
+    for demand in demands {
+        let share = |t: usize| -> f64 {
+            let residual = (caps[t] - reserved[t]).max(0.0);
+            match demand {
+                Some(d) => d.min(residual / (greedy_count[t] + 1) as f64),
+                None => residual / (greedy_count[t] + 1) as f64,
+            }
+        };
+        let best = (0..caps.len())
+            .max_by(|&a, &b| share(a).total_cmp(&share(b)))
+            .expect("candidates are non-empty");
+        match demand {
+            Some(d) => reserved[best] += d,
+            None => greedy_count[best] += 1,
+        }
+        placement.push(best);
+    }
+    Ok(placement)
 }
 
 #[cfg(test)]
@@ -141,7 +276,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(d.tunnel, "tunnel2");
-        assert!((d.score - 16.0).abs() < 2.0);
+        assert!((d.score.unwrap() - 16.0).abs() < 2.0);
     }
 
     #[test]
@@ -173,5 +308,162 @@ mod tests {
             &mut log
         )
         .is_err());
+    }
+
+    #[test]
+    fn cold_start_decisions_compare_equal() {
+        // The NAN score made two identical cold-start decisions unequal
+        // under the derived PartialEq; Option<f64> restores reflexivity.
+        let ts = TelemetryService::new(10);
+        let mut log = SequenceLog::default();
+        let h = HecateService::new();
+        let a = decide_path(&h, &ts, &candidates(), Objective::MaxBandwidth, &mut log).unwrap();
+        let b = decide_path(&h, &ts, &candidates(), Objective::MaxBandwidth, &mut log).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.score, None);
+    }
+
+    fn reqs(n: usize) -> Vec<FlowRequest> {
+        (0..n)
+            .map(|i| FlowRequest {
+                label: format!("f{i}"),
+                tos: 32,
+                demand_mbps: None,
+                start_ms: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_of_one_matches_decide_path() {
+        let ts = store_with(
+            &[("tunnel1", 20.0), ("tunnel2", 10.0), ("tunnel3", 5.0)],
+            Metric::AvailableBandwidth,
+        );
+        let h = HecateService::new();
+        let mut log = SequenceLog::default();
+        let single =
+            decide_path(&h, &ts, &candidates(), Objective::MaxBandwidth, &mut log).unwrap();
+        let batch = decide_flows(
+            &h,
+            &ts,
+            &reqs(1),
+            &candidates(),
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(batch, vec![single]);
+    }
+
+    #[test]
+    fn greedy_batch_spreads_across_tunnels() {
+        // Three greedy flows over predicted capacities ~20/10/5: the
+        // joint optimum is one flow per tunnel (the Fig 12 decision),
+        // not all three piled on the fattest path.
+        let ts = store_with(
+            &[("tunnel1", 20.0), ("tunnel2", 10.0), ("tunnel3", 5.0)],
+            Metric::AvailableBandwidth,
+        );
+        let h = HecateService::new();
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows(
+            &h,
+            &ts,
+            &reqs(3),
+            &candidates(),
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        let mut tunnels: Vec<&str> = decisions.iter().map(|d| d.tunnel.as_str()).collect();
+        tunnels.sort_unstable();
+        assert_eq!(tunnels, vec!["tunnel1", "tunnel2", "tunnel3"]);
+        assert!(decisions.iter().all(|d| d.used_forecast));
+        assert!(decisions.iter().all(|d| d.score.is_some()));
+        assert_eq!(
+            log.steps(),
+            &["getTelemetry", "askHecatePath", "optimizerReturn"],
+            "one consultation for the whole batch"
+        );
+    }
+
+    #[test]
+    fn latency_batch_sends_everyone_to_the_fastest_path() {
+        let ts = store_with(&[("tunnel1", 58.0), ("tunnel2", 16.0)], Metric::Rtt);
+        let h = HecateService::new();
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows(
+            &h,
+            &ts,
+            &reqs(4),
+            &["tunnel1".into(), "tunnel2".into()],
+            Objective::MinLatency,
+            &mut log,
+        )
+        .unwrap();
+        assert!(decisions.iter().all(|d| d.tunnel == "tunnel2"));
+    }
+
+    #[test]
+    fn cold_batch_falls_back_for_every_flow() {
+        let ts = TelemetryService::new(10);
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows(
+            &HecateService::new(),
+            &ts,
+            &reqs(3),
+            &candidates(),
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(decisions.len(), 3);
+        assert!(decisions
+            .iter()
+            .all(|d| d.tunnel == "tunnel1" && !d.used_forecast));
+        assert!(log.steps().contains(&"fallbackArbitraryPath".to_string()));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let ts = TelemetryService::new(10);
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows(
+            &HecateService::new(),
+            &ts,
+            &[],
+            &candidates(),
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        assert!(decisions.is_empty());
+    }
+
+    #[test]
+    fn huge_batch_uses_greedy_placement_and_terminates() {
+        // 3^1000 would overflow the exhaustive search; the water-fill
+        // must kick in, keep flows on real tunnels and still spread.
+        let ts = store_with(
+            &[("tunnel1", 20.0), ("tunnel2", 10.0), ("tunnel3", 5.0)],
+            Metric::AvailableBandwidth,
+        );
+        let h = HecateService::new();
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows(
+            &h,
+            &ts,
+            &reqs(1000),
+            &candidates(),
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(decisions.len(), 1000);
+        let on = |t: &str| decisions.iter().filter(|d| d.tunnel == t).count();
+        assert!(on("tunnel1") > on("tunnel2"));
+        assert!(on("tunnel2") > on("tunnel3"));
+        assert!(on("tunnel3") > 0, "even the thinnest tunnel gets flows");
     }
 }

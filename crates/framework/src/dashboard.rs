@@ -21,7 +21,10 @@ pub fn utilization_bar(utilization: f64, width: usize) -> String {
 /// Renders a numeric series as a Unicode sparkline (`▁▂▃▄▅▆▇█`).
 /// Empty input renders as an empty string.
 pub fn sparkline(values: &[f64]) -> String {
-    const TICKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const TICKS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if values.is_empty() {
         return String::new();
     }
@@ -47,10 +50,7 @@ pub fn link_row(name: &str, utilization: f64) -> String {
 
 /// One dashboard row for a flow: label, current rate, history sparkline.
 pub fn flow_row(label: &str, rate_mbps: f64, history: &[f64]) -> String {
-    format!(
-        "{label:<10} {rate_mbps:6.2} Mbps {}",
-        sparkline(history)
-    )
+    format!("{label:<10} {rate_mbps:6.2} Mbps {}", sparkline(history))
 }
 
 /// Assembles a whole dashboard frame from link utilizations and flow

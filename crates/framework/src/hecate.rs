@@ -1,14 +1,37 @@
-//! The Hecate Service: per-path QoS forecasting.
+//! The Hecate Service: per-path QoS forecasting behind a trained-model
+//! cache — the framework's **ForecastEngine**.
 //!
 //! "The ML model predicts QoS at time t_{i+1} … Hecate computes the
 //! predicted values for the next 10 steps and returns the best path,
 //! where the most available bandwidth is as a recommendation for PolKA
 //! to use."
+//!
+//! The seed reproduction retrained the regressor from scratch on every
+//! decision. This module instead keeps one [`TrainedForecaster`] per
+//! `(path, metric)` series in a concurrent cache and *queries* it
+//! online (NeuRoute's train-once/query-many discipline):
+//!
+//! * **hit** — no new telemetry since the model last looked: roll the
+//!   cached model, no history read at all;
+//! * **update** — fewer than [`HecateService::refit_after`] new samples
+//!   since the fit: slide them into the model's lag window
+//!   ([`TrainedForecaster::observe`]) and roll, still no refit;
+//! * **refit** — the series moved by `refit_after` or more samples (or
+//!   the service's model/lags/seed changed): fit fresh from history and
+//!   replace the entry.
+//!
+//! Staleness is tracked with the telemetry store's monotonic per-series
+//! sample counter ([`TelemetryService::total`]), so invalidation costs
+//! one atomic-ish read, not a history diff.
 
 use crate::telemetry::{Metric, SeriesKey, TelemetryService};
 use crate::FrameworkError;
-use hecate_ml::pipeline::forecast_next;
+use hecate_ml::pipeline::{forecast_next, TrainedForecaster};
 use hecate_ml::RegressorKind;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A per-path forecast.
 #[derive(Debug, Clone)]
@@ -28,14 +51,67 @@ impl PathForecast {
         self.values.iter().sum::<f64>() / self.values.len() as f64
     }
 
-    /// Pessimistic (minimum) forecast over the horizon.
+    /// Pessimistic (minimum) forecast over the horizon, or `0.0` for an
+    /// empty forecast — consistent with [`PathForecast::mean`], and
+    /// never the `+INFINITY` a bare fold would produce (which would make
+    /// an empty forecast look infinitely attractive to the
+    /// min-max-utilization objective).
     pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
         self.values.iter().copied().fold(f64::INFINITY, f64::min)
     }
 }
 
-/// Hecate: one regressor + the forecasting protocol.
-#[derive(Debug, Clone)]
+/// One cached trained model plus the bookkeeping invalidation needs.
+#[derive(Debug)]
+struct CacheEntry {
+    forecaster: TrainedForecaster,
+    /// Telemetry [`TelemetryService::total`] at fit time.
+    fitted_at: u64,
+    /// Telemetry total the lag window has absorbed (>= `fitted_at`).
+    observed: u64,
+    /// Memoized `forecaster.roll(rolled_horizon)` as of `observed`: a
+    /// roll is a pure function of the unchanged window, so a cache hit
+    /// clones ten floats instead of re-running `horizon` model
+    /// inferences per path under the read lock.
+    rolled: Vec<f64>,
+    rolled_horizon: usize,
+}
+
+/// Cache internals shared by every clone of a [`HecateService`].
+///
+/// Entries are individually locked (`Arc<Mutex<_>>` per series) so
+/// forecasts for *different* paths never serialize on the map: the
+/// map-wide `RwLock` is only held to look up or publish an entry, and
+/// the per-entry mutex covers the window slide + roll. Only calls for
+/// the same series contend — which is the correct serialization anyway.
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: RwLock<HashMap<SeriesKey, Arc<Mutex<CacheEntry>>>>,
+    hits: AtomicU64,
+    updates: AtomicU64,
+    refits: AtomicU64,
+}
+
+/// A snapshot of the forecast cache's behavior counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Forecasts served by rolling a cached model with no new data.
+    pub hits: u64,
+    /// Forecasts served by sliding new samples into a cached model's
+    /// lag window (no refit).
+    pub updates: u64,
+    /// Forecasts that (re)fitted a model from history.
+    pub refits: u64,
+    /// Series with a cached model right now.
+    pub entries: usize,
+}
+
+/// Hecate: one regressor + the forecasting protocol + the trained-model
+/// cache. Cloning is cheap and clones *share* the cache.
+#[derive(Clone)]
 pub struct HecateService {
     /// Which of the eighteen models to use (the paper picks RFR).
     pub model: RegressorKind,
@@ -45,6 +121,26 @@ pub struct HecateService {
     pub horizon: usize,
     /// Seed for stochastic models.
     pub seed: u64,
+    /// Staleness threshold N: a cached model is reused (its lag window
+    /// updated in place) until the series has grown by `refit_after`
+    /// samples since the fit, then it is refitted. `0` refits whenever
+    /// any new sample arrived. Default 10 — one refit per forecast
+    /// horizon at the paper's 1 Hz sampling.
+    pub refit_after: u64,
+    cache: Arc<CacheInner>,
+}
+
+impl std::fmt::Debug for HecateService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HecateService")
+            .field("model", &self.model)
+            .field("lags", &self.lags)
+            .field("horizon", &self.horizon)
+            .field("seed", &self.seed)
+            .field("refit_after", &self.refit_after)
+            .field("cached_series", &self.cache.entries.read().len())
+            .finish()
+    }
 }
 
 impl Default for HecateService {
@@ -54,6 +150,8 @@ impl Default for HecateService {
             lags: 10,
             horizon: 10,
             seed: 42,
+            refit_after: 10,
+            cache: Arc::default(),
         }
     }
 }
@@ -77,9 +175,140 @@ impl HecateService {
         self.lags + 2
     }
 
-    /// Forecasts the next `horizon` values of a metric for one path from
-    /// the telemetry store.
+    /// True when the cached entry was produced by this service's current
+    /// configuration (users may retarget `model`/`lags`/`seed` at any
+    /// time; stale-config entries must refit, not roll).
+    fn entry_usable(&self, e: &CacheEntry) -> bool {
+        e.forecaster.kind() == self.model
+            && e.forecaster.lags() == self.lags
+            && e.forecaster.seed() == self.seed
+    }
+
+    /// Fits a fresh cache entry for `key`. The history window and the
+    /// series total are captured in one consistent telemetry read, then
+    /// copied out (<= 120 values, refits only) so the expensive model
+    /// fit runs without holding any lock — telemetry writers are never
+    /// stalled behind a fit.
+    fn fit_entry(
+        &self,
+        telemetry: &TelemetryService,
+        key: &SeriesKey,
+    ) -> Result<CacheEntry, FrameworkError> {
+        let insufficient = |have: usize| FrameworkError::InsufficientTelemetry {
+            key: key.to_string(),
+            have,
+            need: self.min_history(),
+        };
+        let (total, history) = telemetry
+            .with_tail(key, |total, vals| {
+                let start = vals.len().saturating_sub(120.max(self.min_history()));
+                (total, vals[start..].to_vec())
+            })
+            .ok_or_else(|| insufficient(0))?;
+        if history.len() < self.min_history() {
+            return Err(insufficient(history.len()));
+        }
+        let forecaster = TrainedForecaster::fit(self.model, &history, self.lags, self.seed)?;
+        let rolled = forecaster.roll(self.horizon)?;
+        Ok(CacheEntry {
+            forecaster,
+            fitted_at: total,
+            observed: total,
+            rolled,
+            rolled_horizon: self.horizon,
+        })
+    }
+
+    /// Forecasts the next `horizon` values of a metric for one path,
+    /// serving from the trained-model cache whenever the series has not
+    /// outrun [`HecateService::refit_after`] — see the module docs for
+    /// the hit/update/refit protocol. A refit-every-time baseline is
+    /// kept as [`HecateService::forecast_path_uncached`].
     pub fn forecast_path(
+        &self,
+        telemetry: &TelemetryService,
+        path: &str,
+        metric: Metric,
+    ) -> Result<PathForecast, FrameworkError> {
+        let key = SeriesKey::new(path, metric);
+        let wrap = |values: Vec<f64>| PathForecast {
+            path: path.to_string(),
+            values,
+        };
+        // Hit/update path: lock only this series' entry (the map read
+        // lock is dropped immediately), so forecasts for different
+        // paths proceed fully in parallel. A hit clones the memoized
+        // roll — `horizon` floats, no model inference. Fewer than
+        // `refit_after` new samples slide into the lag window and
+        // re-memoize the roll, no refit. The series total and the
+        // sample values come from ONE consistent telemetry read
+        // (`with_tail`): reading them separately would let a racing
+        // insert land in between, and the window would skip samples now
+        // and double-absorb them on the next call.
+        let cell = self.cache.entries.read().get(&key).cloned();
+        if let Some(cell) = cell {
+            let mut e = cell.lock();
+            if self.entry_usable(&e) {
+                let threshold = self.refit_after.max(1);
+                // Capture the series total and the fresh tail (at most
+                // refit_after values) in one short, consistent
+                // telemetry read — capturing them separately would let
+                // a racing insert land in between and the window would
+                // skip samples now and double-absorb them later. All
+                // model work (observe/roll) runs after the telemetry
+                // guard is dropped, under only this entry's lock, so
+                // inserts and other series' readers are never stalled
+                // behind an inference. `total < e.observed` means this
+                // service was pointed at a different (shorter)
+                // telemetry store than the one that populated the
+                // cache; anything inconsistent falls through to refit.
+                let captured = telemetry.with_tail(&key, |total, vals| {
+                    if total < e.observed || total - e.fitted_at >= threshold {
+                        return None; // stale: refit
+                    }
+                    let fresh = (total - e.observed) as usize;
+                    let start = vals.len().saturating_sub(fresh);
+                    Some((total, vals[start..].to_vec()))
+                });
+                if let Some(Some((total, fresh_vals))) = captured {
+                    if fresh_vals.is_empty() && e.rolled_horizon == self.horizon {
+                        self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(wrap(e.rolled.clone()));
+                    }
+                    for &v in &fresh_vals {
+                        e.forecaster.observe(v)?;
+                    }
+                    let counter = if fresh_vals.is_empty() {
+                        &self.cache.hits // horizon changed: re-roll only
+                    } else {
+                        &self.cache.updates
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    e.observed = total;
+                    e.rolled = e.forecaster.roll(self.horizon)?;
+                    e.rolled_horizon = self.horizon;
+                    return Ok(wrap(e.rolled.clone()));
+                }
+            }
+        }
+        // Refit path: fit outside any lock (fits are the expensive part
+        // and must not serialize a parallel fan-out over many paths),
+        // then publish. Concurrent misses on the same key may fit twice;
+        // both fits are deterministic, so last-write-wins is harmless.
+        let entry = self.fit_entry(telemetry, &key)?;
+        let values = entry.rolled.clone();
+        self.cache.refits.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .entries
+            .write()
+            .insert(key, Arc::new(Mutex::new(entry)));
+        Ok(wrap(values))
+    }
+
+    /// The seed reproduction's behavior: refit from history on every
+    /// single call, bypassing the cache. Kept as the cold baseline for
+    /// the `decision_throughput` bench and for A/B-testing the cache.
+    pub fn forecast_path_uncached(
         &self,
         telemetry: &TelemetryService,
         path: &str,
@@ -101,18 +330,108 @@ impl HecateService {
         })
     }
 
+    /// Serves a memoized cache hit for `key` — model saw every sample,
+    /// same horizon — without touching the model or any history;
+    /// `None` on anything that needs the full hit/update/refit
+    /// protocol. Does not touch the stats counters: the caller
+    /// attributes hits (a partial probe that falls back to
+    /// [`HecateService::forecast_path`] must not count paths twice).
+    fn try_hit(&self, telemetry: &TelemetryService, key: &SeriesKey) -> Option<Vec<f64>> {
+        let cell = self.cache.entries.read().get(key).cloned()?;
+        let e = cell.lock();
+        if self.entry_usable(&e)
+            && e.rolled_horizon == self.horizon
+            && e.observed == telemetry.total(key)
+        {
+            Some(e.rolled.clone())
+        } else {
+            None
+        }
+    }
+
     /// Forecasts every candidate path; paths with insufficient history
-    /// are skipped (they cannot be recommended yet).
+    /// are skipped (they cannot be recommended yet). Results come back
+    /// in candidate order.
+    ///
+    /// Steady state (every path a memoized cache hit) is served
+    /// sequentially — the work per path is a map lookup and a
+    /// ten-float clone, which thread spawns would dominate. As soon as
+    /// any path needs the update/refit protocol, the whole candidate
+    /// set fans out over scoped workers so model fits run in parallel.
     pub fn forecast_all(
         &self,
         telemetry: &TelemetryService,
         paths: &[String],
         metric: Metric,
     ) -> Vec<PathForecast> {
-        paths
+        let hits: Option<Vec<PathForecast>> = paths
             .iter()
-            .filter_map(|p| self.forecast_path(telemetry, p, metric).ok())
+            .map(|p| {
+                self.try_hit(telemetry, &SeriesKey::new(p, metric))
+                    .map(|values| PathForecast {
+                        path: p.clone(),
+                        values,
+                    })
+            })
+            .collect();
+        if let Some(forecasts) = hits {
+            self.cache
+                .hits
+                .fetch_add(paths.len() as u64, Ordering::Relaxed);
+            return forecasts;
+        }
+        linalg::par::par_map(paths, |p| self.forecast_path(telemetry, p, metric).ok())
+            .into_iter()
+            .flatten()
             .collect()
+    }
+
+    /// Refit-every-time variant of [`HecateService::forecast_all`] (the
+    /// cold baseline), with the same parallel fan-out.
+    pub fn forecast_all_uncached(
+        &self,
+        telemetry: &TelemetryService,
+        paths: &[String],
+        metric: Metric,
+    ) -> Vec<PathForecast> {
+        linalg::par::par_map(paths, |p| {
+            self.forecast_path_uncached(telemetry, p, metric).ok()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Behavior counters plus the live entry count.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            updates: self.cache.updates.load(Ordering::Relaxed),
+            refits: self.cache.refits.load(Ordering::Relaxed),
+            entries: self.cache.entries.read().len(),
+        }
+    }
+
+    /// How many samples the series has grown since the cached model for
+    /// `(path, metric)` was fitted; `None` when nothing is cached. After
+    /// any successful [`HecateService::forecast_path`] this is always
+    /// `< max(refit_after, 1)` as of the telemetry state that call saw.
+    pub fn cache_age(
+        &self,
+        telemetry: &TelemetryService,
+        path: &str,
+        metric: Metric,
+    ) -> Option<u64> {
+        let key = SeriesKey::new(path, metric);
+        let cell = self.cache.entries.read().get(&key).cloned()?;
+        let fitted_at = cell.lock().fitted_at;
+        Some(telemetry.total(&key).saturating_sub(fitted_at))
+    }
+
+    /// Drops every cached model (e.g. after a topology change that
+    /// makes old series semantics meaningless).
+    pub fn clear_cache(&self) {
+        self.cache.entries.write().clear();
     }
 
     /// The paper's headline recommendation: the path with the most
@@ -167,11 +486,7 @@ mod tests {
     fn insufficient_history_is_reported() {
         let ts = TelemetryService::new(100);
         for t in 0..5u64 {
-            ts.insert(
-                &SeriesKey::new("t1", Metric::AvailableBandwidth),
-                t,
-                1.0,
-            );
+            ts.insert(&SeriesKey::new("t1", Metric::AvailableBandwidth), t, 1.0);
         }
         let h = HecateService::new();
         match h.forecast_path(&ts, "t1", Metric::AvailableBandwidth) {
@@ -188,10 +503,7 @@ mod tests {
         let ts = seeded_store(&[("t1", 20.0), ("t2", 10.0), ("t3", 5.0)]);
         let h = HecateService::new();
         let best = h
-            .best_path_by_bandwidth(
-                &ts,
-                &["t1".to_string(), "t2".to_string(), "t3".to_string()],
-            )
+            .best_path_by_bandwidth(&ts, &["t1".to_string(), "t2".to_string(), "t3".to_string()])
             .unwrap();
         assert_eq!(best, "t1");
     }
@@ -217,6 +529,109 @@ mod tests {
             h.best_path_by_bandwidth(&ts, &[]),
             Err(FrameworkError::NoFeasiblePath)
         ));
+    }
+
+    #[test]
+    fn empty_forecast_min_is_zero_not_infinity() {
+        let f = PathForecast {
+            path: "t1".into(),
+            values: vec![],
+        };
+        assert_eq!(f.min(), 0.0);
+        assert_eq!(f.mean(), 0.0);
+        let g = PathForecast {
+            path: "t1".into(),
+            values: vec![3.0, 1.0, 2.0],
+        };
+        assert_eq!(g.min(), 1.0);
+    }
+
+    #[test]
+    fn cache_hit_when_no_new_samples_is_identical_to_uncached() {
+        let ts = seeded_store(&[("t1", 20.0)]);
+        let h = HecateService::new();
+        let first = h
+            .forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        let hit = h
+            .forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        let uncached = h
+            .forecast_path_uncached(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        assert_eq!(first.values, hit.values);
+        assert_eq!(hit.values, uncached.values, "cache must not change bits");
+        let stats = h.cache_stats();
+        assert_eq!((stats.refits, stats.hits), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cache_updates_window_below_threshold_and_refits_at_it() {
+        let ts = seeded_store(&[("t1", 20.0)]);
+        let mut h = HecateService::new();
+        h.refit_after = 5;
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        // 3 new samples < 5: window update, no refit.
+        for t in 60..63u64 {
+            ts.insert(
+                &SeriesKey::new("t1", Metric::AvailableBandwidth),
+                t * 1000,
+                20.0,
+            );
+        }
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        let stats = h.cache_stats();
+        assert_eq!((stats.refits, stats.updates), (1, 1), "{stats:?}");
+        assert_eq!(h.cache_age(&ts, "t1", Metric::AvailableBandwidth), Some(3));
+        // 2 more: the series has moved 5 >= refit_after since the fit.
+        for t in 63..65u64 {
+            ts.insert(
+                &SeriesKey::new("t1", Metric::AvailableBandwidth),
+                t * 1000,
+                20.0,
+            );
+        }
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        let stats = h.cache_stats();
+        assert_eq!(stats.refits, 2, "{stats:?}");
+        assert_eq!(h.cache_age(&ts, "t1", Metric::AvailableBandwidth), Some(0));
+    }
+
+    #[test]
+    fn changing_the_model_invalidates_cached_entries() {
+        let ts = seeded_store(&[("t1", 20.0)]);
+        let mut h = HecateService::new();
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        h.model = RegressorKind::Lr;
+        let cached = h
+            .forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        let fresh = h
+            .forecast_path_uncached(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        assert_eq!(cached.values, fresh.values, "stale-config entry reused");
+        assert_eq!(h.cache_stats().refits, 2);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let ts = seeded_store(&[("t1", 20.0)]);
+        let h = HecateService::new();
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        let clone = h.clone();
+        clone
+            .forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        let stats = clone.cache_stats();
+        assert_eq!((stats.refits, stats.hits), (1, 1), "{stats:?}");
+        h.clear_cache();
+        assert_eq!(clone.cache_stats().entries, 0);
     }
 
     #[test]

@@ -35,9 +35,7 @@ pub fn select_path(
         Objective::MaxBandwidth => forecasts
             .iter()
             .max_by(|a, b| a.mean().total_cmp(&b.mean())),
-        Objective::MinMaxUtilization => forecasts
-            .iter()
-            .max_by(|a, b| a.min().total_cmp(&b.min())),
+        Objective::MinMaxUtilization => forecasts.iter().max_by(|a, b| a.min().total_cmp(&b.min())),
     };
     best.ok_or(FrameworkError::NoFeasiblePath)
 }
@@ -134,9 +132,7 @@ fn score_assignment(
     let mut total = 0.0;
     let mut min_rate = f64::INFINITY;
     for t in 0..k {
-        let members: Vec<usize> = (0..demands.len())
-            .filter(|&i| assignment[i] == t)
-            .collect();
+        let members: Vec<usize> = (0..demands.len()).filter(|&i| assignment[i] == t).collect();
         if members.is_empty() {
             continue;
         }
@@ -205,7 +201,10 @@ mod tests {
             forecast("t2", vec![10.0]),
             forecast("t3", vec![5.0]),
         ];
-        assert_eq!(select_path(Objective::MaxBandwidth, &fs).unwrap().path, "t1");
+        assert_eq!(
+            select_path(Objective::MaxBandwidth, &fs).unwrap().path,
+            "t1"
+        );
     }
 
     #[test]

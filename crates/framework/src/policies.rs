@@ -86,9 +86,8 @@ pub fn run_policy(
     let mut steps = 0usize;
     let mut blocks = 0usize;
     let static_choice = if path1[0] >= path2[0] { 0 } else { 1 };
-    let block_mean = |path: &[f64], t: usize, h: usize| {
-        path[t + 1..t + 1 + h].iter().sum::<f64>() / h as f64
-    };
+    let block_mean =
+        |path: &[f64], t: usize, h: usize| path[t + 1..t + 1 + h].iter().sum::<f64>() / h as f64;
     let mut t = warmup;
     while t + 1 < n {
         // steps committed by this decision
@@ -110,6 +109,10 @@ pub fn run_policy(
                 }
             }
             Policy::HecateForecast(kind) => {
+                // One canonical fit-then-roll per decision; at this
+                // cadence (one decision per committed interval) each
+                // decision refits, exactly like the framework cache at
+                // refit_after <= lags.
                 let mean_forecast = |path: &[f64]| {
                     forecast_next(kind, path, lags, h, 7)
                         .map(|v| v.iter().sum::<f64>() / v.len() as f64)

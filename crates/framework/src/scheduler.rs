@@ -39,7 +39,18 @@ impl Scheduler {
         self.queue.insert(pos, request);
     }
 
+    /// Submits a whole workload of requests.
+    pub fn submit_all(&mut self, requests: impl IntoIterator<Item = FlowRequest>) {
+        for r in requests {
+            self.submit(r);
+        }
+    }
+
     /// Pops every request due at or before `now_ms`, in start order.
+    ///
+    /// The whole batch is returned at once so the controller can decide
+    /// it with one amortized consultation
+    /// ([`crate::controller::decide_flows`]) instead of per-flow.
     pub fn due(&mut self, now_ms: u64) -> Vec<FlowRequest> {
         let split = self.queue.partition_point(|r| r.start_ms <= now_ms);
         self.queue.drain(..split).collect()

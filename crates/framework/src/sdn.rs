@@ -6,7 +6,7 @@
 //! [`SelfDrivingNetwork::run_flow_aggregation`] (Fig 12) and
 //! [`SelfDrivingNetwork::run_trace_driven_steering`] (extension).
 
-use crate::controller::{decide_path, PathDecision, SequenceLog};
+use crate::controller::{decide_flows, decide_path, PathDecision, SequenceLog};
 use crate::hecate::HecateService;
 use crate::optimizer::{assign_flows, Objective};
 use crate::scheduler::{FlowRequest, Scheduler};
@@ -127,10 +127,14 @@ impl SelfDrivingNetwork {
     /// [`SelfDrivingNetwork::sample_ms`], and starting scheduled flows.
     pub fn advance(&mut self, until_ms: u64) -> Result<(), FrameworkError> {
         while self.sim.now_ms() < until_ms {
-            // start due flow requests (Fig 4: Scheduler -> Controller)
-            for req in self.scheduler.due(self.sim.now_ms()) {
-                self.log.record("newFlow");
-                self.admit_flow(&req, Objective::MaxBandwidth)?;
+            // start due flow requests (Fig 4: Scheduler -> Controller);
+            // all flows due in this tick share one batched decision
+            let due = self.scheduler.due(self.sim.now_ms());
+            if !due.is_empty() {
+                for _ in &due {
+                    self.log.record("newFlow");
+                }
+                self.admit_flows(&due, Objective::MaxBandwidth)?;
             }
             let next = (self.sim.now_ms() + self.sample_ms).min(until_ms);
             self.sim.run_until(next, 100, self.sample_ms);
@@ -195,6 +199,46 @@ impl SelfDrivingNetwork {
             objective,
             &mut self.log,
         )?;
+        self.install_flow(req, &decision)?;
+        Ok(decision)
+    }
+
+    /// Admits a whole batch of flows with one amortized consultation
+    /// ([`decide_flows`]): the per-path forecasts are computed once —
+    /// in parallel, against the trained-model cache — and shared by
+    /// every flow due in the tick. Returns one decision per request,
+    /// in request order. A batch of one behaves exactly like
+    /// [`SelfDrivingNetwork::admit_flow`].
+    pub fn admit_flows(
+        &mut self,
+        reqs: &[FlowRequest],
+        objective: Objective,
+    ) -> Result<Vec<PathDecision>, FrameworkError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let candidates = self.tunnel_names();
+        let decisions = decide_flows(
+            &self.hecate,
+            &self.telemetry,
+            reqs,
+            &candidates,
+            objective,
+            &mut self.log,
+        )?;
+        for (req, decision) in reqs.iter().zip(&decisions) {
+            self.install_flow(req, decision)?;
+        }
+        Ok(decisions)
+    }
+
+    /// SR-service + data-plane half of admission: installs the ACL/PBR
+    /// on the edge and starts the flow on the decided tunnel.
+    fn install_flow(
+        &mut self,
+        req: &FlowRequest,
+        decision: &PathDecision,
+    ) -> Result<(), FrameworkError> {
         self.log.record("configureTunnel");
         // SR service: install the flow's ACL if this is a new flow, then
         // bind it to the chosen tunnel.
@@ -226,7 +270,7 @@ impl SelfDrivingNetwork {
             demand: req.demand_mbps,
         });
         self.log.record("flowStarted");
-        Ok(decision)
+        Ok(())
     }
 
     /// Migrates one managed flow to a different tunnel: one PBR rewrite
@@ -434,7 +478,10 @@ impl SelfDrivingNetwork {
         }
         let mut rtt_series = Vec::new();
         let mut ping_on_current = |sdn: &mut Self| -> Result<(), FrameworkError> {
-            let tunnel = sdn.flow_tunnel("icmp").expect("icmp flow exists").to_string();
+            let tunnel = sdn
+                .flow_tunnel("icmp")
+                .expect("icmp flow exists")
+                .to_string();
             let path = sdn.tunnels[&tunnel].node_path.clone();
             let rtt = sdn.sim.ping(&path)?;
             rtt_series.push((sdn.sim.now_ms() as f64 / 1000.0, rtt));
@@ -482,14 +529,13 @@ impl SelfDrivingNetwork {
         phase_s: u64,
     ) -> Result<FlowAggregationResult, FrameworkError> {
         let labels = ["flow1", "flow2", "flow3"];
-        for (i, label) in labels.iter().enumerate() {
-            self.scheduler.submit(FlowRequest {
+        self.scheduler
+            .submit_all(labels.iter().enumerate().map(|(i, label)| FlowRequest {
                 label: label.to_string(),
                 tos: 32 * (i as u8 + 1),
                 demand_mbps: None,
                 start_ms: i as u64 * 1000,
-            });
-        }
+            }));
         self.advance(phase_s * 1000)?;
         // All flows were PBR'd to tunnel1 in phase (i) (cold start).
         let redistribution_at_s = self.sim.now_ms() as f64 / 1000.0;
@@ -583,8 +629,10 @@ impl SelfDrivingNetwork {
         let mia_chi = self.sim.topo.link_between(mia, chi)?;
         let sao_ams = self.sim.topo.link_between(sao, ams)?;
         let chi_ams = self.sim.topo.link_between(chi, ams)?;
-        self.sim.schedule(0, Event::SetLinkCapacity(sao_ams, 1000.0));
-        self.sim.schedule(0, Event::SetLinkCapacity(chi_ams, 1000.0));
+        self.sim
+            .schedule(0, Event::SetLinkCapacity(sao_ams, 1000.0));
+        self.sim
+            .schedule(0, Event::SetLinkCapacity(chi_ams, 1000.0));
         self.sim.schedule_capacity_trace(mia_sao, 0, 1000, wifi);
         self.sim.schedule_capacity_trace(mia_chi, 0, 1000, lte);
 
@@ -659,10 +707,7 @@ mod tests {
     #[test]
     fn testbed_builds_with_three_tunnels() {
         let sdn = SelfDrivingNetwork::testbed(1).unwrap();
-        assert_eq!(
-            sdn.tunnel_names(),
-            vec!["tunnel1", "tunnel2", "tunnel3"]
-        );
+        assert_eq!(sdn.tunnel_names(), vec!["tunnel1", "tunnel2", "tunnel3"]);
         // Every tunnel's PolKA route walks the emulated data plane.
         for name in sdn.tunnel_names() {
             let compiled = sdn.tunnel(&name).unwrap();
@@ -677,7 +722,11 @@ mod tests {
         let mut sdn = SelfDrivingNetwork::testbed(1).unwrap();
         sdn.advance(15_000).unwrap();
         let key = SeriesKey::new("tunnel1", Metric::AvailableBandwidth);
-        assert!(sdn.telemetry.len(&key) >= 14, "have {}", sdn.telemetry.len(&key));
+        assert!(
+            sdn.telemetry.len(&key) >= 14,
+            "have {}",
+            sdn.telemetry.len(&key)
+        );
         let rtt = SeriesKey::new("tunnel1", Metric::Rtt);
         assert!(sdn.telemetry.last(&rtt).unwrap() > 50.0); // ~58 ms idle
     }

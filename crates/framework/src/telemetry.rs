@@ -58,17 +58,80 @@ impl std::fmt::Display for SeriesKey {
     }
 }
 
+/// A fixed-capacity sample ring with O(1) insert and contiguous
+/// zero-copy windowed reads.
+///
+/// While the series is shorter than its capacity, timestamps and values
+/// live in plain append-only vectors. On first overflow each vector is
+/// mirrored to length `2 * capacity`: logical sample `i` is written to
+/// both `i % cap` and `i % cap + cap`, so *any* window of the most
+/// recent `n <= cap` samples is one contiguous slice of the mirror —
+/// no wraparound case, no copying on read. Inserts stay O(1) (two
+/// writes); the old `Vec::drain(..)` store paid an O(capacity) memmove
+/// on every insert once full.
 #[derive(Debug, Default)]
-struct Series {
-    samples: Vec<(u64, f64)>, // (t_ms, value)
+struct SampleRing {
+    ts: Vec<u64>,
+    vals: Vec<f64>,
+    /// Samples ever pushed (monotonic) — the staleness counter the
+    /// framework's forecast cache keys invalidation on.
+    total: u64,
+}
+
+impl SampleRing {
+    fn push(&mut self, cap: usize, t_ms: u64, value: f64) {
+        if self.ts.len() < cap {
+            self.ts.push(t_ms);
+            self.vals.push(value);
+        } else {
+            if self.ts.len() == cap {
+                // One-time transition to the mirrored layout: entries
+                // 0..cap are already at their `i % cap` positions.
+                self.ts.extend_from_within(..);
+                self.vals.extend_from_within(..);
+            }
+            let i = (self.total % cap as u64) as usize;
+            self.ts[i] = t_ms;
+            self.ts[i + cap] = t_ms;
+            self.vals[i] = value;
+            self.vals[i + cap] = value;
+        }
+        self.total += 1;
+    }
+
+    /// Retained sample count.
+    fn len(&self, cap: usize) -> usize {
+        (self.total as usize).min(cap.min(self.ts.len()))
+    }
+
+    /// The most recent `n` retained samples, oldest first, as parallel
+    /// `(timestamps, values)` slices. Zero-copy.
+    fn window(&self, cap: usize, n: usize) -> (&[u64], &[f64]) {
+        let len = self.len(cap);
+        let n = n.min(len);
+        let end = if self.ts.len() <= cap {
+            self.ts.len()
+        } else {
+            ((self.total - 1) % cap as u64) as usize + cap + 1
+        };
+        (&self.ts[end - n..end], &self.vals[end - n..end])
+    }
 }
 
 /// The time-series store. Cheap to clone (shared behind an `Arc`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TelemetryService {
-    inner: Arc<RwLock<HashMap<SeriesKey, Series>>>,
+    inner: Arc<RwLock<HashMap<SeriesKey, SampleRing>>>,
     /// Retained samples per series (ring semantics).
     capacity: usize,
+}
+
+impl Default for TelemetryService {
+    /// A store with the testbed's default retention (4096 samples per
+    /// series — over an hour at the paper's 1 Hz sampling).
+    fn default() -> Self {
+        TelemetryService::new(4096)
+    }
 }
 
 impl TelemetryService {
@@ -84,41 +147,82 @@ impl TelemetryService {
     pub fn insert(&self, key: &SeriesKey, t_ms: u64, value: f64) {
         let mut map = self.inner.write();
         let series = map.entry(key.clone()).or_default();
-        series.samples.push((t_ms, value));
-        if series.samples.len() > self.capacity {
-            let drop = series.samples.len() - self.capacity;
-            series.samples.drain(..drop);
-        }
+        series.push(self.capacity, t_ms, value);
     }
 
     /// The most recent `n` values (oldest first); fewer if the series is
-    /// short, empty vec if the series is unknown.
+    /// short, empty vec if the series is unknown. Clones the window —
+    /// prefer [`TelemetryService::with_last_n`] on hot paths.
     pub fn last_n(&self, key: &SeriesKey, n: usize) -> Vec<f64> {
-        let map = self.inner.read();
-        map.get(key)
-            .map(|s| {
-                let start = s.samples.len().saturating_sub(n);
-                s.samples[start..].iter().map(|(_, v)| *v).collect()
-            })
+        self.with_last_n(key, n, |vals| vals.to_vec())
             .unwrap_or_default()
+    }
+
+    /// Calls `f` with the most recent `n` values (oldest first) as one
+    /// contiguous slice, without copying; fewer values if the series is
+    /// short, `None` if the series is unknown.
+    ///
+    /// The read lock is held for the duration of `f`: keep the closure
+    /// short and never call a mutating [`TelemetryService`] method from
+    /// inside it.
+    pub fn with_last_n<R>(
+        &self,
+        key: &SeriesKey,
+        n: usize,
+        f: impl FnOnce(&[f64]) -> R,
+    ) -> Option<R> {
+        let map = self.inner.read();
+        let series = map.get(key)?;
+        let (_, vals) = series.window(self.capacity, n);
+        Some(f(vals))
+    }
+
+    /// Calls `f` with the series' monotonic total *and* its full
+    /// retained value window (oldest first, one contiguous slice) under
+    /// a single lock acquisition, so the pair is consistent even while
+    /// writers race. `None` if the series is unknown.
+    ///
+    /// This is the read the forecast cache's bookkeeping depends on:
+    /// reading the total and the samples in two separate acquisitions
+    /// would let a concurrent insert land in between, and samples would
+    /// be skipped now and double-absorbed later.
+    pub fn with_tail<R>(&self, key: &SeriesKey, f: impl FnOnce(u64, &[f64]) -> R) -> Option<R> {
+        let map = self.inner.read();
+        let series = map.get(key)?;
+        let (_, vals) = series.window(self.capacity, self.capacity);
+        Some(f(series.total, vals))
     }
 
     /// The most recent value, if any.
     pub fn last(&self, key: &SeriesKey) -> Option<f64> {
         let map = self.inner.read();
-        map.get(key)?.samples.last().map(|(_, v)| *v)
+        map.get(key)?.window(self.capacity, 1).1.last().copied()
     }
 
-    /// The full series as `(t_ms, value)` pairs.
+    /// The full retained series as `(t_ms, value)` pairs.
     pub fn series(&self, key: &SeriesKey) -> Vec<(u64, f64)> {
         let map = self.inner.read();
-        map.get(key).map(|s| s.samples.clone()).unwrap_or_default()
+        map.get(key)
+            .map(|s| {
+                let (ts, vals) = s.window(self.capacity, self.capacity);
+                ts.iter().copied().zip(vals.iter().copied()).collect()
+            })
+            .unwrap_or_default()
     }
 
-    /// Number of samples stored for a key.
+    /// Number of samples currently retained for a key.
     pub fn len(&self, key: &SeriesKey) -> usize {
         let map = self.inner.read();
-        map.get(key).map_or(0, |s| s.samples.len())
+        map.get(key).map_or(0, |s| s.len(self.capacity))
+    }
+
+    /// Number of samples *ever inserted* for a key — a monotonic
+    /// counter that keeps counting after the ring starts evicting.
+    /// The forecast cache uses it to decide when a cached model has
+    /// gone stale.
+    pub fn total(&self, key: &SeriesKey) -> u64 {
+        let map = self.inner.read();
+        map.get(key).map_or(0, |s| s.total)
     }
 
     /// True when no sample has ever been stored for the key.
@@ -191,7 +295,11 @@ mod tests {
                 let ts = ts.clone();
                 std::thread::spawn(move || {
                     for i in 0..1000u64 {
-                        ts.insert(&SeriesKey::new("shared", Metric::FlowRate), w * 10_000 + i, 1.0);
+                        ts.insert(
+                            &SeriesKey::new("shared", Metric::FlowRate),
+                            w * 10_000 + i,
+                            1.0,
+                        );
                     }
                 })
             })
@@ -205,5 +313,89 @@ mod tests {
     #[test]
     fn display_key() {
         assert_eq!(key().to_string(), "tunnel1:avail");
+    }
+
+    #[test]
+    fn total_counts_past_eviction() {
+        let ts = TelemetryService::new(4);
+        assert_eq!(ts.total(&key()), 0);
+        for i in 0..10u64 {
+            ts.insert(&key(), i, i as f64);
+        }
+        assert_eq!(ts.len(&key()), 4, "ring retains capacity");
+        assert_eq!(ts.total(&key()), 10, "counter keeps counting");
+    }
+
+    #[test]
+    fn with_last_n_sees_the_same_window_as_last_n() {
+        let ts = TelemetryService::new(6);
+        for i in 0..15u64 {
+            ts.insert(&key(), i, (i * i) as f64);
+        }
+        for n in 0..10 {
+            let cloned = ts.last_n(&key(), n);
+            let windowed = ts.with_last_n(&key(), n, |w| w.to_vec()).unwrap();
+            assert_eq!(cloned, windowed, "n={n}");
+        }
+        assert!(ts
+            .with_last_n(&SeriesKey::new("ghost", Metric::Rtt), 3, |w| w.len())
+            .is_none());
+    }
+
+    #[test]
+    fn ring_semantics_match_reference_model_across_capacities() {
+        // Regression harness for the mirrored-ring rewrite: for many
+        // (capacity, insert-count) pairs — straddling the one-time
+        // mirror transition and several wrap generations — every read
+        // API must agree with a naive keep-the-last-cap model.
+        for cap in [1usize, 2, 3, 5, 8, 64] {
+            for count in [0usize, 1, cap / 2, cap, cap + 1, 2 * cap, 5 * cap + 3] {
+                let ts = TelemetryService::new(cap);
+                let mut reference: Vec<(u64, f64)> = Vec::new();
+                for i in 0..count {
+                    let sample = (i as u64 * 7, (i as f64).sin() * 100.0);
+                    ts.insert(&key(), sample.0, sample.1);
+                    reference.push(sample);
+                    if reference.len() > cap {
+                        reference.remove(0);
+                    }
+                }
+                let ctx = format!("cap={cap} count={count}");
+                assert_eq!(ts.series(&key()), reference, "{ctx}");
+                assert_eq!(ts.len(&key()), reference.len(), "{ctx}");
+                assert_eq!(ts.total(&key()), count as u64, "{ctx}");
+                assert_eq!(ts.last(&key()), reference.last().map(|(_, v)| *v), "{ctx}");
+                for n in [0, 1, cap / 2, cap, cap + 3] {
+                    let want: Vec<f64> = reference[reference.len().saturating_sub(n)..]
+                        .iter()
+                        .map(|(_, v)| *v)
+                        .collect();
+                    assert_eq!(ts.last_n(&key(), n), want, "{ctx} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        // The constructor clamps capacity to >= 1, so the ring's
+        // modulo arithmetic never sees a zero divisor; a degenerate
+        // store degrades to keep-latest-sample instead of panicking.
+        let ts = TelemetryService::new(0);
+        for i in 0..5u64 {
+            ts.insert(&key(), i, i as f64);
+        }
+        assert_eq!(ts.len(&key()), 1);
+        assert_eq!(ts.last(&key()), Some(4.0));
+        assert_eq!(ts.total(&key()), 5);
+    }
+
+    #[test]
+    fn default_store_has_testbed_retention() {
+        let ts = TelemetryService::default();
+        for i in 0..10u64 {
+            ts.insert(&key(), i, i as f64);
+        }
+        assert_eq!(ts.len(&key()), 10);
     }
 }

@@ -1,0 +1,204 @@
+//! Correctness of the shared ForecastEngine: the trained-model cache
+//! must be invisible in results (identical forecasts, identical
+//! recommendations) and safe under concurrency (no deadlocks, no reads
+//! staler than the configured refit threshold).
+
+use framework::controller::{decide_flows, SequenceLog};
+use framework::hecate::HecateService;
+use framework::optimizer::Objective;
+use framework::scheduler::FlowRequest;
+use framework::telemetry::{Metric, SeriesKey, TelemetryService};
+use hecate_ml::pipeline::forecast_next;
+use hecate_ml::RegressorKind;
+use proptest::prelude::*;
+
+/// A telemetry store with `paths` bandwidth series of distinct levels
+/// and shapes, `len` samples each at 1 Hz.
+fn store_with_paths(paths: usize, len: usize) -> (TelemetryService, Vec<String>) {
+    let ts = TelemetryService::new(1024);
+    let names: Vec<String> = (0..paths).map(|i| format!("path{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        let level = 5.0 + 3.0 * i as f64;
+        for t in 0..len as u64 {
+            let v = level + ((t as f64 / (4.0 + i as f64)).sin() * 1.5);
+            ts.insert(
+                &SeriesKey::new(name, Metric::AvailableBandwidth),
+                t * 1000,
+                v,
+            );
+        }
+    }
+    (ts, names)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: a cache-hit forecast is bitwise-identical to a fresh
+    /// `forecast_next` when no new samples arrived — for arbitrary
+    /// series content, arbitrary history length and both a
+    /// deterministic and a seeded-stochastic model.
+    #[test]
+    fn cache_hit_is_bitwise_identical_to_fresh_forecast(
+        series in prop::collection::vec(0.1f64..100.0, 13..200),
+        stochastic in prop::bool::ANY,
+    ) {
+        let kind = if stochastic { RegressorKind::Rfr } else { RegressorKind::Lr };
+        let ts = TelemetryService::new(1024);
+        let key = SeriesKey::new("p", Metric::AvailableBandwidth);
+        for (t, v) in series.iter().enumerate() {
+            ts.insert(&key, t as u64 * 1000, *v);
+        }
+        let h = HecateService::with_model(kind);
+        // populate (refit) ...
+        let first = h.forecast_path(&ts, "p", Metric::AvailableBandwidth).unwrap();
+        // ... then hit, with zero new samples in between
+        let hit = h.forecast_path(&ts, "p", Metric::AvailableBandwidth).unwrap();
+        // the reference: fitting from scratch on the exact same history
+        let history = ts.last_n(&key, 120.max(h.min_history()));
+        let fresh = forecast_next(kind, &history, h.lags, h.horizon, h.seed).unwrap();
+        prop_assert_eq!(&hit.values, &fresh, "cache hit must not change bits");
+        prop_assert_eq!(&hit.values, &first.values);
+        let stats = h.cache_stats();
+        prop_assert_eq!((stats.refits, stats.hits), (1, 1));
+    }
+}
+
+/// Acceptance: the cached engine's recommendations match the uncached
+/// engine's on identical telemetry — RFR, 8 candidate paths, both the
+/// single best-path question and a batched greedy-flow placement.
+#[test]
+fn cached_recommendations_match_uncached_on_8_paths() {
+    let (ts, names) = store_with_paths(8, 60);
+    let hecate = HecateService::new(); // the paper's RFR
+    let cold = hecate.forecast_all_uncached(&ts, &names, Metric::AvailableBandwidth);
+    let warm = hecate.forecast_all(&ts, &names, Metric::AvailableBandwidth);
+    assert_eq!(cold.len(), 8);
+    assert_eq!(warm.len(), 8);
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.path, w.path);
+        assert_eq!(c.values, w.values, "{}: cached forecast diverged", c.path);
+    }
+    // Same recommendation for a single flow...
+    let best_cold = hecate.best_path_by_bandwidth(&ts, &names).unwrap();
+    let best_warm = hecate.best_path_by_bandwidth(&ts, &names).unwrap();
+    assert_eq!(best_cold, best_warm);
+    assert_eq!(best_cold, "path7", "highest level wins");
+    // ... and for a whole batch placed jointly.
+    let reqs: Vec<FlowRequest> = (0..4)
+        .map(|i| FlowRequest {
+            label: format!("f{i}"),
+            tos: 0,
+            demand_mbps: None,
+            start_ms: 0,
+        })
+        .collect();
+    let mut log = SequenceLog::default();
+    let again = decide_flows(
+        &hecate,
+        &ts,
+        &reqs,
+        &names,
+        Objective::MaxBandwidth,
+        &mut log,
+    )
+    .unwrap();
+    let mut log2 = SequenceLog::default();
+    let rerun = decide_flows(
+        &hecate,
+        &ts,
+        &reqs,
+        &names,
+        Objective::MaxBandwidth,
+        &mut log2,
+    )
+    .unwrap();
+    assert_eq!(again, rerun, "warm batch decisions are stable");
+    let stats = hecate.cache_stats();
+    assert_eq!(stats.refits, 8, "one fit per path, everything else served");
+    assert!(stats.hits >= 8, "{stats:?}");
+}
+
+/// Satellite: concurrent batched decisions against concurrent telemetry
+/// writers — the engine must not deadlock, every decision must succeed,
+/// and no cached model may serve data staler than `refit_after`.
+#[test]
+fn concurrent_decisions_and_writers_stay_fresh() {
+    let (ts, names) = store_with_paths(4, 40);
+    let mut hecate = HecateService::with_model(RegressorKind::Lr); // fast fits
+    hecate.refit_after = 8;
+    let hecate = hecate;
+    let rounds = 30u64;
+
+    std::thread::scope(|scope| {
+        // Writers: each path's series keeps growing while decisions run.
+        for name in &names {
+            let ts = ts.clone();
+            scope.spawn(move || {
+                let key = SeriesKey::new(name, Metric::AvailableBandwidth);
+                for t in 0..rounds {
+                    ts.insert(&key, (40 + t) * 1000, 10.0 + (t as f64 / 3.0).cos());
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Deciders: two threads batch-deciding flows the whole time.
+        for d in 0..2 {
+            let hecate = hecate.clone();
+            let ts = ts.clone();
+            let names = names.clone();
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    let reqs: Vec<FlowRequest> = (0..3)
+                        .map(|i| FlowRequest {
+                            label: format!("d{d}r{r}f{i}"),
+                            tos: 0,
+                            demand_mbps: None,
+                            start_ms: 0,
+                        })
+                        .collect();
+                    let mut log = SequenceLog::default();
+                    let decisions = decide_flows(
+                        &hecate,
+                        &ts,
+                        &reqs,
+                        &names,
+                        Objective::MaxBandwidth,
+                        &mut log,
+                    )
+                    .expect("warm store: decisions never fail");
+                    assert_eq!(decisions.len(), 3);
+                    assert!(decisions.iter().all(|dec| dec.used_forecast));
+                }
+            });
+        }
+    });
+
+    // Writers are done: one more decision round must leave every cached
+    // model within refit_after of the final series state.
+    let mut log = SequenceLog::default();
+    decide_flows(
+        &hecate,
+        &ts,
+        &[FlowRequest {
+            label: "final".into(),
+            tos: 0,
+            demand_mbps: None,
+            start_ms: 0,
+        }],
+        &names,
+        Objective::MaxBandwidth,
+        &mut log,
+    )
+    .unwrap();
+    for name in &names {
+        let age = hecate
+            .cache_age(&ts, name, Metric::AvailableBandwidth)
+            .expect("every path is cached");
+        assert!(
+            age < hecate.refit_after.max(1),
+            "{name}: cached model is {age} samples stale (refit_after {})",
+            hecate.refit_after
+        );
+    }
+}

@@ -170,7 +170,10 @@ impl RouterConfig {
                 out.push_str(&format!(" tunnel destination {d}\n"));
             }
             if !t.domain_path.is_empty() {
-                out.push_str(&format!(" tunnel domain-name {}\n", t.domain_path.join(" ")));
+                out.push_str(&format!(
+                    " tunnel domain-name {}\n",
+                    t.domain_path.join(" ")
+                ));
             }
             out.push_str(&format!(
                 " tunnel mode {}\n",
@@ -252,17 +255,13 @@ pub fn parse_config(text: &str) -> Result<RouterConfig, FreertrError> {
                 };
                 let tos = match rest {
                     [] => None,
-                    ["tos", t] => Some(
-                        t.parse::<u8>()
-                            .map_err(|_| err(format!("bad tos {t:?}")))?,
-                    ),
+                    ["tos", t] => Some(t.parse::<u8>().map_err(|_| err(format!("bad tos {t:?}")))?),
                     _ => return Err(err(format!("trailing tokens {rest:?}"))),
                 };
                 cfg.acls.push(AclRule {
                     name: name.to_string(),
                     proto,
-                    src: Ipv4Prefix::parse(src)
-                        .map_err(|e| err(format!("source prefix: {e}")))?,
+                    src: Ipv4Prefix::parse(src).map_err(|e| err(format!("source prefix: {e}")))?,
                     dst: Ipv4Prefix::parse(dst)
                         .map_err(|e| err(format!("destination prefix: {e}")))?,
                     tos,
@@ -436,10 +435,8 @@ mod tests {
 
     #[test]
     fn implicit_exit_between_interfaces() {
-        let cfg = parse_config(
-            "interface tunnel1\n tunnel mode polka\ninterface tunnel2\n exit\n",
-        )
-        .unwrap();
+        let cfg = parse_config("interface tunnel1\n tunnel mode polka\ninterface tunnel2\n exit\n")
+            .unwrap();
         assert_eq!(cfg.tunnels.len(), 2);
     }
 }

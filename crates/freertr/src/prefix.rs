@@ -42,10 +42,7 @@ impl Ipv4Prefix {
             message: format!("bad prefix {s:?}: {m}"),
         };
         let (addr_str, len) = match s.split_once('/') {
-            Some((a, l)) => (
-                a,
-                l.parse::<u8>().map_err(|_| err("invalid length"))?,
-            ),
+            Some((a, l)) => (a, l.parse::<u8>().map_err(|_| err("invalid length"))?),
             None => (s, 32),
         };
         if len > 32 {

@@ -107,9 +107,9 @@ pub fn walk_route(
         .ok_or_else(|| FreertrError::Route("path too short".into()))?;
     for _hop in 0..topo.node_count() {
         visited.push(current);
-        let node_id = alloc
-            .get(topo.node_name(current))
-            .ok_or_else(|| FreertrError::Route(format!("{} has no nodeID", topo.node_name(current))))?;
+        let node_id = alloc.get(topo.node_name(current)).ok_or_else(|| {
+            FreertrError::Route(format!("{} has no nodeID", topo.node_name(current)))
+        })?;
         let mut core = polka::CoreNode::new(node_id.clone());
         let port = core
             .forward(&compiled.route)
@@ -199,8 +199,7 @@ mod tests {
         let topo = global_p4_lab();
         let mut alloc = allocator_for(&topo);
         let cfg = fig10_mia_config();
-        let compiled =
-            compile_tunnel(cfg.tunnel("tunnel3").unwrap(), &topo, &mut alloc).unwrap();
+        let compiled = compile_tunnel(cfg.tunnel("tunnel3").unwrap(), &topo, &mut alloc).unwrap();
         // 3 encoded hops (CAL, CHI, AMS) * degree of the node polynomials.
         let max_bits = 3 * alloc.degree();
         assert!(

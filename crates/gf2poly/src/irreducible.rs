@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn known_irreducibles() {
-        for s in ["10", "11", "111", "1011", "1101", "10011", "11111", "100101"] {
+        for s in [
+            "10", "11", "111", "1011", "1101", "10011", "11111", "100101",
+        ] {
             assert!(is_irreducible(&p(s)), "{s} should be irreducible");
         }
     }
@@ -128,7 +130,16 @@ mod tests {
     fn counts_match_necklace_formula() {
         // Number of monic irreducible polynomials of degree n over GF(2):
         // n=1:2, n=2:1, n=3:2, n=4:3, n=5:6, n=6:9, n=7:18, n=8:30
-        let expected = [(1, 2), (2, 1), (3, 2), (4, 3), (5, 6), (6, 9), (7, 18), (8, 30)];
+        let expected = [
+            (1, 2),
+            (2, 1),
+            (3, 2),
+            (4, 3),
+            (5, 6),
+            (6, 9),
+            (7, 18),
+            (8, 30),
+        ];
         for (deg, count) in expected {
             assert_eq!(
                 irreducibles_of_degree(deg).len(),

@@ -102,7 +102,10 @@ impl Poly {
     pub fn to_binary_str(&self) -> String {
         match self.degree() {
             None => "0".to_string(),
-            Some(d) => (0..=d).rev().map(|i| if self.coeff(i) { '1' } else { '0' }).collect(),
+            Some(d) => (0..=d)
+                .rev()
+                .map(|i| if self.coeff(i) { '1' } else { '0' })
+                .collect(),
         }
     }
 
@@ -265,7 +268,9 @@ impl Poly {
         scratch.limbs.clear();
         scratch.limbs.extend_from_slice(&self.limbs);
         loop {
-            let Some(rdeg) = scratch.degree() else { return Ok(()) };
+            let Some(rdeg) = scratch.degree() else {
+                return Ok(());
+            };
             if rdeg < ddeg {
                 return Ok(());
             }
@@ -412,7 +417,9 @@ impl fmt::Debug for Poly {
 impl fmt::Display for Poly {
     /// Renders in the paper's algebraic notation, e.g. `t^3 + t + 1`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let Some(d) = self.degree() else { return write!(f, "0") };
+        let Some(d) = self.degree() else {
+            return write!(f, "0");
+        };
         let mut first = true;
         for i in (0..=d).rev() {
             if !self.coeff(i) {
@@ -602,7 +609,10 @@ mod tests {
     #[test]
     fn mod_inverse_of_non_coprime_fails() {
         let m = p("111").mul_ref(&p("11"));
-        assert_eq!(p("11").mod_inverse(&m).unwrap_err(), Gf2Error::NotInvertible);
+        assert_eq!(
+            p("11").mod_inverse(&m).unwrap_err(),
+            Gf2Error::NotInvertible
+        );
     }
 
     #[test]

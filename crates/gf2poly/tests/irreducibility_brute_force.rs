@@ -3,7 +3,7 @@
 //! disagree anywhere, PolKA's node-ID pool would silently contain
 //! reducible moduli and CRT uniqueness would break.
 
-use gf2poly::{is_irreducible, irreducibles_of_degree, Poly};
+use gf2poly::{irreducibles_of_degree, is_irreducible, Poly};
 
 /// Trial division: f (deg >= 1) is irreducible iff no polynomial of
 /// degree 1..=deg(f)/2 divides it.

@@ -125,17 +125,9 @@ impl Regressor for ArdRegression {
                 }
             }
             let pred = xc.matvec(&mu_new).map_err(MlError::from)?;
-            let sse: f64 = yc
-                .iter()
-                .zip(&pred)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let sse: f64 = yc.iter().zip(&pred).map(|(a, b)| (a - b) * (a - b)).sum();
             beta = (n as f64 - gamma_sum + 2.0 * HYPER_A1) / (sse + 2.0 * HYPER_A2);
-            let delta: f64 = mu
-                .iter()
-                .zip(&mu_new)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = mu.iter().zip(&mu_new).map(|(a, b)| (a - b).abs()).sum();
             mu = mu_new;
             if delta < self.tol {
                 break;

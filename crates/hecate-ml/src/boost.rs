@@ -170,7 +170,9 @@ impl Regressor for GradientBoostingRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
         check_xy(x, y)?;
         if self.n_estimators == 0 {
-            return Err(MlError::BadHyperparameter("n_estimators must be > 0".into()));
+            return Err(MlError::BadHyperparameter(
+                "n_estimators must be > 0".into(),
+            ));
         }
         self.init = linalg::stats::mean(y);
         self.stages.clear();

@@ -206,14 +206,7 @@ impl Regressor for ElasticNet {
             ));
         }
         let (xc, yc, x_means, y_mean) = center_xy(x, y);
-        let coef = coordinate_descent(
-            &xc,
-            &yc,
-            self.alpha,
-            self.l1_ratio,
-            self.max_iter,
-            self.tol,
-        );
+        let coef = coordinate_descent(&xc, &yc, self.alpha, self.l1_ratio, self.max_iter, self.tol);
         self.intercept = y_mean - linalg::matrix::dot(&x_means, &coef);
         self.coef = Some(coef);
         Ok(())

@@ -129,7 +129,9 @@ impl Regressor for RandomForestRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
         check_xy(x, y)?;
         if self.n_estimators == 0 {
-            return Err(MlError::BadHyperparameter("n_estimators must be > 0".into()));
+            return Err(MlError::BadHyperparameter(
+                "n_estimators must be > 0".into(),
+            ));
         }
         let config = TreeConfig {
             max_depth: self.max_depth,
@@ -188,7 +190,9 @@ impl Regressor for BaggingRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
         check_xy(x, y)?;
         if self.n_estimators == 0 {
-            return Err(MlError::BadHyperparameter("n_estimators must be > 0".into()));
+            return Err(MlError::BadHyperparameter(
+                "n_estimators must be > 0".into(),
+            ));
         }
         let config = TreeConfig::default();
         self.trees = fit_forest(x, y, self.n_estimators, &config, true, self.seed)?;
@@ -233,8 +237,16 @@ mod tests {
     #[test]
     fn forest_is_deterministic_given_seed() {
         let (x, y) = wavy_data(80);
-        let mut a = RandomForestRegressor { n_estimators: 10, seed: 9, ..Default::default() };
-        let mut b = RandomForestRegressor { n_estimators: 10, seed: 9, ..Default::default() };
+        let mut a = RandomForestRegressor {
+            n_estimators: 10,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut b = RandomForestRegressor {
+            n_estimators: 10,
+            seed: 9,
+            ..Default::default()
+        };
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
@@ -246,7 +258,9 @@ mod tests {
         let (x, y_clean) = wavy_data(200);
         let mut rng_state = 12345u64;
         let mut noise = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((rng_state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 1.0
         };
         let y: Vec<f64> = y_clean.iter().map(|v| v + noise()).collect();
@@ -256,7 +270,11 @@ mod tests {
         let xv = x.select_rows(&(train..200).collect::<Vec<_>>());
         let yv_clean = &y_clean[train..];
 
-        let mut forest = RandomForestRegressor { n_estimators: 50, seed: 1, ..Default::default() };
+        let mut forest = RandomForestRegressor {
+            n_estimators: 50,
+            seed: 1,
+            ..Default::default()
+        };
         forest.fit(&xt, yt).unwrap();
         let mut tree = crate::tree::DecisionTreeRegressor::new();
         use crate::model::Regressor as _;
@@ -284,7 +302,10 @@ mod tests {
         let (x, y) = wavy_data(20);
         let mut f = RandomForestRegressor::with_trees(0);
         assert!(f.fit(&x, &y).is_err());
-        let mut b = BaggingRegressor { n_estimators: 0, ..Default::default() };
+        let mut b = BaggingRegressor {
+            n_estimators: 0,
+            ..Default::default()
+        };
         assert!(b.fit(&x, &y).is_err());
     }
 

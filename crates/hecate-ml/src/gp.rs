@@ -166,14 +166,22 @@ mod tests {
         // points are mutually distant, so test predictions are near zero
         // even though targets are not — the paper's Fig 8 behaviour.
         let rows: Vec<Vec<f64>> = (0..60)
-            .map(|i| (0..10).map(|j| ((i * 7 + j * 13) as f64 * 0.7).sin() * 2.0).collect())
+            .map(|i| {
+                (0..10)
+                    .map(|j| ((i * 7 + j * 13) as f64 * 0.7).sin() * 2.0)
+                    .collect()
+            })
             .collect();
         let y: Vec<f64> = (0..60).map(|i| 3.0 + (i as f64 * 0.2).cos()).collect();
         let x = Matrix::from_rows(&rows);
         let mut m = GaussianProcessRegressor::new();
         m.fit(&x, &y).unwrap();
         let test_rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| (0..10).map(|j| ((i * 11 + j * 5) as f64 * 0.9).cos() * 2.0).collect())
+            .map(|i| {
+                (0..10)
+                    .map(|j| ((i * 11 + j * 5) as f64 * 0.9).cos() * 2.0)
+                    .collect()
+            })
             .collect();
         let pred = m.predict(&Matrix::from_rows(&test_rows)).unwrap();
         let mean_abs_pred = pred.iter().map(|p| p.abs()).sum::<f64>() / pred.len() as f64;

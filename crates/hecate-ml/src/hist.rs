@@ -425,9 +425,7 @@ mod tests {
         let mut large = HistGradientBoostingRegressor::new();
         small.fit(&x, &y).unwrap();
         large.fit(&x, &y).unwrap();
-        assert!(
-            rmse(&y, &large.predict(&x).unwrap()) < rmse(&y, &small.predict(&x).unwrap())
-        );
+        assert!(rmse(&y, &large.predict(&x).unwrap()) < rmse(&y, &small.predict(&x).unwrap()));
     }
 
     #[test]

@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn ols_unfitted_errors() {
         let m = LinearRegression::new();
-        assert_eq!(m.predict(&Matrix::zeros(1, 2)).unwrap_err(), MlError::NotFitted);
+        assert_eq!(
+            m.predict(&Matrix::zeros(1, 2)).unwrap_err(),
+            MlError::NotFitted
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
         .sum();
     let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
     if ss_tot == 0.0 {
-        return if ss_res == 0.0 { 0.0 } else { f64::NEG_INFINITY };
+        return if ss_res == 0.0 {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }

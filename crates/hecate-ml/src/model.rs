@@ -18,6 +18,14 @@ pub trait Regressor: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+impl std::fmt::Debug for dyn Regressor {
+    /// Renders the model name only — fitted state (trees, weights) is
+    /// too large to be useful in debug output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Regressor({})", self.name())
+    }
+}
+
 /// The eighteen regressors of the paper, in the paper's alphabetical
 /// order and with the paper's labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,8 +73,8 @@ impl RegressorKind {
     pub fn all() -> [RegressorKind; 18] {
         use RegressorKind::*;
         [
-            AdaBoostR, Ardr, Bagging, Dtr, ElasticNet, Gbr, Gpr, Hgbr, HuberR, Lasso, Lr,
-            RansacR, Rfr, Ridge, Sgdr, SvmLinear, SvmRbf, TheilSenR,
+            AdaBoostR, Ardr, Bagging, Dtr, ElasticNet, Gbr, Gpr, Hgbr, HuberR, Lasso, Lr, RansacR,
+            Rfr, Ridge, Sgdr, SvmLinear, SvmRbf, TheilSenR,
         ]
     }
 
@@ -212,7 +220,8 @@ mod tests {
         let x = Matrix::from_rows(&rows);
         for k in RegressorKind::all() {
             let mut m = k.build(1);
-            m.fit(&x, &y).unwrap_or_else(|e| panic!("{k} fit failed: {e}"));
+            m.fit(&x, &y)
+                .unwrap_or_else(|e| panic!("{k} fit failed: {e}"));
             let p = m
                 .predict(&x)
                 .unwrap_or_else(|e| panic!("{k} predict failed: {e}"));

@@ -195,7 +195,11 @@ impl MlpRegressor {
             .iter()
             .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
             .collect();
-        let mut grad_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.bias.len()])
+            .collect();
         let mut loss = 0.0;
         for &i in batch {
             let input = x.row(i);
@@ -268,7 +272,9 @@ impl Regressor for MlpRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
         check_xy(x, y)?;
         if self.hidden.is_empty() {
-            return Err(MlError::BadHyperparameter("need at least one hidden layer".into()));
+            return Err(MlError::BadHyperparameter(
+                "need at least one hidden layer".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         // build layers: input -> hidden* -> 1
@@ -401,7 +407,10 @@ mod tests {
     #[test]
     fn unfitted_and_bad_shape_errors() {
         let m = MlpRegressor::new();
-        assert_eq!(m.predict(&Matrix::zeros(1, 2)).unwrap_err(), MlError::NotFitted);
+        assert_eq!(
+            m.predict(&Matrix::zeros(1, 2)).unwrap_err(),
+            MlError::NotFitted
+        );
         let (x, y) = nonlinear_data(30);
         let mut m = MlpRegressor::compact(0);
         m.fit(&x, &y).unwrap();

@@ -7,7 +7,7 @@
 
 use crate::data::{make_supervised, sequential_split};
 use crate::metrics::{mae, r2, rmse};
-use crate::model::RegressorKind;
+use crate::model::{Regressor, RegressorKind};
 use crate::scale::StandardScaler;
 use crate::MlError;
 use linalg::par::par_map;
@@ -107,12 +107,128 @@ pub fn evaluate_all(series: &[f64], config: &PipelineConfig) -> Vec<Result<EvalR
     par_map(&kinds, |k| evaluate_regressor(*k, series, config))
 }
 
+/// A forecaster trained once and queried online: the expensive fit phase
+/// of [`forecast_next`] frozen into a reusable value.
+///
+/// NeuRoute-style amortization: the scaler statistics, the fitted model
+/// and the trailing lag window are captured at fit time, after which
+/// [`TrainedForecaster::roll`] produces multi-step forecasts without
+/// refitting, and [`TrainedForecaster::observe`] slides new telemetry
+/// samples into the lag window (still without refitting). Callers decide
+/// when drift warrants a fresh [`TrainedForecaster::fit`]; the framework
+/// layer does so after a configurable number of new samples.
+pub struct TrainedForecaster {
+    kind: RegressorKind,
+    scaler: StandardScaler,
+    model: Box<dyn Regressor>,
+    /// Scaled trailing window of the most recent `lags` samples.
+    window: Vec<f64>,
+    lags: usize,
+    seed: u64,
+    trained_on: usize,
+}
+
+impl std::fmt::Debug for TrainedForecaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedForecaster")
+            .field("kind", &self.kind)
+            .field("lags", &self.lags)
+            .field("seed", &self.seed)
+            .field("trained_on", &self.trained_on)
+            .finish()
+    }
+}
+
+impl TrainedForecaster {
+    /// Fit phase: scaler statistics from the whole history, lag-window
+    /// supervision, one model fit, and the trailing window captured for
+    /// rolling. Requires more than `lags + 1` samples.
+    pub fn fit(
+        kind: RegressorKind,
+        history: &[f64],
+        lags: usize,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        if history.len() <= lags + 1 {
+            return Err(MlError::BadShape(format!(
+                "need more than {} samples, have {}",
+                lags + 1,
+                history.len()
+            )));
+        }
+        let mut scaler = StandardScaler::new();
+        let col = Matrix::from_vec(history.len(), 1, history.to_vec());
+        scaler.fit(&col)?;
+        let scaled = scaler.transform_column(history, 0)?;
+        let (x, y) = make_supervised(&scaled, lags).ok_or(MlError::BadShape("history".into()))?;
+        let mut model = kind.build(seed);
+        model.fit(&x, &y)?;
+        let window = scaled[scaled.len() - lags..].to_vec();
+        Ok(TrainedForecaster {
+            kind,
+            scaler,
+            model,
+            window,
+            lags,
+            seed,
+            trained_on: history.len(),
+        })
+    }
+
+    /// Which regressor was fitted.
+    pub fn kind(&self) -> RegressorKind {
+        self.kind
+    }
+
+    /// Lag-window length the model was trained with.
+    pub fn lags(&self) -> usize {
+        self.lags
+    }
+
+    /// Seed the model was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of history samples the current fit saw.
+    pub fn trained_on(&self) -> usize {
+        self.trained_on
+    }
+
+    /// Roll phase: feeds each prediction back into a copy of the lag
+    /// window to forecast `horizon` steps ahead, in the original scale.
+    /// Deterministic and side-effect free — repeated rolls are identical.
+    pub fn roll(&self, horizon: usize) -> Result<Vec<f64>, MlError> {
+        let mut window = self.window.clone();
+        let mut out_scaled = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let x_next = Matrix::from_vec(1, self.lags, window.clone());
+            let pred = self.model.predict(&x_next)?[0];
+            out_scaled.push(pred);
+            window.rotate_left(1);
+            window[self.lags - 1] = pred;
+        }
+        self.scaler.inverse_transform_column(&out_scaled, 0)
+    }
+
+    /// Slides one new raw sample into the lag window using the frozen
+    /// scaler statistics, without refitting the model. Subsequent rolls
+    /// forecast from the updated window.
+    pub fn observe(&mut self, sample: f64) -> Result<(), MlError> {
+        let scaled = self.scaler.transform_column(&[sample], 0)?[0];
+        self.window.rotate_left(1);
+        self.window[self.lags - 1] = scaled;
+        Ok(())
+    }
+}
+
 /// Recursive multi-step forecaster: "Hecate computes the predicted values
 /// for the next 10 steps and returns the best path."
 ///
-/// Trains on the whole history (scaled), then feeds each prediction back
-/// into the lag window to roll the forecast forward `horizon` steps.
-/// Returns forecasts in the original scale.
+/// One-shot convenience over [`TrainedForecaster`]: fit on the whole
+/// history, then roll `horizon` steps. By construction, a
+/// [`TrainedForecaster`] fitted on the same history rolls a bitwise
+/// identical forecast. Returns forecasts in the original scale.
 pub fn forecast_next(
     kind: RegressorKind,
     history: &[f64],
@@ -120,31 +236,7 @@ pub fn forecast_next(
     horizon: usize,
     seed: u64,
 ) -> Result<Vec<f64>, MlError> {
-    if history.len() <= lags + 1 {
-        return Err(MlError::BadShape(format!(
-            "need more than {} samples, have {}",
-            lags + 1,
-            history.len()
-        )));
-    }
-    let mut scaler = StandardScaler::new();
-    let col = Matrix::from_vec(history.len(), 1, history.to_vec());
-    scaler.fit(&col)?;
-    let scaled = scaler.transform_column(history, 0)?;
-    let (x, y) = make_supervised(&scaled, lags).ok_or(MlError::BadShape("history".into()))?;
-    let mut model = kind.build(seed);
-    model.fit(&x, &y)?;
-
-    let mut window: Vec<f64> = scaled[scaled.len() - lags..].to_vec();
-    let mut out_scaled = Vec::with_capacity(horizon);
-    for _ in 0..horizon {
-        let x_next = Matrix::from_vec(1, lags, window.clone());
-        let pred = model.predict(&x_next)?[0];
-        out_scaled.push(pred);
-        window.rotate_left(1);
-        window[lags - 1] = pred;
-    }
-    scaler.inverse_transform_column(&out_scaled, 0)
+    TrainedForecaster::fit(kind, history, lags, seed)?.roll(horizon)
 }
 
 #[cfg(test)]
@@ -177,10 +269,7 @@ mod tests {
         let cfg = PipelineConfig::default();
         let rep = evaluate_regressor(RegressorKind::Rfr, &series, &cfg).unwrap();
         let mean = linalg::stats::mean(&rep.observed);
-        let mean_rmse = rmse(
-            &rep.observed,
-            &vec![mean; rep.observed.len()],
-        );
+        let mean_rmse = rmse(&rep.observed, &vec![mean; rep.observed.len()]);
         assert!(
             rep.rmse < mean_rmse,
             "RFR rmse {} should beat mean-prediction rmse {mean_rmse}",
@@ -229,5 +318,50 @@ mod tests {
     #[test]
     fn forecast_too_short_history_errors() {
         assert!(forecast_next(RegressorKind::Lr, &[1.0; 11], 10, 5, 0).is_err());
+        assert!(TrainedForecaster::fit(RegressorKind::Lr, &[1.0; 11], 10, 0).is_err());
+    }
+
+    #[test]
+    fn trained_forecaster_matches_one_shot_bitwise() {
+        // The fit/roll split must not change a single bit of the
+        // forecast relative to the one-shot path, for deterministic and
+        // seeded-stochastic models alike.
+        let series = synthetic_series(150);
+        for kind in [RegressorKind::Lr, RegressorKind::Rfr, RegressorKind::Gbr] {
+            let one_shot = forecast_next(kind, &series, 10, 10, 7).unwrap();
+            let trained = TrainedForecaster::fit(kind, &series, 10, 7).unwrap();
+            assert_eq!(trained.roll(10).unwrap(), one_shot, "{kind}");
+            // Rolling is pure: a second roll is identical.
+            assert_eq!(trained.roll(10).unwrap(), one_shot, "{kind} reroll");
+        }
+    }
+
+    #[test]
+    fn trained_forecaster_reports_fit_metadata() {
+        let series = synthetic_series(90);
+        let f = TrainedForecaster::fit(RegressorKind::Lr, &series, 10, 3).unwrap();
+        assert_eq!(f.kind(), RegressorKind::Lr);
+        assert_eq!(f.lags(), 10);
+        assert_eq!(f.seed(), 3);
+        assert_eq!(f.trained_on(), 90);
+        assert!(format!("{f:?}").contains("Lr"));
+    }
+
+    #[test]
+    fn observe_slides_the_window_without_refit() {
+        // Fit on a prefix, then observe the remaining samples: the
+        // rolled forecast must equal fitting-with-frozen-stats on the
+        // full window, i.e. the window content drives the prediction.
+        let series = synthetic_series(160);
+        let mut f = TrainedForecaster::fit(RegressorKind::Lr, &series[..150], 10, 0).unwrap();
+        let before = f.roll(5).unwrap();
+        for &v in &series[150..] {
+            f.observe(v).unwrap();
+        }
+        let after = f.roll(5).unwrap();
+        assert_ne!(before, after, "new samples must move the forecast");
+        // An LR model is linear in the window, so the updated forecast
+        // stays in the series' envelope.
+        assert!(after.iter().all(|v| v.is_finite() && *v > 0.0 && *v < 60.0));
     }
 }

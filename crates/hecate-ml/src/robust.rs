@@ -207,10 +207,7 @@ impl Regressor for RansacRegressor {
                 "RANSAC needs at least {min_samples} samples, got {n}"
             )));
         }
-        let threshold = self
-            .residual_threshold
-            .unwrap_or_else(|| mad(y))
-            .max(1e-12);
+        let threshold = self.residual_threshold.unwrap_or_else(|| mad(y)).max(1e-12);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best_inliers: Vec<usize> = Vec::new();
         for _ in 0..self.max_trials {
@@ -254,10 +251,7 @@ impl Regressor for RansacRegressor {
     }
 
     fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        self.inner
-            .as_ref()
-            .ok_or(MlError::NotFitted)?
-            .predict(x)
+        self.inner.as_ref().ok_or(MlError::NotFitted)?.predict(x)
     }
 
     fn name(&self) -> &'static str {
@@ -450,7 +444,9 @@ mod tests {
         assert!(inliers >= 40, "found {inliers} inliers");
         assert!(!m.inlier_mask()[3], "index 3 is an outlier");
         // Clean-point predictions are accurate.
-        let clean_idx: Vec<usize> = (0..50).filter(|i| ![3, 17, 29, 41, 47].contains(i)).collect();
+        let clean_idx: Vec<usize> = (0..50)
+            .filter(|i| ![3, 17, 29, 41, 47].contains(i))
+            .collect();
         let pred = m.predict(&x).unwrap();
         let clean_rmse = rmse(
             &clean_idx.iter().map(|&i| y[i]).collect::<Vec<_>>(),
@@ -500,8 +496,17 @@ mod tests {
     #[test]
     fn all_unfitted_error() {
         let x = Matrix::zeros(1, 1);
-        assert_eq!(HuberRegressor::new().predict(&x).unwrap_err(), MlError::NotFitted);
-        assert_eq!(RansacRegressor::new().predict(&x).unwrap_err(), MlError::NotFitted);
-        assert_eq!(TheilSenRegressor::new().predict(&x).unwrap_err(), MlError::NotFitted);
+        assert_eq!(
+            HuberRegressor::new().predict(&x).unwrap_err(),
+            MlError::NotFitted
+        );
+        assert_eq!(
+            RansacRegressor::new().predict(&x).unwrap_err(),
+            MlError::NotFitted
+        );
+        assert_eq!(
+            TheilSenRegressor::new().predict(&x).unwrap_err(),
+            MlError::NotFitted
+        );
     }
 }

@@ -111,12 +111,7 @@ impl DecisionTreeRegressor {
     }
 
     /// Fits with per-sample weights (AdaBoost.R2 requires this).
-    pub fn fit_weighted(
-        &mut self,
-        x: &Matrix,
-        y: &[f64],
-        weights: &[f64],
-    ) -> Result<(), MlError> {
+    pub fn fit_weighted(&mut self, x: &Matrix, y: &[f64], weights: &[f64]) -> Result<(), MlError> {
         check_xy(x, y)?;
         if weights.len() != y.len() {
             return Err(MlError::BadShape("weights length mismatch".into()));
@@ -158,8 +153,7 @@ impl DecisionTreeRegressor {
             features.shuffle(rng);
             features.truncate(k.clamp(1, self.n_features));
         }
-        let Some(best) = best_split(x, y, w, &idx, &features, self.config.min_samples_leaf)
-        else {
+        let Some(best) = best_split(x, y, w, &idx, &features, self.config.min_samples_leaf) else {
             return make_leaf(&mut self.nodes);
         };
         let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
@@ -396,9 +390,11 @@ mod tests {
         let x = Matrix::from_rows(&rows);
         let mut t = DecisionTreeRegressor::with_max_depth(4);
         t.fit(&x, &y).unwrap();
-        let (lo, hi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
-            (l.min(v), h.max(v))
-        });
+        let (lo, hi) = y
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
         for p in t.predict(&x).unwrap() {
             assert!(p >= lo - 1e-12 && p <= hi + 1e-12);
         }

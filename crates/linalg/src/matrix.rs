@@ -50,7 +50,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -140,9 +144,7 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect())
+        Ok((0..self.rows).map(|i| dot(self.row(i), v)).collect())
     }
 
     /// `self^T * self` — the Gram matrix, computed without materializing
@@ -554,11 +556,7 @@ mod tests {
     #[test]
     fn lstsq_exact_system() {
         // y = 2x + 1 fit through exact points.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
         let x = lstsq(&a, &[1.0, 3.0, 5.0]).unwrap();
         assert!(approx(&x, &[1.0, 2.0], 1e-10));
     }

@@ -175,10 +175,7 @@ mod tests {
     #[test]
     fn weighted_median_basic() {
         // Heavy weight drags the median to that value.
-        assert_eq!(
-            weighted_median(&[1.0, 2.0, 10.0], &[1.0, 1.0, 10.0]),
-            10.0
-        );
+        assert_eq!(weighted_median(&[1.0, 2.0, 10.0], &[1.0, 1.0, 10.0]), 10.0);
         // Equal weights behave like a lower median.
         assert_eq!(weighted_median(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0]), 2.0);
     }

@@ -262,12 +262,7 @@ impl LinearProgram {
                 x[basis[i]] = tableau[i][total];
             }
         }
-        let mut obj: f64 = self
-            .objective
-            .iter()
-            .zip(&x)
-            .map(|(c, v)| c * v)
-            .sum();
+        let mut obj: f64 = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
         if obj == 0.0 {
             obj = 0.0; // normalize -0.0
         }
@@ -314,16 +309,22 @@ mod tests {
 
     #[test]
     fn unbounded_detected() {
-        let lp = LinearProgram::maximize(vec![1.0])
-            .constraint(Constraint::new(vec![-1.0], Relation::Le, 1.0));
+        let lp = LinearProgram::maximize(vec![1.0]).constraint(Constraint::new(
+            vec![-1.0],
+            Relation::Le,
+            1.0,
+        ));
         assert_eq!(lp.solve().unwrap_err(), SimplexError::Unbounded);
     }
 
     #[test]
     fn negative_rhs_normalized() {
         // x >= 2 expressed as -x <= -2
-        let lp = LinearProgram::minimize(vec![1.0])
-            .constraint(Constraint::new(vec![-1.0], Relation::Le, -2.0));
+        let lp = LinearProgram::minimize(vec![1.0]).constraint(Constraint::new(
+            vec![-1.0],
+            Relation::Le,
+            -2.0,
+        ));
         let s = lp.solve().unwrap();
         assert!((s.x[0] - 2.0).abs() < 1e-8);
     }
@@ -341,8 +342,11 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let lp = LinearProgram::minimize(vec![1.0, 2.0])
-            .constraint(Constraint::new(vec![1.0], Relation::Le, 1.0));
+        let lp = LinearProgram::minimize(vec![1.0, 2.0]).constraint(Constraint::new(
+            vec![1.0],
+            Relation::Le,
+            1.0,
+        ));
         assert_eq!(lp.solve().unwrap_err(), SimplexError::BadShape);
     }
 
@@ -350,8 +354,16 @@ mod tests {
     fn degenerate_lp_terminates() {
         // Degenerate vertices: Bland's rule must not cycle.
         let lp = LinearProgram::maximize(vec![10.0, -57.0, -9.0, -24.0])
-            .constraint(Constraint::new(vec![0.5, -5.5, -2.5, 9.0], Relation::Le, 0.0))
-            .constraint(Constraint::new(vec![0.5, -1.5, -0.5, 1.0], Relation::Le, 0.0))
+            .constraint(Constraint::new(
+                vec![0.5, -5.5, -2.5, 9.0],
+                Relation::Le,
+                0.0,
+            ))
+            .constraint(Constraint::new(
+                vec![0.5, -1.5, -0.5, 1.0],
+                Relation::Le,
+                0.0,
+            ))
             .constraint(Constraint::new(vec![1.0, 0.0, 0.0, 0.0], Relation::Le, 1.0));
         let s = lp.solve().unwrap();
         assert!((s.objective - 1.0).abs() < 1e-6);

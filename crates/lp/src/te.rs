@@ -49,7 +49,11 @@ pub fn min_cost_split(
 /// `F(x_sd) = x_sd/(c - x_sd) + 2 (h - x_sd)/(c - (h - x_sd))`.
 pub fn delay_objective(x_sd: f64, h: f64, c: f64) -> f64 {
     let x_sid = h - x_sd;
-    let d1 = if x_sd < c { x_sd / (c - x_sd) } else { f64::INFINITY };
+    let d1 = if x_sd < c {
+        x_sd / (c - x_sd)
+    } else {
+        f64::INFINITY
+    };
     let d2 = if x_sid < c {
         2.0 * x_sid / (c - x_sid)
     } else {
@@ -124,10 +128,7 @@ pub struct MinMaxAllocation {
 }
 
 /// Solves the min-max utilization LP.
-pub fn min_max_utilization(
-    h: f64,
-    capacities: &[f64],
-) -> Result<MinMaxAllocation, SimplexError> {
+pub fn min_max_utilization(h: f64, capacities: &[f64]) -> Result<MinMaxAllocation, SimplexError> {
     let k = capacities.len();
     if k == 0 {
         return Err(SimplexError::BadShape);

@@ -62,10 +62,7 @@ pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
     let mut members: HashMap<(LinkId, Direction), Vec<usize>> = HashMap::new();
     let mut frozen = vec![false; n];
     for (i, f) in flows.iter().enumerate() {
-        let dead = f
-            .links
-            .iter()
-            .any(|(lid, _)| !topo.link(*lid).up);
+        let dead = f.links.iter().any(|(lid, _)| !topo.link(*lid).up);
         if dead || f.links.is_empty() {
             frozen[i] = true; // rate stays 0 (or demand handled below for empty)
             if f.links.is_empty() {
@@ -104,12 +101,7 @@ pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
         // Any unfrozen demand below the water level freezes at demand
         // first (its leftover capacity raises everyone else).
         let demand_limited: Vec<usize> = (0..n)
-            .filter(|&i| {
-                !frozen[i]
-                    && flows[i]
-                        .demand
-                        .is_some_and(|d| d <= min_share + 1e-12)
-            })
+            .filter(|&i| !frozen[i] && flows[i].demand.is_some_and(|d| d <= min_share + 1e-12))
             .collect();
         let to_freeze: Vec<(usize, f64)> = if demand_limited.is_empty() {
             members[&bottleneck]
@@ -271,9 +263,18 @@ mod tests {
         t.add_link(a, b, 10.0, 1.0);
         t.add_link(b, c, 10.0, 1.0);
         let flows = vec![
-            AllocFlow { links: directed_links(&t, &[a, b, c]).unwrap(), demand: None },
-            AllocFlow { links: directed_links(&t, &[a, b]).unwrap(), demand: None },
-            AllocFlow { links: directed_links(&t, &[b, c]).unwrap(), demand: None },
+            AllocFlow {
+                links: directed_links(&t, &[a, b, c]).unwrap(),
+                demand: None,
+            },
+            AllocFlow {
+                links: directed_links(&t, &[a, b]).unwrap(),
+                demand: None,
+            },
+            AllocFlow {
+                links: directed_links(&t, &[b, c]).unwrap(),
+                demand: None,
+            },
         ];
         let rates = max_min_allocation(&t, &flows);
         for r in &rates {
@@ -293,8 +294,14 @@ mod tests {
         t.add_link(a, b, 10.0, 1.0);
         t.add_link(b, c, 4.0, 1.0);
         let flows = vec![
-            AllocFlow { links: directed_links(&t, &[a, b, c]).unwrap(), demand: None },
-            AllocFlow { links: directed_links(&t, &[a, b]).unwrap(), demand: None },
+            AllocFlow {
+                links: directed_links(&t, &[a, b, c]).unwrap(),
+                demand: None,
+            },
+            AllocFlow {
+                links: directed_links(&t, &[a, b]).unwrap(),
+                demand: None,
+            },
         ];
         let rates = max_min_allocation(&t, &flows);
         assert!((rates[0] - 4.0).abs() < 1e-9, "{rates:?}");

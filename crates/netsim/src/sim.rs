@@ -330,10 +330,7 @@ impl Simulation {
         for lid in links {
             let link = self.topo.link(lid);
             if !link.up {
-                return Err(NetsimError::BadPath(format!(
-                    "link {:?} is down",
-                    lid
-                )));
+                return Err(NetsimError::BadPath(format!("link {:?} is down", lid)));
             }
             // both directions' propagation
             rtt += 2.0 * link.delay_ms;
@@ -371,10 +368,12 @@ mod tests {
     use crate::topo::global_p4_lab;
 
     fn tunnel1(t: &Topology) -> Vec<NodeIdx> {
-        t.path_by_names(&["host1", "MIA", "SAO", "AMS", "host2"]).unwrap()
+        t.path_by_names(&["host1", "MIA", "SAO", "AMS", "host2"])
+            .unwrap()
     }
     fn tunnel2(t: &Topology) -> Vec<NodeIdx> {
-        t.path_by_names(&["host1", "MIA", "CHI", "AMS", "host2"]).unwrap()
+        t.path_by_names(&["host1", "MIA", "CHI", "AMS", "host2"])
+            .unwrap()
     }
 
     fn greedy_spec(t: &Topology, label: &str, tos: u8) -> FlowSpec {
@@ -393,7 +392,14 @@ mod tests {
         let path = tunnel1(&topo);
         let spec = greedy_spec(&topo, "f1", 0);
         let mut sim = Simulation::new(topo, 1);
-        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path,
+                id: FlowId(1),
+            },
+        );
         sim.run_until(20_000, 100, 1000);
         let r = sim.flow_rate(FlowId(1)).unwrap();
         // 20 Mbps bottleneck * 0.86 efficiency
@@ -406,12 +412,22 @@ mod tests {
         let path = tunnel1(&topo);
         let spec = greedy_spec(&topo, "f1", 0);
         let mut sim = Simulation::new(topo, 1);
-        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path,
+                id: FlowId(1),
+            },
+        );
         sim.run_until(500, 100, 100);
         let early = sim.flow_rate(FlowId(1)).unwrap();
         sim.run_until(10_000, 100, 1000);
         let late = sim.flow_rate(FlowId(1)).unwrap();
-        assert!(early < late * 0.5, "early {early} should be well below {late}");
+        assert!(
+            early < late * 0.5,
+            "early {early} should be well below {late}"
+        );
     }
 
     #[test]
@@ -422,7 +438,14 @@ mod tests {
         let p1 = tunnel1(&topo);
         let spec = greedy_spec(&topo, "f1", 0);
         let mut sim = Simulation::new(topo, 1);
-        sim.schedule(0, Event::StartFlow { spec, path: p2, id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path: p2,
+                id: FlowId(1),
+            },
+        );
         sim.schedule(30_000, Event::SetFlowPath(FlowId(1), p1));
         sim.run_until(29_000, 100, 1000);
         let before = sim.flow_rate(FlowId(1)).unwrap();
@@ -439,8 +462,22 @@ mod tests {
         let mut sim = Simulation::new(topo, 1);
         let s1 = greedy_spec(&sim.topo, "f1", 0);
         let s2 = greedy_spec(&sim.topo, "f2", 4);
-        sim.schedule(0, Event::StartFlow { spec: s1, path: path.clone(), id: FlowId(1) });
-        sim.schedule(0, Event::StartFlow { spec: s2, path, id: FlowId(2) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec: s1,
+                path: path.clone(),
+                id: FlowId(1),
+            },
+        );
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec: s2,
+                path,
+                id: FlowId(2),
+            },
+        );
         sim.run_until(20_000, 100, 1000);
         let shared = sim.flow_rate(FlowId(1)).unwrap();
         assert!((shared - 10.0 * 0.86).abs() < 0.3, "shared {shared}");
@@ -471,7 +508,14 @@ mod tests {
         let mut sim = Simulation::new(topo, 7);
         let idle: f64 = (0..20).map(|_| sim.ping(&probe_path).unwrap()).sum::<f64>() / 20.0;
         let spec = greedy_spec(&sim.topo, "f1", 0);
-        sim.schedule(0, Event::StartFlow { spec, path: flow_path, id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path: flow_path,
+                id: FlowId(1),
+            },
+        );
         sim.run_until(20_000, 100, 1000);
         let loaded: f64 = (0..20).map(|_| sim.ping(&probe_path).unwrap()).sum::<f64>() / 20.0;
         assert!(loaded > idle + 2.0, "idle {idle} vs loaded {loaded}");
@@ -486,7 +530,14 @@ mod tests {
         let lid = topo.link_between(mia, sao).unwrap();
         let mut sim = Simulation::new(topo, 1);
         let spec = greedy_spec(&sim.topo, "f1", 0);
-        sim.schedule(0, Event::StartFlow { spec, path: path.clone(), id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path: path.clone(),
+                id: FlowId(1),
+            },
+        );
         sim.run_until(10_000, 100, 1000);
         sim.schedule(10_000, Event::SetLinkUp(lid, false));
         sim.run_until(30_000, 100, 1000);
@@ -501,7 +552,14 @@ mod tests {
         let path = tunnel1(&topo);
         let mut sim = Simulation::new(topo, 1);
         let spec = greedy_spec(&sim.topo, "f1", 0);
-        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path,
+                id: FlowId(1),
+            },
+        );
         sim.run_until(10_000, 100, 1000);
         let series = sim.series("flow:f1:rate");
         assert_eq!(series.len(), 10, "one sample per second");
@@ -518,7 +576,14 @@ mod tests {
         let mut sim = Simulation::new(topo, 1);
         let before = sim.path_available_mbps(&inner).unwrap();
         let spec = greedy_spec(&sim.topo, "f1", 0);
-        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path,
+                id: FlowId(1),
+            },
+        );
         sim.run_until(20_000, 100, 1000);
         let after = sim.path_available_mbps(&inner).unwrap();
         assert_eq!(before, 20.0);
@@ -532,7 +597,14 @@ mod tests {
             let path = tunnel1(&topo);
             let mut sim = Simulation::new(topo, seed);
             let spec = greedy_spec(&sim.topo, "f1", 0);
-            sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+            sim.schedule(
+                0,
+                Event::StartFlow {
+                    spec,
+                    path,
+                    id: FlowId(1),
+                },
+            );
             sim.run_until(5_000, 100, 1000);
             let p = sim.topo.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
             (sim.flow_rate(FlowId(1)).unwrap(), sim.ping(&p).unwrap())
@@ -559,7 +631,14 @@ mod tests {
         let trace = [20.0, 4.0, 20.0];
         sim.schedule_capacity_trace(lid, 0, 10_000, &trace);
         let spec = greedy_spec(&sim.topo, "f1", 0);
-        sim.schedule(0, Event::StartFlow { spec, path, id: FlowId(1) });
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path,
+                id: FlowId(1),
+            },
+        );
         sim.run_until(9_000, 100, 1000);
         let high = sim.flow_rate(FlowId(1)).unwrap();
         sim.run_until(19_000, 100, 1000);

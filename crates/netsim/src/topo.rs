@@ -208,8 +208,7 @@ impl Topology {
     /// resolver encodes into routeIDs. Port 0 is reserved for "deliver
     /// locally".
     pub fn neighbor_port(&self, a: NodeIdx, b: NodeIdx) -> Option<u16> {
-        let mut neighbors: Vec<NodeIdx> =
-            self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
+        let mut neighbors: Vec<NodeIdx> = self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
         neighbors.sort_by_key(|n| n.0);
         neighbors
             .iter()
@@ -223,8 +222,7 @@ impl Topology {
         if port == 0 {
             return None;
         }
-        let mut neighbors: Vec<NodeIdx> =
-            self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
+        let mut neighbors: Vec<NodeIdx> = self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
         neighbors.sort_by_key(|n| n.0);
         neighbors.get(port as usize - 1).copied()
     }
@@ -232,11 +230,7 @@ impl Topology {
     /// Maximum port number used anywhere in the topology (sizes the
     /// PolKA node-ID degree).
     pub fn max_port(&self) -> u16 {
-        self.adj
-            .iter()
-            .map(|n| n.len() as u16)
-            .max()
-            .unwrap_or(0)
+        self.adj.iter().map(|n| n.len() as u16).max().unwrap_or(0)
     }
 
     /// Dijkstra shortest path by propagation delay. Returns `None` when
@@ -337,8 +331,7 @@ impl Topology {
                 }
                 for &n in &root[..spur_idx] {
                     // knock out all links of interior root nodes
-                    let neighbors: Vec<(NodeIdx, LinkId)> =
-                        scratch.adj[n.0 as usize].clone();
+                    let neighbors: Vec<(NodeIdx, LinkId)> = scratch.adj[n.0 as usize].clone();
                     for (_, lid) in neighbors {
                         scratch.link_mut(lid).up = false;
                     }
@@ -498,8 +491,14 @@ mod tests {
         let sao = t.node("SAO").unwrap();
         let chi = t.node("CHI").unwrap();
         let cal = t.node("CAL").unwrap();
-        assert_eq!(t.link(t.link_between(mia, sao).unwrap()).capacity_mbps, 20.0);
-        assert_eq!(t.link(t.link_between(mia, chi).unwrap()).capacity_mbps, 10.0);
+        assert_eq!(
+            t.link(t.link_between(mia, sao).unwrap()).capacity_mbps,
+            20.0
+        );
+        assert_eq!(
+            t.link(t.link_between(mia, chi).unwrap()).capacity_mbps,
+            10.0
+        );
         assert_eq!(t.link(t.link_between(mia, cal).unwrap()).capacity_mbps, 5.0);
         // Experiment 1 delay
         assert_eq!(t.link(t.link_between(mia, sao).unwrap()).delay_ms, 20.0);

@@ -37,10 +37,7 @@ fn flows_from_seed(topo: &Topology, n_flows: usize, seed: u64) -> Vec<AllocFlow>
         .collect()
 }
 
-fn usage_by_link(
-    flows: &[AllocFlow],
-    rates: &[f64],
-) -> HashMap<(LinkId, Direction), f64> {
+fn usage_by_link(flows: &[AllocFlow], rates: &[f64]) -> HashMap<(LinkId, Direction), f64> {
     let mut usage = HashMap::new();
     for (f, r) in flows.iter().zip(rates) {
         for &(lid, dir) in &f.links {

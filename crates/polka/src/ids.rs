@@ -57,10 +57,7 @@ impl NodeId {
     /// RNS breaks silently with reducible node IDs, so this is a
     /// programming error rather than a runtime condition.
     pub fn new(name: impl Into<String>, poly: Poly) -> Self {
-        debug_assert!(
-            gf2poly::is_irreducible(&poly),
-            "nodeID must be irreducible"
-        );
+        debug_assert!(gf2poly::is_irreducible(&poly), "nodeID must be irreducible");
         NodeId {
             name: name.into(),
             poly,

@@ -140,10 +140,7 @@ mod tests {
             (c.clone(), PortSet::from_ports(&[4, 5, 6])),
         ]);
         let route = spec.compile().unwrap();
-        assert_eq!(
-            replicate_at(&route, &a),
-            Some(PortSet::from_ports(&[1, 3]))
-        );
+        assert_eq!(replicate_at(&route, &a), Some(PortSet::from_ports(&[1, 3])));
         assert_eq!(replicate_at(&route, &b), Some(PortSet::from_ports(&[2])));
         assert_eq!(
             replicate_at(&route, &c),

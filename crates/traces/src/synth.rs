@@ -98,7 +98,14 @@ mod tests {
 
     #[test]
     fn constant_shape_statistics() {
-        let s = generate(Shape::Constant { mean: 20.0, std: 2.0 }, 2000, 1);
+        let s = generate(
+            Shape::Constant {
+                mean: 20.0,
+                std: 2.0,
+            },
+            2000,
+            1,
+        );
         assert!((mean(&s) - 20.0).abs() < 0.5);
         assert!((std_dev(&s) - 2.0).abs() < 0.5);
     }
@@ -139,14 +146,35 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = generate(Shape::Constant { mean: 1.0, std: 0.5 }, 100, 9);
-        let b = generate(Shape::Constant { mean: 1.0, std: 0.5 }, 100, 9);
+        let a = generate(
+            Shape::Constant {
+                mean: 1.0,
+                std: 0.5,
+            },
+            100,
+            9,
+        );
+        let b = generate(
+            Shape::Constant {
+                mean: 1.0,
+                std: 0.5,
+            },
+            100,
+            9,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn values_never_negative() {
-        let s = generate(Shape::Constant { mean: 0.5, std: 5.0 }, 1000, 4);
+        let s = generate(
+            Shape::Constant {
+                mean: 0.5,
+                std: 5.0,
+            },
+            1000,
+            4,
+        );
         assert!(s.iter().all(|v| *v >= 0.0));
     }
 }

@@ -283,9 +283,7 @@ mod tests {
                 WIFI_LADDER
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| {
-                        (v / 0.925 - a.1).abs().total_cmp(&(v / 0.925 - b.1).abs())
-                    })
+                    .min_by(|a, b| (v / 0.925 - a.1).abs().total_cmp(&(v / 0.925 - b.1).abs()))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             };

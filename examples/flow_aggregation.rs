@@ -40,7 +40,10 @@ fn main() {
         "\nsteady aggregate before: {:5.2} Mbps   after: {:5.2} Mbps",
         result.total_before_mbps, result.total_after_mbps
     );
-    assert!(result.total_before_mbps < 20.0, "phase 1 under the 20 Mbps cap");
+    assert!(
+        result.total_before_mbps < 20.0,
+        "phase 1 under the 20 Mbps cap"
+    );
     assert!(result.total_after_mbps > 25.0, "phase 2 near 30 Mbps");
     println!("\nFig 12 shape reproduced: <20 Mbps on one tunnel, ~30 Mbps split.");
 }

@@ -21,12 +21,14 @@ fn main() {
             .iter()
             .map(|&n| sdn.sim.topo.node_name(n))
             .collect();
-        println!("  {name}: {} (label {} bits)", hops.join("-"), t.label_bits());
+        println!(
+            "  {name}: {} (label {} bits)",
+            hops.join("-"),
+            t.label_bits()
+        );
     }
 
-    let result = sdn
-        .run_latency_migration(60)
-        .expect("experiment completes");
+    let result = sdn.run_latency_migration(60).expect("experiment completes");
 
     println!("\nping host1 -> host2, 1 Hz:");
     let rtts: Vec<f64> = result.rtt_series.iter().map(|(_, v)| *v).collect();

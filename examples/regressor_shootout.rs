@@ -19,7 +19,10 @@ fn main() {
     let wifi = evaluate_all(&data.wifi, &config);
     let lte = evaluate_all(&data.lte, &config);
 
-    println!("\n{:<4} {:<12} {:>10} {:>10} {:>9}", "id", "model", "WiFi RMSE", "LTE RMSE", "fit ms");
+    println!(
+        "\n{:<4} {:<12} {:>10} {:>10} {:>9}",
+        "id", "model", "WiFi RMSE", "LTE RMSE", "fit ms"
+    );
     let mut rows = Vec::new();
     for (w, l) in wifi.iter().zip(&lte) {
         let (w, l) = match (w, l) {

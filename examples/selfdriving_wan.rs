@@ -42,7 +42,10 @@ fn main() {
         println!(
             "  {label} on {:?} at {:.2} Mbps",
             sdn.flow_tunnel(label).unwrap_or("?"),
-            sdn.flow_series(label).last().map(|(_, v)| *v).unwrap_or(0.0)
+            sdn.flow_series(label)
+                .last()
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
         );
     }
 
@@ -93,5 +96,8 @@ fn main() {
 
     let total: f64 = flows.iter().map(|(_, last, _)| last).sum();
     println!("aggregate goodput after failure recovery: {total:.2} Mbps");
-    assert!(total > 10.0, "the network must keep delivering after the failure");
+    assert!(
+        total > 10.0,
+        "the network must keep delivering after the failure"
+    );
 }

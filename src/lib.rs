@@ -20,7 +20,12 @@
 //! * [`freertr`] — control-plane emulation (config dialect, ACL/PBR,
 //!   message-queue router agents);
 //! * [`framework`] — the integrated self-driving network and the two
-//!   experiment runners (Fig 11, Fig 12).
+//!   experiment runners (Fig 11, Fig 12), built around the shared
+//!   ForecastEngine: a trained-model cache in `framework::hecate`
+//!   (train once, roll/observe online, refit after N new samples),
+//!   batched scheduler-tick decisions via
+//!   `framework::controller::decide_flows`, and a mirrored-ring
+//!   telemetry store with zero-copy windowed reads.
 //!
 //! ## Quickstart
 //!

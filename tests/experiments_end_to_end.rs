@@ -33,7 +33,10 @@ fn fig11_latency_migration_shape() {
     // The series itself steps down at the migration point.
     let before_last = r.rtt_series[(r.migration_at_s as usize) - 1].1;
     let after_first = r.rtt_series[r.migration_at_s as usize].1;
-    assert!(after_first < before_last * 0.6, "visible step in the series");
+    assert!(
+        after_first < before_last * 0.6,
+        "visible step in the series"
+    );
 }
 
 #[test]

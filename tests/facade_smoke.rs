@@ -38,7 +38,9 @@ fn hecate_ml_regressor_fits() {
     let y: Vec<f64> = (0..60).map(|i| if i < 30 { 2.0 } else { 9.0 }).collect();
     let mut model = DecisionTreeRegressor::new();
     model.fit(&Matrix::from_rows(&rows), &y).expect("fit");
-    let pred = model.predict(&Matrix::from_rows(&[vec![10.0]])).expect("predict");
+    let pred = model
+        .predict(&Matrix::from_rows(&[vec![10.0]]))
+        .expect("predict");
     assert!((pred[0] - 2.0).abs() < 1e-9);
 }
 
@@ -62,7 +64,9 @@ fn netsim_carries_one_flow() {
         },
     );
     sim.run_until(2_000, 100, 500);
-    let rate = sim.flow_rate(polka_hecate::netsim::FlowId(1)).expect("flow exists");
+    let rate = sim
+        .flow_rate(polka_hecate::netsim::FlowId(1))
+        .expect("flow exists");
     assert!(rate > 0.0, "flow should carry traffic, rate = {rate}");
 }
 

@@ -41,7 +41,10 @@ fn migration_swaps_one_label_core_untouched() {
     let topo = global_p4_lab();
     let mut alloc = allocator_for(&topo);
     let cfg = fig10_mia_config();
-    let before: Vec<_> = alloc.assignments().map(|(n, id)| (n.to_string(), id.clone())).collect();
+    let before: Vec<_> = alloc
+        .assignments()
+        .map(|(n, id)| (n.to_string(), id.clone()))
+        .collect();
 
     let t1 = compile_tunnel(cfg.tunnel("tunnel1").unwrap(), &topo, &mut alloc).unwrap();
     let t3 = compile_tunnel(cfg.tunnel("tunnel3").unwrap(), &topo, &mut alloc).unwrap();

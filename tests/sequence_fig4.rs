@@ -75,13 +75,9 @@ fn decisions_are_executed_by_the_polka_data_plane() {
         .unwrap();
     let tunnel = sdn.tunnel(&decision.tunnel).unwrap();
     let visited =
-        polka_hecate::freertr::resolve::walk_route(tunnel, &sdn.sim.topo, sdn.allocator())
-            .unwrap();
+        polka_hecate::freertr::resolve::walk_route(tunnel, &sdn.sim.topo, sdn.allocator()).unwrap();
     assert_eq!(visited, tunnel.node_path);
-    let names: Vec<&str> = visited
-        .iter()
-        .map(|&n| sdn.sim.topo.node_name(n))
-        .collect();
+    let names: Vec<&str> = visited.iter().map(|&n| sdn.sim.topo.node_name(n)).collect();
     assert_eq!(names.first(), Some(&"MIA"));
     assert_eq!(names.last(), Some(&"AMS"));
 }

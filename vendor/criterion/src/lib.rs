@@ -131,7 +131,11 @@ pub struct Criterion {}
 
 impl Criterion {
     /// Runs one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
         run_one(&id.into_benchmark_id(), f);
         self
     }
@@ -179,7 +183,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark inside the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
         run_one(&format!("{}/{}", self.name, id.into_benchmark_id()), f);
         self
     }
