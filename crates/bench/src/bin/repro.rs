@@ -22,7 +22,7 @@ use bench::format_series;
 use hecate_ml::RegressorKind;
 
 /// The single source of truth for figure names and their runners.
-const FIGURES: [(&str, fn()); 13] = [
+const FIGURES: [(&str, fn()); 14] = [
     ("fig1", fig1),
     ("fig2", fig2),
     ("fig5", fig5),
@@ -33,6 +33,7 @@ const FIGURES: [(&str, fn()); 13] = [
     ("fig12", fig12),
     ("ablation", ablation),
     ("throughput", throughput),
+    ("forwarding", forwarding),
     ("steering", steering),
     ("mlp", mlp),
     ("cv", cv),
@@ -218,6 +219,35 @@ fn throughput() {
     println!(
         "  speedup {:.0}x, recommendations matched: {}, cache {:?}",
         r.speedup, r.matched, r.cache
+    );
+}
+
+fn forwarding() {
+    banner(
+        "forwarding",
+        "packet-level forwarding plane: PolKA vs segment list, sharded by ingress",
+    );
+    let r = figures::forwarding_scaling(40_000);
+    println!(
+        "{:<8} {:>6} {:>10} {:>12} {:>15}",
+        "mode", "shards", "packets", "wall Mpps", "critical Mpps"
+    );
+    for row in &r.rows {
+        println!(
+            "{:<8} {:>6} {:>10} {:>12.3} {:>15.3}",
+            row.mode, row.shards, row.packets, row.wall_mpps, row.critical_mpps
+        );
+    }
+    println!(
+        "label at ingress: PolKA {} bits (immutable) vs segment list {} bits (pop per hop)",
+        r.polka_label_bits, r.seglist_label_bits
+    );
+    println!(
+        "PolKA 1 -> 4 shards: critical-path {:.2}x, wall-clock {:.2}x on {} core(s)",
+        r.scaling_1_to_4, r.wall_scaling_1_to_4, r.host_cores
+    );
+    println!(
+        "(critical path = each shard run in isolation; equals wall clock when cores >= shards)"
     );
 }
 

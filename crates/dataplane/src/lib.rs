@@ -1,0 +1,71 @@
+//! The packet-level PolKA forwarding plane.
+//!
+//! The paper's control loop ends in a *data plane*: the controller
+//! compiles a path into one CRT routeID, ingress edges stamp it into a
+//! [`polka::header::PolkaHeader`], and every core node forwards by a
+//! single polynomial remainder — the header is never rewritten in
+//! flight, so path migration and failure recovery are one ingress
+//! rewrite. The fluid simulator in [`netsim`] models *rates*; this crate
+//! models *packets*, closing the loop the paper actually runs:
+//!
+//! * [`label::FlowLabel`] / [`label::SourceRoute`] — the two on-wire
+//!   route encodings behind one trait: the PolKA routeID (read-only
+//!   remainder per hop) and the port-switching segment list
+//!   (pop-one-label per hop, header mutates), so PolKA and the baseline
+//!   run through the *same* pipeline for apples-to-apples benches;
+//! * [`plane::ForwardingPlane`] — per-node port tables precomputed from
+//!   a [`netsim::Topology`] plus one [`polka::CoreNode`] per router;
+//!   batch-of-packets-per-hop forwarding ([`plane::ForwardingPlane::forward_batch`]);
+//! * [`shard::ShardedForwarder`] — the pipeline sharded by ingress over
+//!   crossbeam channels and worker threads; core nodes are stateless so
+//!   shards share nothing and merged counters are deterministic;
+//! * [`netem::PacketNet`] — the deterministic packet emulator: per-link
+//!   drop-tail queues with transmission + propagation delay, periodic
+//!   traffic sources, per-link/per-flow counters, and egress
+//!   proof-of-transit verification ([`polka::pot`]) that rejects
+//!   tampered or detoured packets.
+//!
+//! Everything is integer-nanosecond, allocation-light and free of RNG:
+//! two runs with the same inputs produce bit-identical counters.
+
+pub mod label;
+pub mod netem;
+pub mod plane;
+pub mod shard;
+
+pub use label::{FlowLabel, FlowRoute, PacketState, SourceRoute};
+pub use netem::{FlowReport, LinkReport, PacketNet, TrafficSpec};
+pub use plane::{BatchReport, DropReason, ForwardingPlane, HopOutcome};
+pub use shard::{shard_critical_path, ShardReport, ShardedForwarder};
+
+/// Errors from data-plane construction and operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataplaneError {
+    /// A route label could not be built for the path.
+    Route(String),
+    /// The underlying PolKA layer failed.
+    Polka(polka::PolkaError),
+    /// The topology does not support the requested operation.
+    Topology(String),
+    /// An unknown flow was referenced.
+    UnknownFlow(String),
+}
+
+impl std::fmt::Display for DataplaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataplaneError::Route(m) => write!(f, "route error: {m}"),
+            DataplaneError::Polka(e) => write!(f, "polka error: {e}"),
+            DataplaneError::Topology(m) => write!(f, "topology error: {m}"),
+            DataplaneError::UnknownFlow(n) => write!(f, "unknown flow {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DataplaneError {}
+
+impl From<polka::PolkaError> for DataplaneError {
+    fn from(e: polka::PolkaError) -> Self {
+        DataplaneError::Polka(e)
+    }
+}

@@ -1,0 +1,814 @@
+//! The deterministic packet-level emulator: periodic traffic sources,
+//! per-directed-link drop-tail queues with transmission + propagation
+//! delay, and egress proof-of-transit verification.
+//!
+//! Unlike the fluid model in [`netsim::Simulation`] (rates converging to
+//! max-min fair shares), every packet here is individually stamped at
+//! the ingress edge, individually forwarded at every core node (one
+//! GF(2) remainder for PolKA), individually serialized onto links, and
+//! individually dropped when a queue is full — so link counters and
+//! flow goodput are *measured from forwarded packets*, not computed
+//! from an allocation model. The whole machine is integer-nanosecond
+//! and RNG-free: identical inputs produce identical counters.
+
+use crate::label::{PacketState, SourceRoute};
+use crate::plane::{DropReason, ForwardingPlane, HopOutcome};
+use crate::{DataplaneError, FlowRoute};
+use netsim::{LinkId, NodeIdx, Topology};
+use polka::NodeIdAllocator;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Default drop-tail queue depth per directed link (bytes): ~25 ms at
+/// 20 Mbps, the classic "small buffer" regime.
+pub const DEFAULT_QUEUE_BYTES: u64 = 64 * 1024;
+
+/// A periodic traffic source.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Flow name (telemetry key).
+    pub name: String,
+    /// The stamped route.
+    pub route: FlowRoute,
+    /// Payload bytes per packet (the shim header is added on top, per
+    /// hop — the segment list shrinks, the PolKA label does not).
+    pub payload_bytes: u32,
+    /// Offered load in Mbps (payload basis).
+    pub rate_mbps: f64,
+}
+
+/// Cumulative per-flow counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlowReport {
+    /// Packets emitted by the source.
+    pub emitted: u64,
+    /// Packets delivered at egress with a verified PoT.
+    pub delivered: u64,
+    /// Payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Delivered but rejected by the egress PoT check.
+    pub pot_rejected: u64,
+    /// Dropped: label undecodable.
+    pub dropped_no_route: u64,
+    /// Dropped: failed link on the path.
+    pub dropped_link_down: u64,
+    /// Dropped: TTL expired.
+    pub dropped_ttl: u64,
+    /// Dropped: a drop-tail queue was full.
+    pub dropped_queue: u64,
+    /// Sum of delivered packets' one-way latencies (ns).
+    pub latency_sum_ns: u64,
+}
+
+impl FlowReport {
+    /// Mean one-way delivery latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.latency_sum_ns as f64 / self.delivered as f64 / 1e6
+    }
+
+    /// Delivered payload goodput over a window (Mbps).
+    pub fn goodput_mbps(&self, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            return 0.0;
+        }
+        // bytes * 8 bits over ns == bits/ns; * 1000 -> bits/us == Mbps.
+        self.delivered_bytes as f64 * 8.0 * 1000.0 / window_ns as f64
+    }
+
+    fn sub(&self, earlier: &FlowReport) -> FlowReport {
+        FlowReport {
+            emitted: self.emitted - earlier.emitted,
+            delivered: self.delivered - earlier.delivered,
+            delivered_bytes: self.delivered_bytes - earlier.delivered_bytes,
+            pot_rejected: self.pot_rejected - earlier.pot_rejected,
+            dropped_no_route: self.dropped_no_route - earlier.dropped_no_route,
+            dropped_link_down: self.dropped_link_down - earlier.dropped_link_down,
+            dropped_ttl: self.dropped_ttl - earlier.dropped_ttl,
+            dropped_queue: self.dropped_queue - earlier.dropped_queue,
+            latency_sum_ns: self.latency_sum_ns - earlier.latency_sum_ns,
+        }
+    }
+}
+
+/// Cumulative per-directed-link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Packets serialized onto the link.
+    pub tx_pkts: u64,
+    /// Bytes serialized onto the link (payload + shim header).
+    pub tx_bytes: u64,
+    /// Packets dropped at this link's queue (full or link down).
+    pub drops: u64,
+}
+
+impl LinkReport {
+    fn sub(&self, earlier: &LinkReport) -> LinkReport {
+        LinkReport {
+            tx_pkts: self.tx_pkts - earlier.tx_pkts,
+            tx_bytes: self.tx_bytes - earlier.tx_bytes,
+            drops: self.drops - earlier.drops,
+        }
+    }
+}
+
+/// One directed link's counters over a window, with its measured load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkWindow {
+    /// Underlying (undirected) link.
+    pub link: LinkId,
+    /// Transmitting endpoint.
+    pub from: NodeIdx,
+    /// Receiving endpoint.
+    pub to: NodeIdx,
+    /// Counters accumulated in the window.
+    pub report: LinkReport,
+    /// Measured load in Mbps over the window.
+    pub used_mbps: f64,
+    /// Configured link rate in Mbps.
+    pub rate_mbps: f64,
+    /// Whether the link was up at window close.
+    pub up: bool,
+}
+
+/// One flow's counters over a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowWindow {
+    /// Flow name.
+    pub name: String,
+    /// Counters accumulated in the window.
+    pub report: FlowReport,
+    /// Delivered payload goodput over the window (Mbps).
+    pub goodput_mbps: f64,
+}
+
+/// Everything a telemetry collector needs from one window.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Window length (ns).
+    pub elapsed_ns: u64,
+    /// Per-directed-link counters.
+    pub links: Vec<LinkWindow>,
+    /// Per-flow counters.
+    pub flows: Vec<FlowWindow>,
+}
+
+/// One directed link: a drop-tail queue feeding a constant-rate
+/// transmitter with propagation delay.
+#[derive(Debug, Clone)]
+struct DirLink {
+    from: NodeIdx,
+    to: NodeIdx,
+    link: LinkId,
+    rate_kbps: u64,
+    delay_ns: u64,
+    queue_cap_bytes: u64,
+    busy_until_ns: u64,
+    report: LinkReport,
+}
+
+impl DirLink {
+    /// Serialization time of `bytes` at this link's rate.
+    fn tx_ns(&self, bytes: u64) -> u64 {
+        // bytes * 8 bits / (kbps) = ms-scale; *1e6 keeps ns integers.
+        bytes * 8_000_000 / self.rate_kbps.max(1)
+    }
+
+    /// Enqueues a packet at time `t`; returns the arrival time at the
+    /// far end, or `None` when the drop-tail queue is full.
+    fn enqueue(&mut self, t_ns: u64, bytes: u64) -> Option<u64> {
+        let backlog_ns = self.busy_until_ns.saturating_sub(t_ns);
+        let backlog_bytes = backlog_ns * self.rate_kbps / 8_000_000;
+        if backlog_bytes + bytes > self.queue_cap_bytes {
+            self.report.drops += 1;
+            return None;
+        }
+        let start = self.busy_until_ns.max(t_ns);
+        self.busy_until_ns = start + self.tx_ns(bytes);
+        self.report.tx_pkts += 1;
+        self.report.tx_bytes += bytes;
+        Some(self.busy_until_ns + self.delay_ns)
+    }
+}
+
+#[derive(Debug)]
+enum EvKind {
+    /// A source emits its next packet.
+    Emit { flow: usize },
+    /// A packet arrives at a node. The packet carries the route it was
+    /// *stamped* with — an ingress rewrite never retroactively changes
+    /// packets already in flight.
+    Arrive {
+        flow: usize,
+        at: NodeIdx,
+        state: PacketState,
+        emitted_ns: u64,
+        route: Arc<FlowRoute>,
+    },
+}
+
+#[derive(Debug)]
+struct Ev {
+    t_ns: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.t_ns == other.t_ns && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed for a min-heap
+        other
+            .t_ns
+            .cmp(&self.t_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    name: String,
+    payload_bytes: u32,
+    /// The route currently stamped at the ingress; packets snapshot it
+    /// at emission time.
+    route: Arc<FlowRoute>,
+    interval_ns: u64,
+    report: FlowReport,
+    prev: FlowReport,
+    ingress_dir: usize,
+}
+
+/// The packet network: a [`ForwardingPlane`] plus queued links, traffic
+/// sources and counters.
+#[derive(Debug)]
+pub struct PacketNet {
+    plane: ForwardingPlane,
+    dirs: Vec<DirLink>,
+    /// (a, b) -> directed-link index for a->b.
+    dir_of: HashMap<(NodeIdx, NodeIdx), usize>,
+    flows: Vec<FlowState>,
+    by_name: HashMap<String, usize>,
+    heap: BinaryHeap<Ev>,
+    now_ns: u64,
+    seq: u64,
+    window_open_ns: u64,
+    prev_links: Vec<LinkReport>,
+    /// Ingress routeID rewrites performed via [`PacketNet::set_route`].
+    pub ingress_rewrites: u64,
+}
+
+impl PacketNet {
+    /// Builds the packet network over a topology. `alloc` must be the
+    /// same allocator the controller compiles routeIDs with.
+    pub fn new(topo: &Topology, alloc: &mut NodeIdAllocator) -> Result<Self, DataplaneError> {
+        let plane = ForwardingPlane::new(topo, alloc)?;
+        let mut dirs = Vec::with_capacity(topo.link_count() * 2);
+        let mut dir_of = HashMap::new();
+        for (i, link) in topo.links().iter().enumerate() {
+            let lid = LinkId(i as u32);
+            for (from, to) in [(link.a, link.b), (link.b, link.a)] {
+                dir_of.insert((from, to), dirs.len());
+                dirs.push(DirLink {
+                    from,
+                    to,
+                    link: lid,
+                    rate_kbps: (link.capacity_mbps * 1000.0).round().max(1.0) as u64,
+                    delay_ns: (link.delay_ms * 1e6).round() as u64,
+                    queue_cap_bytes: DEFAULT_QUEUE_BYTES,
+                    busy_until_ns: 0,
+                    report: LinkReport::default(),
+                });
+            }
+        }
+        let prev_links = vec![LinkReport::default(); dirs.len()];
+        Ok(PacketNet {
+            plane,
+            dirs,
+            dir_of,
+            flows: Vec::new(),
+            by_name: HashMap::new(),
+            heap: BinaryHeap::new(),
+            now_ns: 0,
+            seq: 0,
+            window_open_ns: 0,
+            prev_links,
+            ingress_rewrites: 0,
+        })
+    }
+
+    /// Current emulator time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Registers a traffic source. The first packet is emitted with a
+    /// per-flow phase offset so sources do not burst in lockstep.
+    pub fn add_flow(&mut self, spec: TrafficSpec) -> Result<(), DataplaneError> {
+        if self.by_name.contains_key(&spec.name) {
+            return Err(DataplaneError::Route(format!(
+                "flow {:?} already exists",
+                spec.name
+            )));
+        }
+        let ingress_dir = self.resolve_ingress(&spec.route)?;
+        let bits = spec.payload_bytes as f64 * 8.0;
+        let interval_ns = ((bits * 1000.0 / spec.rate_mbps.max(1e-6)).round() as u64).max(1);
+        let idx = self.flows.len();
+        let first = self.now_ns + (idx as u64 * 9973) % interval_ns.max(1) + 1;
+        self.flows.push(FlowState {
+            name: spec.name.clone(),
+            payload_bytes: spec.payload_bytes,
+            route: Arc::new(spec.route),
+            interval_ns,
+            report: FlowReport::default(),
+            prev: FlowReport::default(),
+            ingress_dir,
+        });
+        self.by_name.insert(spec.name, idx);
+        self.push(first, EvKind::Emit { flow: idx });
+        Ok(())
+    }
+
+    /// THE migration primitive: swaps one flow's stamped route at the
+    /// ingress edge. Core nodes are untouched — this is the single
+    /// policy rewrite the PolKA architecture promises.
+    pub fn set_route(&mut self, name: &str, route: FlowRoute) -> Result<(), DataplaneError> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| DataplaneError::UnknownFlow(name.to_string()))?;
+        let ingress_dir = self.resolve_ingress(&route)?;
+        self.flows[idx].route = Arc::new(route);
+        self.flows[idx].ingress_dir = ingress_dir;
+        self.ingress_rewrites += 1;
+        Ok(())
+    }
+
+    /// A flow's current route.
+    pub fn route(&self, name: &str) -> Option<&FlowRoute> {
+        self.by_name.get(name).map(|&i| &*self.flows[i].route)
+    }
+
+    /// Fails or restores a link (both directions).
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.plane.set_link_up(link, up);
+    }
+
+    /// Cumulative counters for one flow.
+    pub fn flow_report(&self, name: &str) -> Option<FlowReport> {
+        self.by_name.get(name).map(|&i| self.flows[i].report)
+    }
+
+    fn resolve_ingress(&self, route: &FlowRoute) -> Result<usize, DataplaneError> {
+        self.dir_of
+            .get(&(route.ingress, route.first_hop))
+            .copied()
+            .ok_or_else(|| {
+                DataplaneError::Topology(format!(
+                    "ingress {:?} is not adjacent to first hop {:?}",
+                    route.ingress, route.first_hop
+                ))
+            })
+    }
+
+    fn push(&mut self, t_ns: u64, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Ev {
+            t_ns,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Runs the packet machine for `window_ns`, then closes the window
+    /// and returns its counters (per directed link with measured load,
+    /// per flow with goodput). In-flight packets carry over to the next
+    /// window.
+    pub fn run_window(&mut self, window_ns: u64) -> WindowReport {
+        let end = self.now_ns + window_ns;
+        while let Some(top) = self.heap.peek() {
+            if top.t_ns > end {
+                break;
+            }
+            let ev = self.heap.pop().expect("peeked");
+            self.now_ns = ev.t_ns;
+            match ev.kind {
+                EvKind::Emit { flow } => self.emit(flow),
+                EvKind::Arrive {
+                    flow,
+                    at,
+                    state,
+                    emitted_ns,
+                    route,
+                } => self.arrive(flow, at, state, emitted_ns, route),
+            }
+        }
+        self.now_ns = end;
+        self.close_window()
+    }
+
+    fn emit(&mut self, flow: usize) {
+        let f = &mut self.flows[flow];
+        f.report.emitted += 1;
+        let state = PacketState::stamped();
+        let route = Arc::clone(&f.route); // the packet's stamped route
+        let bytes = f.payload_bytes as u64 + route.label.header_bytes(&state) as u64;
+        let next_emit = self.now_ns + f.interval_ns;
+        let first_hop = route.first_hop;
+        let dir = f.ingress_dir;
+        let link = self.dirs[dir].link;
+        if !self.plane.link_up(link) {
+            self.flows[flow].report.dropped_link_down += 1;
+            self.dirs[dir].report.drops += 1;
+        } else {
+            let emitted_ns = self.now_ns;
+            match self.dirs[dir].enqueue(self.now_ns, bytes) {
+                Some(arrival) => self.push(
+                    arrival,
+                    EvKind::Arrive {
+                        flow,
+                        at: first_hop,
+                        state,
+                        emitted_ns,
+                        route,
+                    },
+                ),
+                None => self.flows[flow].report.dropped_queue += 1,
+            }
+        }
+        self.push(next_emit, EvKind::Emit { flow });
+    }
+
+    fn arrive(
+        &mut self,
+        flow: usize,
+        at: NodeIdx,
+        mut state: PacketState,
+        emitted_ns: u64,
+        route: Arc<FlowRoute>,
+    ) {
+        let outcome = self.plane.hop(at, &route.label, &mut state);
+        let f = &mut self.flows[flow];
+        match outcome {
+            HopOutcome::Delivered => {
+                if state.pot == route.expected_pot {
+                    f.report.delivered += 1;
+                    f.report.delivered_bytes += f.payload_bytes as u64;
+                    f.report.latency_sum_ns += self.now_ns - emitted_ns;
+                } else {
+                    f.report.pot_rejected += 1;
+                }
+            }
+            HopOutcome::Drop { reason, link } => {
+                match reason {
+                    DropReason::NoRoute => f.report.dropped_no_route += 1,
+                    DropReason::LinkDown => f.report.dropped_link_down += 1,
+                    DropReason::TtlExpired => f.report.dropped_ttl += 1,
+                    DropReason::QueueFull => f.report.dropped_queue += 1,
+                }
+                // Charge the loss to the killing link's directed
+                // counters too (mid-path failures must be visible in
+                // per-link telemetry, not just per-flow).
+                if let Some(lid) = link {
+                    // Directed pairs are laid out (a->b, b->a) per link.
+                    let base = lid.0 as usize * 2;
+                    debug_assert_eq!(self.dirs[base].link, lid);
+                    let dir = if self.dirs[base].from == at {
+                        base
+                    } else {
+                        base + 1
+                    };
+                    self.dirs[dir].report.drops += 1;
+                }
+            }
+            HopOutcome::Forwarded { next, link, .. } => {
+                let bytes = f.payload_bytes as u64 + route.label.header_bytes(&state) as u64;
+                let dir = self.dir_of[&(at, next)];
+                debug_assert_eq!(self.dirs[dir].link, link);
+                match self.dirs[dir].enqueue(self.now_ns, bytes) {
+                    Some(arrival) => self.push(
+                        arrival,
+                        EvKind::Arrive {
+                            flow,
+                            at: next,
+                            state,
+                            emitted_ns,
+                            route,
+                        },
+                    ),
+                    None => self.flows[flow].report.dropped_queue += 1,
+                }
+            }
+        }
+    }
+
+    fn close_window(&mut self) -> WindowReport {
+        let elapsed_ns = self.now_ns - self.window_open_ns;
+        self.window_open_ns = self.now_ns;
+        let links = self
+            .dirs
+            .iter()
+            .zip(self.prev_links.iter_mut())
+            .map(|(d, prev)| {
+                let report = d.report.sub(prev);
+                *prev = d.report;
+                let used_mbps = if elapsed_ns == 0 {
+                    0.0
+                } else {
+                    report.tx_bytes as f64 * 8.0 * 1000.0 / elapsed_ns as f64
+                };
+                LinkWindow {
+                    link: d.link,
+                    from: d.from,
+                    to: d.to,
+                    report,
+                    used_mbps,
+                    rate_mbps: d.rate_kbps as f64 / 1000.0,
+                    up: self.plane.link_up(d.link),
+                }
+            })
+            .collect();
+        let flows = self
+            .flows
+            .iter_mut()
+            .map(|f| {
+                let report = f.report.sub(&f.prev);
+                f.prev = f.report;
+                FlowWindow {
+                    goodput_mbps: report.goodput_mbps(elapsed_ns),
+                    name: f.name.clone(),
+                    report,
+                }
+            })
+            .collect();
+        WindowReport {
+            elapsed_ns,
+            links,
+            flows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topo::global_p4_lab;
+
+    fn route_for(topo: &Topology, alloc: &mut NodeIdAllocator, names: &[&str]) -> FlowRoute {
+        let path: Vec<NodeIdx> = names.iter().map(|n| topo.node(n).unwrap()).collect();
+        FlowRoute::along_path(topo, alloc, &path, true).unwrap()
+    }
+
+    fn lab_net() -> (Topology, NodeIdAllocator, PacketNet) {
+        let topo = global_p4_lab();
+        let mut alloc = NodeIdAllocator::for_network(topo.node_count(), topo.max_port().max(1));
+        let net = PacketNet::new(&topo, &mut alloc).unwrap();
+        (topo, alloc, net)
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn delivers_at_offered_rate_under_capacity() {
+        let (topo, mut alloc, mut net) = lab_net();
+        let route = route_for(&topo, &mut alloc, &["MIA", "SAO", "AMS"]);
+        net.add_flow(TrafficSpec {
+            name: "f1".into(),
+            route,
+            payload_bytes: 1250,
+            rate_mbps: 8.0,
+        })
+        .unwrap();
+        let w = net.run_window(1000 * MS);
+        let f = &w.flows[0];
+        assert!(f.report.dropped_queue == 0, "{:?}", f.report);
+        assert!(
+            (f.goodput_mbps - 8.0).abs() < 0.5,
+            "goodput {}",
+            f.goodput_mbps
+        );
+        assert_eq!(f.report.pot_rejected, 0);
+        // Latency ~ serialization + 29 ms propagation on MIA-SAO-AMS.
+        let lat = net.flow_report("f1").unwrap().mean_latency_ms();
+        assert!((25.0..40.0).contains(&lat), "latency {lat}");
+    }
+
+    #[test]
+    fn overload_is_shaved_by_drop_tail_queues() {
+        let (topo, mut alloc, mut net) = lab_net();
+        let route = route_for(&topo, &mut alloc, &["MIA", "CHI", "AMS"]); // 10 Mbps bottleneck
+        net.add_flow(TrafficSpec {
+            name: "f1".into(),
+            route,
+            payload_bytes: 1250,
+            rate_mbps: 30.0,
+        })
+        .unwrap();
+        let w = net.run_window(1000 * MS);
+        let f = &w.flows[0];
+        assert!(f.report.dropped_queue > 0, "{:?}", f.report);
+        // Goodput is capped near the 10 Mbps bottleneck (minus headers).
+        assert!(
+            f.goodput_mbps < 10.5 && f.goodput_mbps > 8.0,
+            "goodput {}",
+            f.goodput_mbps
+        );
+        // The bottleneck link reports near-full utilization.
+        let mia = topo.node("MIA").unwrap();
+        let chi = topo.node("CHI").unwrap();
+        let lw = w
+            .links
+            .iter()
+            .find(|l| l.from == mia && l.to == chi)
+            .unwrap();
+        assert!(lw.used_mbps > 9.5, "util {}", lw.used_mbps);
+        assert!(lw.report.drops > 0, "the bottleneck queue sheds load");
+    }
+
+    #[test]
+    fn link_failure_drops_everything_and_recovery_restores() {
+        let (topo, mut alloc, mut net) = lab_net();
+        let route = route_for(&topo, &mut alloc, &["MIA", "SAO", "AMS"]);
+        net.add_flow(TrafficSpec {
+            name: "f1".into(),
+            route,
+            payload_bytes: 1250,
+            rate_mbps: 4.0,
+        })
+        .unwrap();
+        let mia = topo.node("MIA").unwrap();
+        let sao = topo.node("SAO").unwrap();
+        let lid = topo.link_between(mia, sao).unwrap();
+        net.run_window(500 * MS);
+        net.set_link_up(lid, false);
+        let down = net.run_window(1000 * MS);
+        // Packets serialized before the failure drain in flight (~30 ms
+        // of propagation); everything emitted after the failure drops.
+        assert!(
+            down.flows[0].report.delivered < 20,
+            "{:?}",
+            down.flows[0].report
+        );
+        assert!(down.flows[0].report.dropped_link_down > 300);
+        net.set_link_up(lid, true);
+        let up = net.run_window(1000 * MS);
+        assert!(up.flows[0].report.delivered > 0);
+    }
+
+    #[test]
+    fn mid_path_failure_charges_the_links_loss_counter() {
+        // Fail SAO->AMS (the second hop): drops happen *at SAO*, not at
+        // the ingress queue, and must show up in that directed link's
+        // counters, not only in the flow report.
+        let (topo, mut alloc, mut net) = lab_net();
+        let route = route_for(&topo, &mut alloc, &["MIA", "SAO", "AMS"]);
+        net.add_flow(TrafficSpec {
+            name: "f1".into(),
+            route,
+            payload_bytes: 1250,
+            rate_mbps: 4.0,
+        })
+        .unwrap();
+        let sao = topo.node("SAO").unwrap();
+        let ams = topo.node("AMS").unwrap();
+        net.run_window(500 * MS);
+        net.set_link_up(topo.link_between(sao, ams).unwrap(), false);
+        let down = net.run_window(1000 * MS);
+        assert!(down.flows[0].report.dropped_link_down > 300);
+        let lw = down
+            .links
+            .iter()
+            .find(|l| l.from == sao && l.to == ams)
+            .unwrap();
+        assert!(
+            lw.report.drops > 300,
+            "per-link loss must see the failure: {:?}",
+            lw.report
+        );
+        // The upstream MIA->SAO link kept transmitting (packets die one
+        // hop later), so its drop counter stays clean.
+        let mia = topo.node("MIA").unwrap();
+        let upstream = down
+            .links
+            .iter()
+            .find(|l| l.from == mia && l.to == sao)
+            .unwrap();
+        assert_eq!(upstream.report.drops, 0);
+        assert!(upstream.report.tx_pkts > 300);
+    }
+
+    #[test]
+    fn ingress_route_swap_migrates_the_flow() {
+        let (topo, mut alloc, mut net) = lab_net();
+        let t1 = route_for(&topo, &mut alloc, &["MIA", "SAO", "AMS"]);
+        let t2 = route_for(&topo, &mut alloc, &["MIA", "CHI", "AMS"]);
+        net.add_flow(TrafficSpec {
+            name: "f1".into(),
+            route: t1,
+            payload_bytes: 1250,
+            rate_mbps: 4.0,
+        })
+        .unwrap();
+        net.run_window(500 * MS);
+        assert_eq!(net.ingress_rewrites, 0);
+        net.set_route("f1", t2).unwrap();
+        assert_eq!(net.ingress_rewrites, 1);
+        let w = net.run_window(1000 * MS);
+        assert!(w.flows[0].report.delivered > 0);
+        assert_eq!(w.flows[0].report.pot_rejected, 0, "new PoT verifies");
+        // Traffic now crosses MIA->CHI, not MIA->SAO.
+        let mia = topo.node("MIA").unwrap();
+        let chi = topo.node("CHI").unwrap();
+        let sao = topo.node("SAO").unwrap();
+        let tx = |from, to| {
+            w.links
+                .iter()
+                .find(|l| l.from == from && l.to == to)
+                .unwrap()
+                .report
+                .tx_pkts
+        };
+        assert!(tx(mia, chi) > 0);
+        assert_eq!(tx(mia, sao), 0);
+    }
+
+    #[test]
+    fn detoured_packets_are_rejected_by_egress_pot() {
+        // The adversary re-stamps the label with a different path to the
+        // same egress; the expected PoT still describes the original
+        // spec, so every delivered packet fails verification.
+        let (topo, mut alloc, mut net) = lab_net();
+        let t1 = route_for(&topo, &mut alloc, &["MIA", "SAO", "AMS"]);
+        let detour = route_for(&topo, &mut alloc, &["MIA", "CHI", "AMS"]);
+        net.add_flow(TrafficSpec {
+            name: "f1".into(),
+            route: t1.clone(),
+            payload_bytes: 1250,
+            rate_mbps: 4.0,
+        })
+        .unwrap();
+        let tampered = FlowRoute {
+            expected_pot: t1.expected_pot, // claims the original path
+            ..detour
+        };
+        net.set_route("f1", tampered).unwrap();
+        let w = net.run_window(1000 * MS);
+        assert_eq!(w.flows[0].report.delivered, 0);
+        assert!(w.flows[0].report.pot_rejected > 0, "{:?}", w.flows[0]);
+    }
+
+    #[test]
+    fn deterministic_counters() {
+        let run = || {
+            let (topo, mut alloc, mut net) = lab_net();
+            for (i, names) in [["MIA", "SAO", "AMS"], ["MIA", "CHI", "AMS"]]
+                .iter()
+                .enumerate()
+            {
+                let route = route_for(&topo, &mut alloc, names);
+                net.add_flow(TrafficSpec {
+                    name: format!("f{i}"),
+                    route,
+                    payload_bytes: 1000,
+                    rate_mbps: 12.0,
+                })
+                .unwrap();
+            }
+            net.run_window(700 * MS);
+            let w = net.run_window(700 * MS);
+            (
+                w.flows.iter().map(|f| f.report).collect::<Vec<_>>(),
+                w.links.iter().map(|l| l.report).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn duplicate_flow_names_and_unknown_flows_error() {
+        let (topo, mut alloc, mut net) = lab_net();
+        let route = route_for(&topo, &mut alloc, &["MIA", "SAO", "AMS"]);
+        let spec = TrafficSpec {
+            name: "f1".into(),
+            route: route.clone(),
+            payload_bytes: 100,
+            rate_mbps: 1.0,
+        };
+        net.add_flow(spec.clone()).unwrap();
+        assert!(net.add_flow(spec).is_err());
+        assert!(net.set_route("ghost", route).is_err());
+        assert!(net.flow_report("ghost").is_none());
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod controller;
 pub mod dashboard;
+pub mod dataloop;
 pub mod hecate;
 pub mod optimizer;
 pub mod policies;
@@ -57,6 +58,8 @@ pub enum FrameworkError {
     Freertr(freertr::FreertrError),
     /// The emulator failed.
     Netsim(netsim::NetsimError),
+    /// The packet-level data plane failed.
+    Dataplane(dataplane::DataplaneError),
     /// No candidate tunnel satisfies the request.
     NoFeasiblePath,
 }
@@ -70,6 +73,7 @@ impl std::fmt::Display for FrameworkError {
             FrameworkError::Ml(e) => write!(f, "ML failure: {e}"),
             FrameworkError::Freertr(e) => write!(f, "control-plane failure: {e}"),
             FrameworkError::Netsim(e) => write!(f, "emulator failure: {e}"),
+            FrameworkError::Dataplane(e) => write!(f, "data-plane failure: {e}"),
             FrameworkError::NoFeasiblePath => write!(f, "no feasible path"),
         }
     }
@@ -90,5 +94,10 @@ impl From<freertr::FreertrError> for FrameworkError {
 impl From<netsim::NetsimError> for FrameworkError {
     fn from(e: netsim::NetsimError) -> Self {
         FrameworkError::Netsim(e)
+    }
+}
+impl From<dataplane::DataplaneError> for FrameworkError {
+    fn from(e: dataplane::DataplaneError) -> Self {
+        FrameworkError::Dataplane(e)
     }
 }

@@ -22,11 +22,11 @@ use std::collections::HashMap;
 
 /// One managed flow's bookkeeping.
 #[derive(Debug, Clone)]
-struct ManagedFlow {
-    id: FlowId,
-    label: String,
-    tunnel: String,
-    demand: Option<f64>,
+pub(crate) struct ManagedFlow {
+    pub(crate) id: FlowId,
+    pub(crate) label: String,
+    pub(crate) tunnel: String,
+    pub(crate) demand: Option<f64>,
 }
 
 /// The assembled system.
@@ -44,13 +44,16 @@ pub struct SelfDrivingNetwork {
     #[allow(dead_code)] // owns the router agent threads (keep-alive)
     mq: MessageQueue,
     edge: RouterHandle,
-    alloc: NodeIdAllocator,
-    tunnels: HashMap<String, CompiledTunnel>,
+    pub(crate) alloc: NodeIdAllocator,
+    pub(crate) tunnels: HashMap<String, CompiledTunnel>,
     tunnel_order: Vec<String>,
-    flows: Vec<ManagedFlow>,
+    pub(crate) flows: Vec<ManagedFlow>,
     next_flow: u64,
     /// Telemetry sampling period (ms); the paper samples at 1 Hz.
     pub sample_ms: u64,
+    /// The attached packet-level data plane, once
+    /// [`SelfDrivingNetwork::attach_dataplane`] has been called.
+    pub(crate) packet_plane: Option<crate::dataloop::PacketPlane>,
 }
 
 impl SelfDrivingNetwork {
@@ -85,6 +88,7 @@ impl SelfDrivingNetwork {
             flows: Vec::new(),
             next_flow: 1,
             sample_ms: 1000,
+            packet_plane: None,
         })
     }
 
@@ -262,7 +266,8 @@ impl SelfDrivingNetwork {
             label: req.label.clone(),
         };
         let now = self.sim.now_ms();
-        self.sim.schedule(now, Event::StartFlow { spec, path, id });
+        self.sim
+            .schedule(now, Event::StartFlow { spec, path, id })?;
         self.flows.push(ManagedFlow {
             id,
             label: req.label.clone(),
@@ -284,7 +289,7 @@ impl SelfDrivingNetwork {
             .ok_or(FrameworkError::NoFeasiblePath)?;
         self.edge.set_pbr(label, tunnel)?;
         let now = self.sim.now_ms();
-        self.sim.schedule(now, Event::SetFlowPath(flow.id, path));
+        self.sim.schedule(now, Event::SetFlowPath(flow.id, path))?;
         flow.tunnel = tunnel.to_string();
         self.log.record("configureTunnel");
         Ok(())
@@ -630,9 +635,9 @@ impl SelfDrivingNetwork {
         let sao_ams = self.sim.topo.link_between(sao, ams)?;
         let chi_ams = self.sim.topo.link_between(chi, ams)?;
         self.sim
-            .schedule(0, Event::SetLinkCapacity(sao_ams, 1000.0));
+            .schedule(0, Event::SetLinkCapacity(sao_ams, 1000.0))?;
         self.sim
-            .schedule(0, Event::SetLinkCapacity(chi_ams, 1000.0));
+            .schedule(0, Event::SetLinkCapacity(chi_ams, 1000.0))?;
         self.sim.schedule_capacity_trace(mia_sao, 0, 1000, wifi);
         self.sim.schedule_capacity_trace(mia_chi, 0, 1000, lte);
 

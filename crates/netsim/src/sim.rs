@@ -123,7 +123,23 @@ impl Simulation {
     }
 
     /// Schedules an event at an absolute time.
-    pub fn schedule(&mut self, at_ms: SimTimeMs, event: Event) {
+    ///
+    /// Flow-path events ([`Event::StartFlow`], [`Event::SetFlowPath`])
+    /// are validated against the topology *as of now*: every
+    /// consecutive pair must be adjacent over a live link, otherwise
+    /// the event is rejected with a [`NetsimError`] instead of silently
+    /// simulating an impossible path (a later link failure can still
+    /// invalidate an admitted path — that shows up as a stalled flow,
+    /// which is the physical behavior).
+    pub fn schedule(&mut self, at_ms: SimTimeMs, event: Event) -> Result<(), NetsimError> {
+        match &event {
+            Event::StartFlow { path, .. } | Event::SetFlowPath(_, path) => {
+                // `link_between` only matches live links, so this
+                // checks both adjacency and link state.
+                self.topo.path_links(path)?;
+            }
+            Event::StopFlow(_) | Event::SetLinkCapacity(_, _) | Event::SetLinkUp(_, _) => {}
+        }
         let at = at_ms.max(self.now_ms);
         self.seq += 1;
         self.events.push(Scheduled {
@@ -131,6 +147,7 @@ impl Simulation {
             seq: self.seq,
             event,
         });
+        Ok(())
     }
 
     /// Runs the simulation until `until_ms`, stepping flow dynamics every
@@ -286,7 +303,8 @@ impl Simulation {
             self.schedule(
                 start_ms + i as u64 * interval_ms,
                 Event::SetLinkCapacity(link, v.max(0.0)),
-            );
+            )
+            .expect("capacity events are always schedulable");
         }
     }
 
@@ -399,7 +417,8 @@ mod tests {
                 path,
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(20_000, 100, 1000);
         let r = sim.flow_rate(FlowId(1)).unwrap();
         // 20 Mbps bottleneck * 0.86 efficiency
@@ -419,7 +438,8 @@ mod tests {
                 path,
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(500, 100, 100);
         let early = sim.flow_rate(FlowId(1)).unwrap();
         sim.run_until(10_000, 100, 1000);
@@ -445,8 +465,10 @@ mod tests {
                 path: p2,
                 id: FlowId(1),
             },
-        );
-        sim.schedule(30_000, Event::SetFlowPath(FlowId(1), p1));
+        )
+        .unwrap();
+        sim.schedule(30_000, Event::SetFlowPath(FlowId(1), p1))
+            .unwrap();
         sim.run_until(29_000, 100, 1000);
         let before = sim.flow_rate(FlowId(1)).unwrap();
         sim.run_until(60_000, 100, 1000);
@@ -469,7 +491,8 @@ mod tests {
                 path: path.clone(),
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.schedule(
             0,
             Event::StartFlow {
@@ -477,11 +500,12 @@ mod tests {
                 path,
                 id: FlowId(2),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(20_000, 100, 1000);
         let shared = sim.flow_rate(FlowId(1)).unwrap();
         assert!((shared - 10.0 * 0.86).abs() < 0.3, "shared {shared}");
-        sim.schedule(20_000, Event::StopFlow(FlowId(2)));
+        sim.schedule(20_000, Event::StopFlow(FlowId(2))).unwrap();
         sim.run_until(45_000, 100, 1000);
         let alone = sim.flow_rate(FlowId(1)).unwrap();
         assert!((alone - 20.0 * 0.86).abs() < 0.3, "alone {alone}");
@@ -515,7 +539,8 @@ mod tests {
                 path: flow_path,
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(20_000, 100, 1000);
         let loaded: f64 = (0..20).map(|_| sim.ping(&probe_path).unwrap()).sum::<f64>() / 20.0;
         assert!(loaded > idle + 2.0, "idle {idle} vs loaded {loaded}");
@@ -537,9 +562,10 @@ mod tests {
                 path: path.clone(),
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(10_000, 100, 1000);
-        sim.schedule(10_000, Event::SetLinkUp(lid, false));
+        sim.schedule(10_000, Event::SetLinkUp(lid, false)).unwrap();
         sim.run_until(30_000, 100, 1000);
         let r = sim.flow_rate(FlowId(1)).unwrap();
         assert!(r < 0.1, "flow should stall, rate {r}");
@@ -559,7 +585,8 @@ mod tests {
                 path,
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(10_000, 100, 1000);
         let series = sim.series("flow:f1:rate");
         assert_eq!(series.len(), 10, "one sample per second");
@@ -583,7 +610,8 @@ mod tests {
                 path,
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(20_000, 100, 1000);
         let after = sim.path_available_mbps(&inner).unwrap();
         assert_eq!(before, 20.0);
@@ -604,7 +632,8 @@ mod tests {
                     path,
                     id: FlowId(1),
                 },
-            );
+            )
+            .unwrap();
             sim.run_until(5_000, 100, 1000);
             let p = sim.topo.path_by_names(&["MIA", "SAO", "AMS"]).unwrap();
             (sim.flow_rate(FlowId(1)).unwrap(), sim.ping(&p).unwrap())
@@ -617,6 +646,50 @@ mod tests {
     fn unknown_flow_is_error() {
         let sim = Simulation::new(global_p4_lab(), 1);
         assert!(sim.flow_rate(FlowId(99)).is_err());
+    }
+
+    #[test]
+    fn impossible_paths_are_rejected_at_schedule_time() {
+        let topo = global_p4_lab();
+        let mia = topo.node("MIA").unwrap();
+        let ams = topo.node("AMS").unwrap(); // not adjacent to MIA
+        let sao = topo.node("SAO").unwrap();
+        let mut sim = Simulation::new(topo, 1);
+        let spec = greedy_spec(&sim.topo, "f1", 0);
+        // Non-adjacent hop pair.
+        assert!(sim
+            .schedule(
+                0,
+                Event::StartFlow {
+                    spec: spec.clone(),
+                    path: vec![mia, ams],
+                    id: FlowId(1),
+                },
+            )
+            .is_err());
+        // Reroute onto a non-adjacent pair.
+        assert!(sim
+            .schedule(0, Event::SetFlowPath(FlowId(1), vec![mia, ams]))
+            .is_err());
+        // Degenerate single-node path.
+        assert!(sim
+            .schedule(0, Event::SetFlowPath(FlowId(1), vec![mia]))
+            .is_err());
+        // A path over a failed link is rejected too.
+        let lid = sim.topo.link_between(mia, sao).unwrap();
+        sim.topo.link_mut(lid).up = false;
+        assert!(sim
+            .schedule(
+                0,
+                Event::StartFlow {
+                    spec,
+                    path: vec![mia, sao],
+                    id: FlowId(1),
+                },
+            )
+            .is_err());
+        // Non-path events are untouched by validation.
+        sim.schedule(0, Event::SetLinkUp(lid, true)).unwrap();
     }
 
     #[test]
@@ -638,7 +711,8 @@ mod tests {
                 path,
                 id: FlowId(1),
             },
-        );
+        )
+        .unwrap();
         sim.run_until(9_000, 100, 1000);
         let high = sim.flow_rate(FlowId(1)).unwrap();
         sim.run_until(19_000, 100, 1000);

@@ -39,10 +39,16 @@ impl PolkaHeader {
         }
     }
 
+    /// Serialized size in bytes of a header carrying `route`, without
+    /// constructing one — the hot path reads this per packet per hop.
+    pub fn wire_len_for(route: &RouteId) -> usize {
+        // version(1) + ttl(1) + limb count(2) + pot(8) + limbs(8 each)
+        12 + route.poly().limbs().len() * 8
+    }
+
     /// Serialized size in bytes.
     pub fn wire_len(&self) -> usize {
-        // version(1) + ttl(1) + limb count(2) + pot(8) + limbs(8 each)
-        12 + self.route.poly().limbs().len() * 8
+        Self::wire_len_for(&self.route)
     }
 
     /// Encodes into a fresh buffer.

@@ -23,12 +23,23 @@ pub fn fold(acc: u64, port: PortId) -> u64 {
     acc.rotate_left(8) ^ (acc.wrapping_mul(FOLD_MULTIPLIER)) ^ port.0 as u64 ^ 0xA5
 }
 
+/// Folds one hop's `(node, port)` pair: the node's polynomial identity
+/// is mixed in before the port fold, standing in for the per-node keyed
+/// function of the hardware scheme. Binding the node matters: two
+/// disjoint paths can share a *port* sequence (e.g. "port 2 then
+/// deliver" through different routers), and a port-only accumulator
+/// would let a detour through look-alike ports verify.
+#[inline]
+pub fn fold_hop(acc: u64, node: &NodeId, port: PortId) -> u64 {
+    fold(acc ^ node.poly().low_bits().rotate_left(17), port)
+}
+
 /// The expected proof-of-transit value for a compiled route, computed by
 /// the controller/egress from the route spec.
 pub fn expected_pot(spec: &RouteSpec) -> u64 {
     spec.hops()
         .iter()
-        .fold(0u64, |acc, (_, port)| fold(acc, *port))
+        .fold(0u64, |acc, (node, port)| fold_hop(acc, node, *port))
 }
 
 /// Walks the route through the given data-plane nodes, updating the
@@ -37,7 +48,7 @@ pub fn accumulate_pot(route: &RouteId, nodes: &[NodeId]) -> u64 {
     nodes.iter().fold(0u64, |acc, n| {
         let mut core = CoreNode::new(n.clone());
         let port = core.forward(route).unwrap_or(PortId(0));
-        fold(acc, port)
+        fold_hop(acc, n, port)
     })
 }
 
@@ -108,5 +119,17 @@ mod tests {
         let a = fold(fold(0, PortId(1)), PortId(2));
         let b = fold(fold(0, PortId(2)), PortId(1));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookalike_port_sequences_through_different_nodes_differ() {
+        // Two disjoint one-hop detours can present the *same* port
+        // sequence; the node-bound fold must still tell them apart.
+        let s2 = NodeId::new("s2", Poly::from_binary_str("111"));
+        let s3 = NodeId::new("s3", Poly::from_binary_str("1011"));
+        let egress = NodeId::new("e", Poly::from_binary_str("11111"));
+        let via_s2 = RouteSpec::new(vec![(s2, PortId(2)), (egress.clone(), PortId(0))]);
+        let via_s3 = RouteSpec::new(vec![(s3, PortId(2)), (egress, PortId(0))]);
+        assert_ne!(expected_pot(&via_s2), expected_pot(&via_s3));
     }
 }

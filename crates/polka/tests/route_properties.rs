@@ -2,6 +2,7 @@
 //! the requested port, for arbitrary paths and port choices, and the
 //! header codec must round-trip arbitrary labels.
 
+use bytes::Buf;
 use polka::header::PolkaHeader;
 use polka::{NodeIdAllocator, PortId, RouteId, RouteSpec, SegmentListRoute};
 use proptest::prelude::*;
@@ -52,6 +53,114 @@ proptest! {
         let route = SegmentListRoute::new(ports.iter().copied().map(PortId).collect());
         let walked: Vec<u16> = route.walk().into_iter().map(|p| p.0).collect();
         prop_assert_eq!(walked, ports);
+    }
+
+    #[test]
+    fn header_roundtrip_arbitrary_bit_lengths(
+        bits in 0usize..1200,
+        fill in any::<u64>(),
+        ttl in any::<u8>(),
+        pot in any::<u64>(),
+    ) {
+        // A routeID of *exactly* `bits` bits (top bit set), the rest
+        // filled from a seeded pattern — exercises every limb-count
+        // boundary the wire format can hit.
+        let mut limbs = vec![0u64; bits.div_ceil(64)];
+        let mut x = fill | 1;
+        for l in limbs.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *l = x;
+        }
+        if bits > 0 {
+            let top = bits - 1;
+            let last = top / 64;
+            limbs.truncate(last + 1);
+            let keep = top % 64;
+            limbs[last] &= u64::MAX >> (63 - keep); // clear above the top bit
+            limbs[last] |= 1u64 << keep; // pin the exact degree
+        } else {
+            limbs.clear();
+        }
+        let route = RouteId::from_poly(gf2poly::Poly::from_limbs(limbs));
+        if bits > 0 {
+            prop_assert_eq!(route.label_bits(), bits);
+        }
+        let mut hdr = PolkaHeader::new(route);
+        hdr.ttl = ttl;
+        hdr.pot = pot;
+        let mut wire = hdr.encode();
+        let back = PolkaHeader::decode(&mut wire).unwrap();
+        prop_assert_eq!(back, hdr);
+        prop_assert!(!wire.has_remaining());
+    }
+
+    #[test]
+    fn routeid_forwarding_visits_spec_ports_on_random_topologies(
+        n in 6usize..32,
+        chord in 2usize..6,
+        seed in any::<u64>(),
+        hops in 3usize..6,
+    ) {
+        // A random-ish mesh, a random walk through it, the walk
+        // compiled to one routeID — forwarding at every hop must yield
+        // exactly the port the spec encoded, and *following* those
+        // ports through the physical topology must reproduce the walk.
+        use netsim::topo::mesh;
+        use netsim::NodeIdx;
+        let topo = mesh(n, chord, 10.0);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        // Random loop-free walk over live links.
+        let mut path = vec![NodeIdx((next() % n) as u32)];
+        while path.len() < hops + 1 {
+            let cur = *path.last().unwrap();
+            let neighbors: Vec<NodeIdx> = (1..=topo.max_port())
+                .filter_map(|p| topo.neighbor_by_port(cur, p))
+                .filter(|nb| !path.contains(nb))
+                .collect();
+            let Some(&step) = neighbors.get(next() % neighbors.len().max(1)) else {
+                break; // walked into a corner; test what we have
+            };
+            path.push(step);
+        }
+        prop_assume!(path.len() >= 3);
+        let mut alloc = NodeIdAllocator::for_network(n, topo.max_port().max(1));
+        let mut hops_spec = Vec::new();
+        for k in 1..path.len() {
+            let node = alloc.assign(topo.node_name(path[k])).unwrap();
+            let port = if k + 1 < path.len() {
+                PortId(topo.neighbor_port(path[k], path[k + 1]).unwrap())
+            } else {
+                PortId(0)
+            };
+            hops_spec.push((node, port));
+        }
+        let spec = RouteSpec::new(hops_spec.clone());
+        let route = spec.compile().unwrap();
+        // (a) every hop's remainder is exactly the spec's port;
+        for (node, port) in &hops_spec {
+            let mut core = polka::CoreNode::new(node.clone());
+            prop_assert_eq!(core.forward(&route), Some(*port));
+        }
+        // (b) steering by those remainders through the topology
+        // reproduces the originating walk.
+        let mut visited = vec![path[1]];
+        let mut cur = path[1];
+        loop {
+            let id = alloc.get(topo.node_name(cur)).unwrap().clone();
+            let mut core = polka::CoreNode::new(id);
+            let port = core.forward(&route).unwrap();
+            if port == PortId(0) {
+                break;
+            }
+            cur = topo.neighbor_by_port(cur, port.0).unwrap();
+            visited.push(cur);
+            prop_assert!(visited.len() <= path.len(), "routing loop");
+        }
+        prop_assert_eq!(visited, path[1..].to_vec());
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn main() {
     let sao = sdn.sim.topo.node("SAO").expect("SAO exists");
     let lid = sdn.sim.topo.link_between(mia, sao).expect("link exists");
     let now = sdn.sim.now_ms();
-    sdn.sim.schedule(now, Event::SetLinkUp(lid, false));
+    sdn.sim
+        .schedule(now, Event::SetLinkUp(lid, false))
+        .expect("link events are always schedulable");
     println!("\nt=90s: MIA-SAO link FAILED");
     sdn.advance(105_000).expect("sim advances");
 

@@ -11,6 +11,11 @@
 //! * [`gf2poly`] — GF(2)\[t\] polynomial arithmetic (CRT, irreducibles);
 //! * [`polka`] — routeID compilation, stateless forwarding, migration,
 //!   proof-of-transit and multipath extensions, port-switching baseline;
+//! * [`dataplane`] — the packet-level PolKA forwarding plane: route
+//!   labels behind one trait (routeID vs segment list), per-node port
+//!   tables, batch-of-packets-per-hop forwarding, an ingress-sharded
+//!   crossbeam pipeline, and a deterministic drop-tail-queue emulator
+//!   with egress proof-of-transit checks;
 //! * [`linalg`] — dense linear algebra + parallel helpers;
 //! * [`hecate_ml`] — the paper's eighteen regressors and the evaluation
 //!   pipeline;
@@ -37,6 +42,7 @@
 //! assert!(result.mean_after_ms < result.mean_before_ms);
 //! ```
 
+pub use dataplane;
 pub use framework;
 pub use freertr;
 pub use gf2poly;

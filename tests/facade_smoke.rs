@@ -62,7 +62,8 @@ fn netsim_carries_one_flow() {
             },
             path: path.clone(),
         },
-    );
+    )
+    .expect("valid path schedules");
     sim.run_until(2_000, 100, 500);
     let rate = sim
         .flow_rate(polka_hecate::netsim::FlowId(1))

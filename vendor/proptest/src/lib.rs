@@ -337,7 +337,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`](fn@vec).
     pub trait IntoSizeRange {
         /// Bounds as `(min, max)` inclusive.
         fn bounds(&self) -> (usize, usize);
@@ -363,7 +363,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
