@@ -1,0 +1,118 @@
+//! Bench: the scenario engine — per-policy end-to-end runs of a small
+//! canned scenario, plus the netsim adjacency-index kernels the
+//! generators lean on at scenario scale.
+//!
+//! On startup the bench *asserts* that per-hop topology lookups are
+//! O(1)-ish: a 20× bigger topology must not make `link_between` /
+//! `neighbor_port` meaningfully slower per call (a regression to
+//! scanning the link list would blow this up linearly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::topo::mesh;
+use netsim::{NodeIdx, Topology};
+use scenarios::{Policy, Scenario};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// All adjacent (a, b) pairs of a topology, both directions.
+fn adjacent_pairs(topo: &Topology) -> Vec<(NodeIdx, NodeIdx)> {
+    (0..topo.node_count())
+        .flat_map(|i| {
+            let a = NodeIdx(i as u32);
+            topo.neighbors(a)
+                .iter()
+                .map(move |(b, _)| (a, *b))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Mean nanoseconds per `link_between` + `neighbor_port` lookup, best
+/// of `reps` timed passes over every adjacent pair.
+fn lookup_ns(topo: &Topology, reps: usize) -> f64 {
+    let pairs = adjacent_pairs(topo);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for &(a, b) in &pairs {
+            if let Ok(l) = topo.link_between(a, b) {
+                acc = acc.wrapping_add(l.0 as u64);
+            }
+            acc = acc.wrapping_add(topo.neighbor_port(a, b).unwrap_or(0) as u64);
+        }
+        black_box(acc);
+        let per = t0.elapsed().as_nanos() as f64 / pairs.len() as f64;
+        best = best.min(per);
+    }
+    best
+}
+
+/// Micro-assertion: lookups on a 20×-larger topology stay within 10×
+/// the per-call cost of the small one (O(links) scans would scale with
+/// the factor-20 link count; the prebuilt index keeps degree-local
+/// cost). Generous slack absorbs cache effects.
+fn assert_lookups_o1ish() {
+    let small = mesh(40, 5, 10.0);
+    let large = mesh(800, 5, 10.0);
+    assert!(large.link_count() >= 20 * small.link_count() * 8 / 10);
+    // Warm up, then take best-of-5 per-lookup times.
+    lookup_ns(&small, 1);
+    lookup_ns(&large, 1);
+    let small_ns = lookup_ns(&small, 5);
+    let large_ns = lookup_ns(&large, 5);
+    assert!(
+        large_ns < small_ns * 10.0 + 50.0,
+        "adjacency lookups degraded with topology size: {small_ns:.1} ns small vs {large_ns:.1} ns large"
+    );
+    println!("adjacency lookups: {small_ns:.1} ns @40 nodes, {large_ns:.1} ns @800 nodes");
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_lookups");
+    for nodes in [40usize, 400] {
+        let topo = mesh(nodes, 5, 10.0);
+        let pairs = adjacent_pairs(&topo);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n")),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &(x, y) in pairs {
+                        acc = acc.wrapping_add(topo.neighbor_port(x, y).unwrap_or(0) as u64);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    // One small fluid scenario from the canned catalog, per policy —
+    // the end-to-end cost of a scenario epoch loop including admission,
+    // telemetry, forecasting and migration.
+    let base: Scenario = scenarios::catalog()
+        .into_iter()
+        .next()
+        .expect("catalog is non-empty")
+        .scaled(0.25);
+    let mut group = c.benchmark_group("scenario_suite");
+    for policy in Policy::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &base, |b, s| {
+            b.iter(|| black_box(s.run(policy).expect("scenario runs")))
+        });
+    }
+    group.finish();
+}
+
+fn guarded(c: &mut Criterion) {
+    assert_lookups_o1ish();
+    bench_adjacency(c);
+    bench_scenarios(c);
+}
+
+criterion_group!(benches, guarded);
+criterion_main!(benches);

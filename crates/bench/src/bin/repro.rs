@@ -14,15 +14,19 @@
 //!   repro ablation       # decision-policy ablation (Sec III)
 //!   repro throughput     # cold vs warm ForecastEngine decisions/sec
 //!   repro steering       # framework-in-the-loop steering extension
+//!   repro scenarios      # scenario-suite policy matrix (topology zoo)
 //!   repro mlp            # future-work MLP extension
 //!   repro cv             # walk-forward model selection extension
+//!
+//! `SCENARIO_SMOKE=1` shrinks the scenario suite to the CI subset
+//! (same scenarios, 40% horizon).
 
 use bench::figures;
 use bench::format_series;
 use hecate_ml::RegressorKind;
 
 /// The single source of truth for figure names and their runners.
-const FIGURES: [(&str, fn()); 14] = [
+const FIGURES: [(&str, fn()); 15] = [
     ("fig1", fig1),
     ("fig2", fig2),
     ("fig5", fig5),
@@ -35,6 +39,7 @@ const FIGURES: [(&str, fn()); 14] = [
     ("throughput", throughput),
     ("forwarding", forwarding),
     ("steering", steering),
+    ("scenarios", scenario_suite),
     ("mlp", mlp),
     ("cv", cv),
 ];
@@ -268,6 +273,25 @@ fn steering() {
             r.migrations
         );
     }
+}
+
+fn scenario_suite() {
+    let smoke = std::env::var("SCENARIO_SMOKE").is_ok_and(|v| v == "1");
+    banner(
+        "ext-scenarios",
+        &format!(
+            "scenario-suite policy matrix{} — topology zoo x traffic x failures, fixed seeds",
+            if smoke { " (smoke subset)" } else { "" }
+        ),
+    );
+    for m in figures::scenario_suite(smoke) {
+        println!("\n{}", m.describe);
+        print!("{}", scenarios::render_matrix(&m.name, &m.cards));
+    }
+    println!(
+        "\n(goodput = mean aggregate Mbps; p50/p99 over per-flow per-epoch samples; \
+         recovery = epochs back to 80% of pre-failure aggregate; deterministic per seed)"
+    );
 }
 
 fn mlp() {

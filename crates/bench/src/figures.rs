@@ -456,6 +456,37 @@ pub fn ext_mlp() -> Vec<(String, f64, f64)> {
     rows
 }
 
+/// One scenario's policy matrix, ready to render.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Scenario name.
+    pub name: String,
+    /// `topology x traffic x events` one-liner.
+    pub describe: String,
+    /// One scorecard per policy, in `Policy::all` order.
+    pub cards: Vec<scenarios::Scorecard>,
+}
+
+/// Extension: the scenario suite — every canned catalog entry run
+/// across the full policy matrix from its fixed seed. `smoke` selects
+/// the CI subset (same scenarios, 40% horizon).
+///
+/// Deterministic end to end: same build, same numbers, bit for bit.
+pub fn scenario_suite(smoke: bool) -> Vec<ScenarioMatrix> {
+    let cat = if smoke {
+        scenarios::catalog_smoke()
+    } else {
+        scenarios::catalog()
+    };
+    cat.into_iter()
+        .map(|s| ScenarioMatrix {
+            name: s.name.clone(),
+            describe: s.describe(),
+            cards: s.run_matrix().expect("catalog scenarios run"),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +571,36 @@ mod tests {
         // The partitioned pipeline parallelizes: >1.5x critical-path
         // scaling from 1 to 4 shards.
         assert!(best > 1.5, "scaling {best:.2}");
+    }
+
+    #[test]
+    fn scenario_suite_smoke_covers_the_acceptance_matrix() {
+        let suite = scenario_suite(true);
+        // >= 6 distinct (topology x traffic x events) scenarios...
+        assert!(suite.len() >= 6);
+        let mut differentiated = 0;
+        for m in &suite {
+            // ...each across >= 3 policies...
+            assert_eq!(m.cards.len(), 3);
+            for c in &m.cards {
+                assert_eq!(c.scenario, m.name);
+                assert_eq!(c.aggregate_series.len() as u64, c.epochs);
+            }
+            if m.cards[0].aggregate_series != m.cards[2].aggregate_series
+                || m.cards[0].migrations != m.cards[2].migrations
+            {
+                differentiated += 1;
+            }
+        }
+        // An adaptive policy may legitimately coincide with static on a
+        // short smoke horizon (no decision epoch with enough history
+        // lands inside the impairment window), but if MOST scenarios
+        // show no difference the policy hook is dead.
+        assert!(
+            differentiated * 2 >= suite.len(),
+            "only {differentiated}/{} scenarios differentiate hecate from static",
+            suite.len()
+        );
     }
 
     #[test]

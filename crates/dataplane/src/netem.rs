@@ -366,6 +366,20 @@ impl PacketNet {
         self.plane.set_link_up(link, up);
     }
 
+    /// Re-rates a link (both directions) — trace-driven or scenario
+    /// capacity modulation reaching the packet plane. Packets already
+    /// queued keep their old serialization stamps; new arrivals drain at
+    /// the new rate. Rates are floored at 1 kbps so a "zeroed" link
+    /// degrades to queue overflow instead of dividing by zero.
+    pub fn set_link_rate(&mut self, link: LinkId, mbps: f64) {
+        let rate_kbps = (mbps * 1000.0).round().max(1.0) as u64;
+        for d in &mut self.dirs {
+            if d.link == link {
+                d.rate_kbps = rate_kbps;
+            }
+        }
+    }
+
     /// Cumulative counters for one flow.
     pub fn flow_report(&self, name: &str) -> Option<FlowReport> {
         self.by_name.get(name).map(|&i| self.flows[i].report)

@@ -146,28 +146,48 @@ impl SelfDrivingNetwork {
         self.packet_plane.as_ref()
     }
 
+    /// Resolves the link between two named routers, seeing through
+    /// failures (a failed link is invisible to `link_between`, but
+    /// restores and re-rates must still find it).
+    fn resolve_link(&self, a: &str, b: &str) -> Result<netsim::LinkId, FrameworkError> {
+        let na = self.sim.topo.node(a)?;
+        let nb = self.sim.topo.node(b)?;
+        let lid = self.sim.topo.link_between(na, nb).or_else(|_| {
+            self.sim
+                .topo
+                .neighbors(na)
+                .iter()
+                .find(|(n, _)| *n == nb)
+                .map(|(_, l)| *l)
+                .ok_or(netsim::NetsimError::NotAdjacent(a.into(), b.into()))
+        })?;
+        Ok(lid)
+    }
+
     /// Fails (or restores) the link between two named routers in *both*
     /// planes: the packet plane immediately, the fluid substrate via a
     /// validated event at the current time.
     pub fn set_link_state(&mut self, a: &str, b: &str, up: bool) -> Result<(), FrameworkError> {
-        let na = self.sim.topo.node(a)?;
-        let nb = self.sim.topo.node(b)?;
-        let lid = self.sim.topo.link_between(na, nb).or_else(|_| {
-            // A failed link is invisible to `link_between`; find it in
-            // the raw link list so restores work too.
-            self.sim
-                .topo
-                .links()
-                .iter()
-                .enumerate()
-                .find(|(_, l)| (l.a == na && l.b == nb) || (l.a == nb && l.b == na))
-                .map(|(i, _)| netsim::LinkId(i as u32))
-                .ok_or(netsim::NetsimError::NotAdjacent(a.into(), b.into()))
-        })?;
+        let lid = self.resolve_link(a, b)?;
         let now = self.sim.now_ms();
         self.sim.schedule(now, netsim::Event::SetLinkUp(lid, up))?;
         if let Some(plane) = self.packet_plane.as_mut() {
             plane.net.set_link_up(lid, up);
+        }
+        Ok(())
+    }
+
+    /// Re-rates the link between two named routers in *both* planes —
+    /// the hook scenario traffic matrices and maintenance drains
+    /// modulate capacity through. Works on failed links too (the new
+    /// rate applies once the link is restored).
+    pub fn set_link_capacity(&mut self, a: &str, b: &str, mbps: f64) -> Result<(), FrameworkError> {
+        let lid = self.resolve_link(a, b)?;
+        let now = self.sim.now_ms();
+        self.sim
+            .schedule(now, netsim::Event::SetLinkCapacity(lid, mbps.max(0.0)))?;
+        if let Some(plane) = self.packet_plane.as_mut() {
+            plane.net.set_link_rate(lid, mbps.max(0.0));
         }
         Ok(())
     }
@@ -378,6 +398,36 @@ mod tests {
     fn epoch_without_attachment_errors() {
         let mut sdn = SelfDrivingNetwork::testbed(5).unwrap();
         assert!(sdn.packet_epoch().is_err());
+    }
+
+    #[test]
+    fn capacity_change_reaches_both_planes() {
+        let mut sdn = attached();
+        sdn.packet_epoch().unwrap();
+        // Squeeze tunnel1's bottleneck from 20 to 2 Mbps.
+        sdn.set_link_capacity("MIA", "SAO", 2.0).unwrap();
+        let r = sdn.packet_epoch().unwrap();
+        let avail1 = r
+            .tunnel_available
+            .iter()
+            .find(|(n, _)| n == "tunnel1")
+            .unwrap()
+            .1;
+        assert!(avail1 < 3.0, "packet plane saw the squeeze: {r:?}");
+        // The fluid plane agrees.
+        let t1 = sdn.tunnels["tunnel1"].node_path.clone();
+        let fluid = sdn.sim.path_available_mbps(&t1).unwrap();
+        assert!(fluid < 3.0, "fluid plane saw the squeeze: {fluid}");
+        // Restore.
+        sdn.set_link_capacity("MIA", "SAO", 20.0).unwrap();
+        let r = sdn.packet_epoch().unwrap();
+        let avail1 = r
+            .tunnel_available
+            .iter()
+            .find(|(n, _)| n == "tunnel1")
+            .unwrap()
+            .1;
+        assert!(avail1 > 15.0, "{r:?}");
     }
 
     #[test]

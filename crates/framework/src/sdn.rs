@@ -48,6 +48,12 @@ pub struct SelfDrivingNetwork {
     pub(crate) tunnels: HashMap<String, CompiledTunnel>,
     tunnel_order: Vec<String>,
     pub(crate) flows: Vec<ManagedFlow>,
+    /// Traffic endpoints: where managed flows originate and terminate.
+    /// On the paper testbed these are the measurement hosts; on generic
+    /// topologies ([`SelfDrivingNetwork::over_topology`]) the ingress
+    /// and egress routers themselves.
+    src_node: NodeIdx,
+    dst_node: NodeIdx,
     next_flow: u64,
     /// Telemetry sampling period (ms); the paper samples at 1 Hz.
     pub sample_ms: u64,
@@ -74,6 +80,8 @@ impl SelfDrivingNetwork {
             tunnel_order.push(t.id.clone());
             tunnels.insert(t.id.clone(), compiled);
         }
+        let src_node = topo.node("host1")?;
+        let dst_node = topo.node("host2")?;
         Ok(SelfDrivingNetwork {
             sim: Simulation::new(topo, seed),
             telemetry: TelemetryService::new(4096),
@@ -86,6 +94,79 @@ impl SelfDrivingNetwork {
             tunnels,
             tunnel_order,
             flows: Vec::new(),
+            src_node,
+            dst_node,
+            next_flow: 1,
+            sample_ms: 1000,
+            packet_plane: None,
+        })
+    }
+
+    /// Assembles the self-driving network over an **arbitrary**
+    /// topology: spawns a freeRtr agent on the named ingress router,
+    /// discovers up to `k` **link-disjoint** candidate tunnels to the
+    /// egress ([`netsim::Topology::k_disjoint_shortest_paths`]),
+    /// compiles each to a PolKA routeID and installs it on the edge.
+    /// Disjointness mirrors the paper's hand-built testbed tunnels and
+    /// keeps the optimizer's bottleneck-per-tunnel capacity model
+    /// sound — overlapping tunnels would steal each other's measured
+    /// headroom. Tunnels are named `tunnel1..k` in increasing delay
+    /// order, so `tunnel1` is always the shortest path — the
+    /// static-routing baseline. Fewer than `k` tunnels come back when
+    /// the ingress/egress cut is smaller.
+    ///
+    /// This is the constructor the scenario engine drives: the same
+    /// control loop as [`SelfDrivingNetwork::testbed`], minus the
+    /// hand-written Fig 10 configuration, on any `netsim::Topology`.
+    /// Managed flows run router-to-router (ingress to egress).
+    pub fn over_topology(
+        topo: netsim::Topology,
+        ingress: &str,
+        egress: &str,
+        k: usize,
+        seed: u64,
+    ) -> Result<Self, FrameworkError> {
+        let src_node = topo.node(ingress)?;
+        let dst_node = topo.node(egress)?;
+        let paths = topo.k_disjoint_shortest_paths(src_node, dst_node, k.max(1));
+        if paths.is_empty() {
+            return Err(FrameworkError::NoFeasiblePath);
+        }
+        let mut alloc = allocator_for(&topo);
+        let mut mq = MessageQueue::new();
+        let edge = mq.router(ingress);
+        let mut tunnels = HashMap::new();
+        let mut tunnel_order = Vec::new();
+        for (i, path) in paths.iter().enumerate() {
+            let id = format!("tunnel{}", i + 1);
+            let cfg = freertr::TunnelCfg {
+                id: id.clone(),
+                destination: None,
+                domain_path: path
+                    .iter()
+                    .map(|&n| topo.node_name(n).to_string())
+                    .collect(),
+                mode: Default::default(),
+            };
+            let compiled = compile_tunnel(&cfg, &topo, &mut alloc)?;
+            edge.ensure_tunnel(cfg)?;
+            tunnel_order.push(id.clone());
+            tunnels.insert(id, compiled);
+        }
+        Ok(SelfDrivingNetwork {
+            sim: Simulation::new(topo, seed),
+            telemetry: TelemetryService::new(4096),
+            hecate: HecateService::new(),
+            scheduler: Scheduler::new(),
+            log: SequenceLog::default(),
+            mq,
+            edge,
+            alloc,
+            tunnels,
+            tunnel_order,
+            flows: Vec::new(),
+            src_node,
+            dst_node,
             next_flow: 1,
             sample_ms: 1000,
             packet_plane: None,
@@ -112,17 +193,22 @@ impl SelfDrivingNetwork {
         &self.edge
     }
 
-    /// Host-to-host node path through a tunnel.
+    /// Endpoint-to-endpoint node path through a tunnel: the compiled
+    /// router path, extended by the access hops when the traffic
+    /// endpoints sit outside the tunnel (the testbed's hosts).
     fn host_path(&self, tunnel: &str) -> Result<Vec<NodeIdx>, FrameworkError> {
         let compiled = self
             .tunnels
             .get(tunnel)
             .ok_or(FrameworkError::NoFeasiblePath)?;
-        let host1 = self.sim.topo.node("host1")?;
-        let host2 = self.sim.topo.node("host2")?;
-        let mut path = vec![host1];
+        let mut path = Vec::with_capacity(compiled.node_path.len() + 2);
+        if self.src_node != compiled.node_path[0] {
+            path.push(self.src_node);
+        }
         path.extend_from_slice(&compiled.node_path);
-        path.push(host2);
+        if self.dst_node != *compiled.node_path.last().expect("non-empty tunnel") {
+            path.push(self.dst_node);
+        }
         Ok(path)
     }
 
@@ -259,8 +345,8 @@ impl SelfDrivingNetwork {
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
         let spec = FlowSpec {
-            src: self.sim.topo.node("host1")?,
-            dst: self.sim.topo.node("host2")?,
+            src: self.src_node,
+            dst: self.dst_node,
             demand_mbps: req.demand_mbps,
             tos: req.tos,
             label: req.label.clone(),
@@ -410,6 +496,14 @@ impl SelfDrivingNetwork {
             .iter()
             .find(|f| f.label == label)
             .map(|f| f.tunnel.as_str())
+    }
+
+    /// A managed flow's current fluid-plane goodput (Mbps), by label.
+    pub fn flow_rate(&self, label: &str) -> Option<f64> {
+        self.flows
+            .iter()
+            .find(|f| f.label == label)
+            .and_then(|f| self.sim.flow_rate(f.id).ok())
     }
 
     /// A flow-rate telemetry series in seconds/Mbps.
@@ -804,6 +898,56 @@ mod tests {
             assert!(sdn.edge().running_config().tunnel(name).is_some());
         }
         assert_eq!(sdn.tunnel_names().len(), 5);
+    }
+
+    #[test]
+    fn over_topology_builds_on_a_generic_mesh() {
+        // The generic constructor must discover, compile and install
+        // walkable tunnels on a topology the Fig 10 config knows
+        // nothing about — and admit router-to-router flows on them.
+        let topo = netsim::topo::mesh(12, 3, 10.0);
+        let mut sdn = SelfDrivingNetwork::over_topology(topo, "n0", "n6", 3, 1).unwrap();
+        assert_eq!(sdn.tunnel_names(), vec!["tunnel1", "tunnel2", "tunnel3"]);
+        // tunnel1 is the shortest by delay; delays are non-decreasing.
+        let delays: Vec<f64> = sdn
+            .tunnel_names()
+            .iter()
+            .map(|n| {
+                let p = &sdn.tunnel(n).unwrap().node_path;
+                sdn.sim.topo.path_delay_ms(p).unwrap()
+            })
+            .collect();
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "{delays:?}");
+        for name in sdn.tunnel_names() {
+            let compiled = sdn.tunnel(&name).unwrap();
+            let visited =
+                freertr::resolve::walk_route(compiled, &sdn.sim.topo, sdn.allocator()).unwrap();
+            assert_eq!(visited, compiled.node_path, "{name}");
+            assert!(sdn.edge().running_config().tunnel(&name).is_some());
+        }
+        // A flow admitted cold lands on tunnel1 and ramps.
+        sdn.admit_flow(
+            &FlowRequest {
+                label: "f".into(),
+                tos: 32,
+                demand_mbps: None,
+                start_ms: 0,
+            },
+            Objective::MaxBandwidth,
+        )
+        .unwrap();
+        sdn.advance(20_000).unwrap();
+        assert_eq!(sdn.flow_tunnel("f"), Some("tunnel1"));
+        let rate = sdn.flow_series("f").last().unwrap().1;
+        assert!(rate > 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn over_topology_rejects_disconnected_endpoints() {
+        let mut topo = netsim::Topology::new();
+        topo.add_node("a", netsim::topo::NodeKind::Core);
+        topo.add_node("b", netsim::topo::NodeKind::Core);
+        assert!(SelfDrivingNetwork::over_topology(topo, "a", "b", 2, 1).is_err());
     }
 
     #[test]

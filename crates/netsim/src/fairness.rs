@@ -22,7 +22,7 @@ pub struct AllocFlow {
 
 /// Direction of traversal over an undirected link record (full-duplex
 /// links have independent capacity per direction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {
     /// From `link.a` to `link.b`.
     Forward,
@@ -83,7 +83,10 @@ pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
         if frozen.iter().all(|f| *f) {
             break;
         }
-        // Fair share offered by each still-shared link.
+        // Fair share offered by each still-shared link. Ties break to
+        // the smallest (link, direction) key — NOT hash-map order,
+        // which varies per process and would make which flows freeze
+        // this round (and thus every downstream rate) irreproducible.
         let mut min_share = f64::INFINITY;
         let mut min_key: Option<(LinkId, Direction)> = None;
         for (key, cap) in &remaining {
@@ -92,7 +95,11 @@ pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
                 continue;
             }
             let share = *cap / count as f64;
-            if share < min_share {
+            let better = match min_key {
+                None => true,
+                Some(k) => share < min_share || (share == min_share && *key < k),
+            };
+            if better {
                 min_share = share;
                 min_key = Some(*key);
             }

@@ -225,9 +225,20 @@ impl Simulation {
             .iter()
             .map(|id| {
                 let f = &self.flows[id];
-                AllocFlow {
-                    links: directed_links(&self.topo, &f.path).unwrap_or_default(),
-                    demand: f.spec.demand_mbps,
+                match directed_links(&self.topo, &f.path) {
+                    Ok(links) => AllocFlow {
+                        links,
+                        demand: f.spec.demand_mbps,
+                    },
+                    // A path over a failed link carries nothing. An
+                    // empty link list would instead mean "zero-hop
+                    // path, deliver the demand" — which let
+                    // demand-declared flows sail through link
+                    // failures at full rate.
+                    Err(_) => AllocFlow {
+                        links: Vec::new(),
+                        demand: Some(0.0),
+                    },
                 }
             })
             .collect();
@@ -240,9 +251,15 @@ impl Simulation {
     }
 
     /// Per-directed-link utilization implied by current flow rates.
+    ///
+    /// Folds flows in `flow_order` (insertion order), **not** map
+    /// order: float accumulation is order-sensitive at the ULP level,
+    /// and hash-map iteration order varies per process — enough to
+    /// flip a downstream forecast-driven routing decision and break
+    /// bit-for-bit replay.
     fn link_utilization(&self) -> HashMap<(LinkId, Direction), f64> {
         let mut used: HashMap<(LinkId, Direction), f64> = HashMap::new();
-        for f in self.flows.values() {
+        for f in self.flow_order.iter().filter_map(|id| self.flows.get(id)) {
             if let Ok(links) = directed_links(&self.topo, &f.path) {
                 for (lid, dir) in links {
                     *used.entry((lid, dir)).or_insert(0.0) += f.rate_mbps;
@@ -259,7 +276,11 @@ impl Simulation {
 
     fn sample_telemetry(&mut self) {
         let at = self.now_ms;
-        let utils = self.link_utilization();
+        let mut utils: Vec<((LinkId, Direction), f64)> =
+            self.link_utilization().into_iter().collect();
+        // Hash-map order varies per process; recorded telemetry should
+        // replay byte-for-byte.
+        utils.sort_by_key(|((lid, dir), _)| (*lid, *dir));
         let mut records = Vec::new();
         for f in self.flow_order.iter().filter_map(|id| self.flows.get(id)) {
             records.push(TelemetryRecord {
@@ -570,6 +591,44 @@ mod tests {
         let r = sim.flow_rate(FlowId(1)).unwrap();
         assert!(r < 0.1, "flow should stall, rate {r}");
         assert!(sim.ping(&path).is_err());
+    }
+
+    #[test]
+    fn link_failure_stalls_demand_declared_flow_too() {
+        // Regression: a failed link used to stall only greedy flows —
+        // a demand-declared flow's dead path degenerated to an empty
+        // link list, which the allocator reads as a zero-hop path that
+        // delivers its demand.
+        let topo = global_p4_lab();
+        let path = tunnel1(&topo);
+        let mia = topo.node("MIA").unwrap();
+        let sao = topo.node("SAO").unwrap();
+        let lid = topo.link_between(mia, sao).unwrap();
+        let mut sim = Simulation::new(topo, 1);
+        let spec = FlowSpec {
+            demand_mbps: Some(5.0),
+            ..greedy_spec(&sim.topo, "f1", 0)
+        };
+        sim.schedule(
+            0,
+            Event::StartFlow {
+                spec,
+                path,
+                id: FlowId(1),
+            },
+        )
+        .unwrap();
+        sim.run_until(10_000, 100, 1000);
+        assert!(sim.flow_rate(FlowId(1)).unwrap() > 3.0);
+        sim.schedule(10_000, Event::SetLinkUp(lid, false)).unwrap();
+        sim.run_until(30_000, 100, 1000);
+        let r = sim.flow_rate(FlowId(1)).unwrap();
+        assert!(r < 0.1, "demand flow must stall on failure, rate {r}");
+        // Restoration recovers the demand.
+        sim.schedule(30_000, Event::SetLinkUp(lid, true)).unwrap();
+        sim.run_until(50_000, 100, 1000);
+        let r = sim.flow_rate(FlowId(1)).unwrap();
+        assert!((r - 5.0 * 0.86).abs() < 0.3, "recovered rate {r}");
     }
 
     #[test]

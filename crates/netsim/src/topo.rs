@@ -51,8 +51,15 @@ pub struct Topology {
     nodes: Vec<NodeInfo>,
     names: HashMap<String, NodeIdx>,
     links: Vec<Link>,
-    /// adjacency: node -> (neighbor, link id)
+    /// adjacency: node -> (neighbor, link id), in link-insertion order
     adj: Vec<Vec<(NodeIdx, LinkId)>>,
+    /// Prebuilt port table: node -> (neighbor, link id) sorted by
+    /// ascending neighbor index (ties keep insertion order). Position
+    /// `p` is physical port `p + 1`, exactly the numbering
+    /// [`Topology::neighbor_port`] defines — maintained incrementally on
+    /// [`Topology::add_link`] so per-hop lookups never sort or scan the
+    /// whole link list.
+    ports: Vec<Vec<(NodeIdx, LinkId)>>,
 }
 
 impl Topology {
@@ -78,6 +85,7 @@ impl Topology {
         });
         self.names.insert(name.to_string(), idx);
         self.adj.push(Vec::new());
+        self.ports.push(Vec::new());
         idx
     }
 
@@ -99,7 +107,24 @@ impl Topology {
         });
         self.adj[a.0 as usize].push((b, id));
         self.adj[b.0 as usize].push((a, id));
+        // Upper-bound insertion keeps the table sorted by neighbor with
+        // parallel links staying in insertion order (what a stable sort
+        // of the adjacency list would produce).
+        for (node, nb) in [(a, b), (b, a)] {
+            let table = &mut self.ports[node.0 as usize];
+            let pos = table.partition_point(|(n, _)| n.0 <= nb.0);
+            table.insert(pos, (nb, id));
+        }
         id
+    }
+
+    /// The sorted port range of `a`'s entries facing neighbor `b`:
+    /// contiguous in the port table because it is sorted by neighbor.
+    fn port_range(&self, a: NodeIdx, b: NodeIdx) -> std::ops::Range<usize> {
+        let table = &self.ports[a.0 as usize];
+        let lo = table.partition_point(|(n, _)| n.0 < b.0);
+        let hi = table.partition_point(|(n, _)| n.0 <= b.0);
+        lo..hi
     }
 
     /// Node index by name.
@@ -145,11 +170,14 @@ impl Topology {
         &self.links
     }
 
-    /// The link between two adjacent nodes.
+    /// The link between two adjacent nodes. Served from the prebuilt
+    /// port table (binary search on the node's degree, not a scan of
+    /// the link list) — this sits on the per-hop path of route
+    /// compilation and path validation.
     pub fn link_between(&self, a: NodeIdx, b: NodeIdx) -> Result<LinkId, NetsimError> {
-        self.adj[a.0 as usize]
+        self.ports[a.0 as usize][self.port_range(a, b)]
             .iter()
-            .find(|(n, l)| *n == b && self.links[l.0 as usize].up)
+            .find(|(_, l)| self.links[l.0 as usize].up)
             .map(|(_, l)| *l)
             .ok_or_else(|| {
                 NetsimError::NotAdjacent(
@@ -208,29 +236,42 @@ impl Topology {
     /// resolver encodes into routeIDs. Port 0 is reserved for "deliver
     /// locally".
     pub fn neighbor_port(&self, a: NodeIdx, b: NodeIdx) -> Option<u16> {
-        let mut neighbors: Vec<NodeIdx> = self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
-        neighbors.sort_by_key(|n| n.0);
-        neighbors
-            .iter()
-            .position(|n| *n == b)
-            .map(|p| (p + 1) as u16)
+        let r = self.port_range(a, b);
+        if r.is_empty() {
+            None
+        } else {
+            Some((r.start + 1) as u16)
+        }
     }
 
     /// Inverse of [`Topology::neighbor_port`]: which neighbor a 1-based
-    /// port faces.
+    /// port faces. O(1) — direct index into the prebuilt port table.
     pub fn neighbor_by_port(&self, a: NodeIdx, port: u16) -> Option<NodeIdx> {
         if port == 0 {
             return None;
         }
-        let mut neighbors: Vec<NodeIdx> = self.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
-        neighbors.sort_by_key(|n| n.0);
-        neighbors.get(port as usize - 1).copied()
+        self.ports[a.0 as usize]
+            .get(port as usize - 1)
+            .map(|(n, _)| *n)
+    }
+
+    /// Number of links incident to a node (counting parallel links and
+    /// failed links — the physical port count).
+    pub fn degree(&self, a: NodeIdx) -> usize {
+        self.ports[a.0 as usize].len()
+    }
+
+    /// A node's `(neighbor, link)` pairs in ascending physical-port
+    /// order (the same ordering [`Topology::neighbor_port`] numbers):
+    /// entry `p` sits behind port `p + 1`. Includes failed links.
+    pub fn neighbors(&self, a: NodeIdx) -> &[(NodeIdx, LinkId)] {
+        &self.ports[a.0 as usize]
     }
 
     /// Maximum port number used anywhere in the topology (sizes the
     /// PolKA node-ID degree).
     pub fn max_port(&self) -> u16 {
-        self.adj.iter().map(|n| n.len() as u16).max().unwrap_or(0)
+        self.ports.iter().map(|n| n.len() as u16).max().unwrap_or(0)
     }
 
     /// Dijkstra shortest path by propagation delay. Returns `None` when
@@ -358,6 +399,40 @@ impl Topology {
             confirmed.push(candidates.remove(0).1);
         }
         confirmed
+    }
+
+    /// Up to `k` **link-disjoint** shortest paths by propagation delay,
+    /// in increasing delay order: the shortest path is taken, its links
+    /// removed, and the search repeated on the residual graph. Returns
+    /// fewer than `k` paths when the cut between the endpoints is
+    /// smaller.
+    ///
+    /// This is how the scenario engine provisions candidate tunnels:
+    /// disjoint tunnels make the optimizer's
+    /// bottleneck-per-tunnel capacity model sound (tunnels never steal
+    /// each other's links, and one link failure never kills two
+    /// tunnels) — matching the paper's hand-built testbed tunnels.
+    pub fn k_disjoint_shortest_paths(
+        &self,
+        src: NodeIdx,
+        dst: NodeIdx,
+        k: usize,
+    ) -> Vec<Vec<NodeIdx>> {
+        let mut scratch = self.clone();
+        let mut out = Vec::new();
+        while out.len() < k {
+            let Some(path) = scratch.shortest_path_by_delay(src, dst) else {
+                break;
+            };
+            let Ok(links) = scratch.path_links(&path) else {
+                break;
+            };
+            for lid in links {
+                scratch.link_mut(lid).up = false;
+            }
+            out.push(path);
+        }
+        out
     }
 
     /// All simple paths from `src` to `dst` with at most `max_hops` links,
@@ -614,6 +689,29 @@ mod tests {
     }
 
     #[test]
+    fn disjoint_paths_share_no_links_and_order_by_delay() {
+        let t = global_p4_lab();
+        let mia = t.node("MIA").unwrap();
+        let ams = t.node("AMS").unwrap();
+        let paths = t.k_disjoint_shortest_paths(mia, ams, 3);
+        // The CAL detour shares MIA-CHI/CHI-AMS with the shortest path,
+        // so only two disjoint MIA->AMS paths exist.
+        assert_eq!(paths.len(), 2);
+        let mut used = std::collections::HashSet::new();
+        for p in &paths {
+            for l in t.path_links(p).unwrap() {
+                assert!(used.insert(l), "link {l:?} reused across paths");
+            }
+        }
+        let d: Vec<f64> = paths.iter().map(|p| t.path_delay_ms(p).unwrap()).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]), "{d:?}");
+        // Asking for more than the cut yields the cut.
+        assert_eq!(t.k_disjoint_shortest_paths(mia, ams, 10).len(), 2);
+        // Original topology untouched (scratch copy).
+        assert!(t.links().iter().all(|l| l.up));
+    }
+
+    #[test]
     fn simple_paths_enumerates_tunnels() {
         let t = global_p4_lab();
         let mia = t.node("MIA").unwrap();
@@ -653,6 +751,56 @@ mod tests {
         assert!(t.link_count() >= 50);
         let p = t.shortest_path_by_delay(NodeIdx(0), NodeIdx(25));
         assert!(p.is_some());
+    }
+
+    #[test]
+    fn port_index_matches_sorted_adjacency_reference() {
+        // The prebuilt port table must reproduce the reference numbering:
+        // stable-sort the adjacency list by neighbor index, position p is
+        // port p + 1.
+        let t = mesh(40, 3, 10.0);
+        for a in 0..t.node_count() {
+            let a = NodeIdx(a as u32);
+            let mut reference: Vec<NodeIdx> = t.adj[a.0 as usize].iter().map(|(n, _)| *n).collect();
+            reference.sort_by_key(|n| n.0);
+            assert_eq!(t.degree(a), reference.len());
+            for (p, n) in reference.iter().enumerate() {
+                assert_eq!(t.neighbor_by_port(a, (p + 1) as u16), Some(*n));
+            }
+            for &(n, lid) in t.neighbors(a) {
+                let port = t.neighbor_port(a, n).unwrap();
+                assert_eq!(t.neighbor_by_port(a, port), Some(n));
+                let l = t.link(t.link_between(a, n).unwrap());
+                assert!(l.a == a && l.b == n || l.a == n && l.b == a);
+                let l = t.link(lid);
+                assert!(l.a == a && l.b == n || l.a == n && l.b == a);
+            }
+            assert_eq!(t.neighbor_by_port(a, 0), None);
+            assert_eq!(t.neighbor_by_port(a, (reference.len() + 1) as u16), None);
+        }
+    }
+
+    #[test]
+    fn link_between_skips_failed_but_finds_parallel() {
+        // Two parallel links a-b: failing the first must make
+        // link_between fall through to the second, in insertion order.
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Core);
+        let b = t.add_node("b", NodeKind::Core);
+        let c = t.add_node("c", NodeKind::Core);
+        let l1 = t.add_link(a, b, 10.0, 1.0);
+        let l2 = t.add_link(a, b, 20.0, 2.0);
+        t.add_link(a, c, 5.0, 1.0);
+        assert_eq!(t.link_between(a, b).unwrap(), l1);
+        t.link_mut(l1).up = false;
+        assert_eq!(t.link_between(a, b).unwrap(), l2);
+        t.link_mut(l2).up = false;
+        assert!(t.link_between(a, b).is_err());
+        // Ports stay physical: both parallel links keep their ports and
+        // the degree counts failed links.
+        assert_eq!(t.degree(a), 3);
+        assert_eq!(t.neighbor_port(a, b), Some(1));
+        assert_eq!(t.neighbor_port(a, c), Some(3));
     }
 
     #[test]

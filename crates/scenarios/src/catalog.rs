@@ -1,0 +1,319 @@
+//! The canned scenario catalog: seven fixed-seed
+//! `(topology × traffic × events)` combinations covering every traffic
+//! model, every event type and every topology family except
+//! Erdős–Rényi (exercised by the determinism proptests instead) — the
+//! suite `repro scenarios` runs and the determinism tests replay.
+//!
+//! Managed flows always start while the network is healthy (scripted
+//! failures fire later); every scenario keeps at least one tunnel
+//! alive at all times.
+
+use crate::events::{EventKind, EventSpec, LinkPick};
+use crate::runner::{FlowPlan, PlaneMode, Scenario};
+use crate::traffic::TrafficSpec;
+use crate::zoo::TopologySpec;
+
+fn flows3() -> Vec<FlowPlan> {
+    vec![
+        FlowPlan {
+            label: "flow1".into(),
+            demand_mbps: None,
+            start_epoch: 0,
+        },
+        FlowPlan {
+            label: "flow2".into(),
+            demand_mbps: Some(6.0),
+            start_epoch: 2,
+        },
+        FlowPlan {
+            label: "flow3".into(),
+            demand_mbps: None,
+            start_epoch: 4,
+        },
+    ]
+}
+
+fn base(name: &str, topology: TopologySpec, traffic: TrafficSpec, seed: u64) -> Scenario {
+    Scenario {
+        name: name.into(),
+        topology,
+        traffic,
+        events: Vec::new(),
+        flows: flows3(),
+        horizon_epochs: 60,
+        decision_every: 10,
+        k_tunnels: 3,
+        // Below the fluid plane's 0.86 protocol efficiency: a healthy
+        // demand-declared flow meets its SLO, a squeezed one does not.
+        slo_fraction: 0.8,
+        plane: PlaneMode::Fluid,
+        seed,
+    }
+}
+
+/// The full suite: 7 scenarios × (3 policies when run as a matrix).
+pub fn catalog() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // 1. Datacenter fabric, heavy-tailed traffic, mid-run failure of
+    // the primary's aggregation uplink (restored after 15 epochs).
+    let mut s = base(
+        "fat-tree-elephants",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::ElephantMice {
+            elephants: 2,
+            mice: 10,
+            elephant_mbps: 4.0,
+            mouse_mbps: 1.0,
+            mouse_epochs: 6,
+        },
+        101,
+    );
+    s.events = vec![EventSpec {
+        at_epoch: 30,
+        kind: EventKind::LinkDown {
+            link: LinkPick::PrimaryHop(1),
+            restore_after: Some(15),
+        },
+    }];
+    out.push(s);
+
+    // 2. US research backbone under diurnal load with a flap storm on
+    // the primary's first backbone hop.
+    let mut s = base(
+        "esnet-diurnal-flaps",
+        TopologySpec::EsnetLike,
+        TrafficSpec::DiurnalGravity {
+            pairs: 12,
+            total_mbps: 400.0,
+            amplitude: 0.6,
+            period_epochs: 40.0,
+        },
+        102,
+    );
+    s.events = vec![EventSpec {
+        at_epoch: 26,
+        kind: EventKind::FlapStorm {
+            link: LinkPick::PrimaryHop(1),
+            flaps: 3,
+            period_epochs: 6,
+        },
+    }];
+    out.push(s);
+
+    // 3. European backbone, gravity demands, a maintenance drain that
+    // quarters the primary's capacity for 20 epochs.
+    let mut s = base(
+        "geant-gravity-drain",
+        TopologySpec::GeantLike,
+        TrafficSpec::Gravity {
+            pairs: 14,
+            total_mbps: 350.0,
+        },
+        103,
+    );
+    s.events = vec![EventSpec {
+        at_epoch: 24,
+        kind: EventKind::Drain {
+            link: LinkPick::PrimaryHop(1),
+            factor: 0.25,
+            restore_after: Some(20),
+        },
+    }];
+    out.push(s);
+
+    // 4. Metro ring with express chords, bursty on/off cross-traffic,
+    // and a *permanent* failure. Half the path capacity is genuinely
+    // gone, so full 80% recovery may honestly read "never" — the
+    // policies differentiate on how much goodput they salvage.
+    let mut s = base(
+        "ring-onoff-blackout",
+        TopologySpec::RingChords {
+            n: 24,
+            chord_every: 4,
+        },
+        TrafficSpec::OnOff {
+            sources: 10,
+            rate_mbps: 5.0,
+            p_on: 0.25,
+            p_off: 0.35,
+        },
+        104,
+    );
+    s.events = vec![EventSpec {
+        at_epoch: 28,
+        kind: EventKind::LinkDown {
+            link: LinkPick::PrimaryHop(2),
+            restore_after: None,
+        },
+    }];
+    out.push(s);
+
+    // 5. Random Waxman WAN under gravity load with a cascading double
+    // impairment: first hop 1 fails, then hop 2 drains while 1 is
+    // still down.
+    let mut s = base(
+        "waxman-cascade",
+        TopologySpec::Waxman {
+            n: 24,
+            alpha: 0.9,
+            beta: 0.4,
+        },
+        TrafficSpec::Gravity {
+            pairs: 16,
+            total_mbps: 120.0,
+        },
+        105,
+    );
+    s.events = vec![
+        EventSpec {
+            at_epoch: 24,
+            kind: EventKind::LinkDown {
+                link: LinkPick::PrimaryHop(1),
+                restore_after: Some(16),
+            },
+        },
+        EventSpec {
+            at_epoch: 30,
+            kind: EventKind::Drain {
+                link: LinkPick::PrimaryHop(2),
+                factor: 0.3,
+                restore_after: Some(12),
+            },
+        },
+    ];
+    out.push(s);
+
+    // 6. Two-tier WAN flooded with mice while the primary's core hop
+    // flap-storms.
+    let mut s = base(
+        "twotier-mice-storm",
+        TopologySpec::TwoTierWan {
+            cores: 6,
+            edges_per_core: 2,
+        },
+        TrafficSpec::ElephantMice {
+            elephants: 1,
+            mice: 18,
+            elephant_mbps: 6.0,
+            mouse_mbps: 1.5,
+            mouse_epochs: 5,
+        },
+        106,
+    );
+    s.events = vec![EventSpec {
+        at_epoch: 22,
+        kind: EventKind::FlapStorm {
+            link: LinkPick::PrimaryHop(1),
+            flaps: 4,
+            period_epochs: 5,
+        },
+    }];
+    out.push(s);
+
+    // 7. The packet-plane scenario: real PolKA forwarding with queues
+    // and routeID swaps on the fat-tree, light gravity background, a
+    // transient failure. Shorter horizon — packets cost more than
+    // fluid.
+    let mut s = base(
+        "fat-tree-packet",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::Gravity {
+            pairs: 6,
+            total_mbps: 18.0,
+        },
+        107,
+    );
+    s.plane = PlaneMode::Packet;
+    s.horizon_epochs = 36;
+    // Modest demands: the fat-tree edge has two 10 Mbps uplinks, and
+    // packet queues shave anything greedy — declared demands keep the
+    // SLO column meaningful.
+    s.flows = vec![
+        FlowPlan {
+            label: "flow1".into(),
+            demand_mbps: Some(2.5),
+            start_epoch: 0,
+        },
+        FlowPlan {
+            label: "flow2".into(),
+            demand_mbps: Some(2.5),
+            start_epoch: 2,
+        },
+        FlowPlan {
+            label: "flow3".into(),
+            demand_mbps: None,
+            start_epoch: 4,
+        },
+    ];
+    s.events = vec![EventSpec {
+        at_epoch: 18,
+        kind: EventKind::LinkDown {
+            link: LinkPick::PrimaryHop(1),
+            restore_after: Some(8),
+        },
+    }];
+    out.push(s);
+
+    out
+}
+
+/// The CI smoke subset: the same seven scenarios at 40% horizon —
+/// small topologies are unchanged (they are already small), event
+/// epochs scale along.
+pub fn catalog_smoke() -> Vec<Scenario> {
+    catalog().into_iter().map(|s| s.scaled(0.4)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_the_axes() {
+        let cat = catalog();
+        assert!(cat.len() >= 6, "acceptance: >= 6 distinct scenarios");
+        // Distinct names, distinct seeds.
+        let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), cat.len());
+        // Every event kind appears somewhere.
+        let kinds: Vec<&EventSpec> = cat.iter().flat_map(|s| &s.events).collect();
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::LinkDown { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FlapStorm { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Drain { .. })));
+        // At least one packet-plane scenario.
+        assert!(cat.iter().any(|s| s.plane == PlaneMode::Packet));
+        // Flows start before the first impairment everywhere.
+        for s in &cat {
+            let first_event = s
+                .events
+                .iter()
+                .map(|e| e.at_epoch)
+                .min()
+                .unwrap_or(u64::MAX);
+            for f in &s.flows {
+                assert!(
+                    f.start_epoch + 2 < first_event,
+                    "{}: flow starts too late",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_subset_is_short() {
+        for (full, smoke) in catalog().iter().zip(catalog_smoke()) {
+            assert!(smoke.horizon_epochs <= full.horizon_epochs / 2);
+            assert_eq!(smoke.name, full.name);
+        }
+    }
+}

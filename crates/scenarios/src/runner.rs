@@ -1,0 +1,543 @@
+//! The scenario runner: executes one `(topology × traffic × events)`
+//! description end-to-end through `framework::SelfDrivingNetwork` under
+//! a routing policy, and scores the outcome.
+//!
+//! One epoch is one simulated second (the paper's telemetry cadence).
+//! Each epoch the runner (1) applies due scripted link events,
+//! (2) folds background traffic and drains into effective link
+//! capacities on both planes, (3) admits managed flows that are due,
+//! (4) advances the fluid plane — or forwards a packet window when the
+//! scenario runs the packet plane — and (5) lets the policy re-decide
+//! at its decision interval. Everything downstream of the scenario's
+//! `u64` seed is deterministic.
+
+use crate::events::{compile_events, EventSpec, LinkAction};
+use crate::scorecard::{percentile, Recovery, Scorecard};
+use crate::traffic::{headroom_scale, link_load, TrafficSpec};
+use crate::zoo::{endpoints, TopologySpec};
+use crate::ScenarioError;
+use framework::dataloop::DataplaneConfig;
+use framework::optimizer::assign_flows;
+use framework::scheduler::FlowRequest;
+use framework::telemetry::{Metric, SeriesKey};
+use framework::{Objective, SelfDrivingNetwork};
+use std::collections::BTreeMap;
+
+/// How flows are (re-)steered at each decision interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The framework's mode: Hecate capacity forecasts + the assignment
+    /// search, one consultation per decision interval.
+    Hecate,
+    /// Reactive baseline: assign on the tunnels' *last observed*
+    /// capacity samples (no forecasting).
+    LastSample,
+    /// Static shortest-path: stay on `tunnel1` forever.
+    StaticShortest,
+}
+
+impl Policy {
+    /// All policies, in scorecard order.
+    pub fn all() -> [Policy; 3] {
+        [Policy::Hecate, Policy::LastSample, Policy::StaticShortest]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Hecate => "hecate",
+            Policy::LastSample => "last-sample",
+            Policy::StaticShortest => "static-shortest",
+        }
+    }
+}
+
+/// Which plane carries the traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneMode {
+    /// Fluid-flow emulation (max-min fair shares) — fast, scales to
+    /// long horizons.
+    Fluid,
+    /// Packet-level PolKA forwarding via `attach_dataplane`: real
+    /// queues, real routeID swaps, measured counters.
+    Packet,
+}
+
+/// One managed flow the scenario admits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowPlan {
+    /// Flow label (ACL name on the edge).
+    pub label: String,
+    /// Offered load; `None` = greedy.
+    pub demand_mbps: Option<f64>,
+    /// Epoch the flow starts.
+    pub start_epoch: u64,
+}
+
+/// A complete scenario description: plain data, cloneable, replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (scorecard key).
+    pub name: String,
+    /// Which graph.
+    pub topology: TopologySpec,
+    /// Which background demands.
+    pub traffic: TrafficSpec,
+    /// Which impairments, when.
+    pub events: Vec<EventSpec>,
+    /// Managed flows the policies steer.
+    pub flows: Vec<FlowPlan>,
+    /// Total epochs (1 epoch = 1 simulated second).
+    pub horizon_epochs: u64,
+    /// Policy consultation interval (epochs); the paper commits
+    /// decisions per 10-step interval.
+    pub decision_every: u64,
+    /// Candidate tunnels to discover between the endpoints.
+    pub k_tunnels: usize,
+    /// A demand-declared flow meets its SLO when it delivers at least
+    /// this fraction of its demand.
+    pub slo_fraction: f64,
+    /// Fluid or packet plane.
+    pub plane: PlaneMode,
+    /// Master seed: topology randomness, traffic matrix, emulator
+    /// jitter all derive from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A one-line description, e.g.
+    /// `fat-tree(4) x eleph/mice(2/10) x 2 events`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} x {} x {} event(s), {} epochs, {:?}",
+            self.topology.label(),
+            self.traffic.label(),
+            self.events.len(),
+            self.horizon_epochs,
+            self.plane
+        )
+    }
+
+    /// Shrinks the scenario for smoke runs: horizon, decision interval
+    /// and every event epoch scale by `factor` (floored at 1 epoch), so
+    /// the decisions-per-horizon shape survives. Determinism is
+    /// preserved — a scaled scenario is just a different scenario.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let scale = |e: u64| ((e as f64 * factor).round() as u64).max(1);
+        self.horizon_epochs = scale(self.horizon_epochs);
+        self.decision_every = scale(self.decision_every);
+        for ev in &mut self.events {
+            ev.at_epoch = scale(ev.at_epoch);
+            match &mut ev.kind {
+                crate::events::EventKind::LinkDown { restore_after, .. }
+                | crate::events::EventKind::Drain { restore_after, .. } => {
+                    *restore_after = restore_after.map(scale);
+                }
+                crate::events::EventKind::FlapStorm { period_epochs, .. } => {
+                    *period_epochs = scale(*period_epochs);
+                }
+            }
+        }
+        for f in &mut self.flows {
+            f.start_epoch = ((f.start_epoch as f64 * factor).round()) as u64;
+        }
+        self
+    }
+
+    /// Runs the scenario under one policy. See the module docs for the
+    /// per-epoch sequence.
+    pub fn run(&self, policy: Policy) -> Result<Scorecard, ScenarioError> {
+        if self.horizon_epochs == 0 || self.flows.is_empty() {
+            return Err(ScenarioError::Config(
+                "scenario needs a horizon and at least one managed flow".into(),
+            ));
+        }
+        // Build the graph, pick endpoints, compile background + events.
+        let topo = self.topology.build(self.seed);
+        let (src, dst) = endpoints(&topo);
+        let (ingress, egress) = (
+            topo.node_name(src).to_string(),
+            topo.node_name(dst).to_string(),
+        );
+        let bg = self.traffic.background(
+            &topo,
+            self.horizon_epochs,
+            self.seed.wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        let loads = link_load(&topo, &bg, self.horizon_epochs);
+        let scale = headroom_scale(&topo, &loads);
+        let raw_caps: Vec<f64> = topo.links().iter().map(|l| l.capacity_mbps).collect();
+        let link_names: Vec<(String, String)> = topo
+            .links()
+            .iter()
+            .map(|l| {
+                (
+                    topo.node_name(l.a).to_string(),
+                    topo.node_name(l.b).to_string(),
+                )
+            })
+            .collect();
+
+        let mut sdn =
+            SelfDrivingNetwork::over_topology(topo, &ingress, &egress, self.k_tunnels, self.seed)?;
+        let primary = sdn
+            .tunnel("tunnel1")
+            .expect("tunnel1 exists")
+            .node_path
+            .clone();
+        let actions = compile_events(&self.events, &sdn.sim.topo, &primary)?;
+        if self.plane == PlaneMode::Packet {
+            sdn.attach_dataplane(DataplaneConfig {
+                epoch_ms: 1000,
+                probe_rate_mbps: 0.2,
+                probe_bytes: 250,
+                default_flow_mbps: 8.0,
+                flow_bytes: 1250,
+            })?;
+        }
+
+        // Per-link capacity state, applied only on change.
+        let mut drain: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut applied: BTreeMap<usize, f64> = BTreeMap::new();
+        let labels: Vec<String> = self.flows.iter().map(|f| f.label.clone()).collect();
+        let mut started: Vec<bool> = vec![false; self.flows.len()];
+        let mut migrations: u64 = 0;
+        let mut failures: Vec<u64> = Vec::new();
+        let mut aggregate = Vec::with_capacity(self.horizon_epochs as usize);
+        let mut flow_samples: Vec<f64> = Vec::new();
+        let mut slo_violations: u64 = 0;
+        let mut cursor = 0usize;
+
+        for e in 0..self.horizon_epochs {
+            // (1) scripted link events due this epoch.
+            while cursor < actions.len() && actions[cursor].epoch <= e {
+                let act = &actions[cursor];
+                cursor += 1;
+                match act.action {
+                    LinkAction::SetUp(up) => {
+                        sdn.set_link_state(&act.a, &act.b, up)?;
+                        if act.starts_failure {
+                            failures.push(e);
+                        }
+                    }
+                    LinkAction::SetScale(f) => {
+                        let lid = link_index(&link_names, &act.a, &act.b)?;
+                        if (f - 1.0).abs() < 1e-12 {
+                            drain.remove(&lid);
+                        } else {
+                            drain.insert(lid, f);
+                        }
+                    }
+                }
+            }
+            // (2) effective capacities: raw - background, times drain.
+            for (i, raw) in raw_caps.iter().enumerate() {
+                let bg_now = loads
+                    .get(&netsim::LinkId(i as u32))
+                    .map(|s| s[e as usize] * scale)
+                    .unwrap_or(0.0);
+                let factor = drain.get(&i).copied().unwrap_or(1.0);
+                let cap = ((raw - bg_now).max(raw * 0.05)) * factor;
+                let last = applied.get(&i).copied().unwrap_or(*raw);
+                if (cap - last).abs() > 1e-9 {
+                    let (a, b) = &link_names[i];
+                    sdn.set_link_capacity(a, b, cap)?;
+                    applied.insert(i, cap);
+                }
+            }
+            // (3) admit managed flows due this epoch (batched, like the
+            // scheduler tick would).
+            let due_idx: Vec<usize> = (0..self.flows.len())
+                .filter(|&i| !started[i] && self.flows[i].start_epoch <= e)
+                .collect();
+            let due: Vec<FlowRequest> = due_idx
+                .iter()
+                .map(|&i| {
+                    started[i] = true;
+                    FlowRequest {
+                        label: self.flows[i].label.clone(),
+                        tos: 32u8.wrapping_mul(i as u8 + 1),
+                        demand_mbps: self.flows[i].demand_mbps,
+                        start_ms: e * 1000,
+                    }
+                })
+                .collect();
+            if !due.is_empty() {
+                sdn.admit_flows(&due, Objective::MaxBandwidth)?;
+                if policy == Policy::StaticShortest {
+                    for req in &due {
+                        if sdn.flow_tunnel(&req.label) != Some("tunnel1") {
+                            sdn.migrate_flow(&req.label, "tunnel1")?;
+                        }
+                    }
+                }
+            }
+            // (4) advance one epoch.
+            let mut packet_goodput: BTreeMap<String, f64> = BTreeMap::new();
+            match self.plane {
+                PlaneMode::Fluid => sdn.advance((e + 1) * 1000)?,
+                PlaneMode::Packet => {
+                    let report = sdn.packet_epoch()?;
+                    packet_goodput = report.flow_goodput.into_iter().collect();
+                }
+            }
+            // (5) record per-flow rates + SLO.
+            let mut total = 0.0;
+            let mut violated = false;
+            for (i, plan) in self.flows.iter().enumerate() {
+                if !started[i] {
+                    continue;
+                }
+                let rate = match self.plane {
+                    PlaneMode::Fluid => sdn.flow_rate(&plan.label).unwrap_or(0.0),
+                    PlaneMode::Packet => packet_goodput.get(&plan.label).copied().unwrap_or(0.0),
+                };
+                total += rate;
+                flow_samples.push(rate);
+                if let Some(demand) = plan.demand_mbps {
+                    // Two epochs of TCP-ramp grace after start.
+                    if e >= plan.start_epoch + 2 && rate < self.slo_fraction * demand {
+                        violated = true;
+                    }
+                }
+            }
+            aggregate.push(total);
+            if violated {
+                slo_violations += 1;
+            }
+            // (6) policy consultation at the decision interval.
+            let decision_due = self.decision_every > 0
+                && (e + 1) % self.decision_every == 0
+                && e + 1 < self.horizon_epochs;
+            if decision_due {
+                migrations += self.consult(policy, &mut sdn, &labels);
+            }
+        }
+
+        // Score recoveries on the aggregate series.
+        let recoveries = failures
+            .iter()
+            .map(|&f| {
+                let lo = f.saturating_sub(3) as usize;
+                let pre: Vec<f64> = aggregate[lo..f as usize].to_vec();
+                let pre_mean = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+                let recovered_after_epochs = if pre_mean <= 1e-9 {
+                    Some(0) // nothing was flowing; nothing to recover
+                } else {
+                    (f..self.horizon_epochs)
+                        .find(|&r| aggregate[r as usize] >= 0.8 * pre_mean)
+                        .map(|r| r - f)
+                };
+                Recovery {
+                    failed_at_epoch: f,
+                    recovered_after_epochs,
+                }
+            })
+            .collect();
+        let active: Vec<f64> = aggregate
+            .iter()
+            .copied()
+            .skip(self.flows.iter().map(|f| f.start_epoch).min().unwrap_or(0) as usize)
+            .collect();
+        Ok(Scorecard {
+            scenario: self.name.clone(),
+            policy: policy.name().to_string(),
+            seed: self.seed,
+            epochs: self.horizon_epochs,
+            mean_aggregate_mbps: active.iter().sum::<f64>() / active.len().max(1) as f64,
+            p50_flow_mbps: percentile(&flow_samples, 0.50),
+            p99_flow_mbps: percentile(&flow_samples, 0.99),
+            slo_violation_epochs: slo_violations,
+            migrations,
+            recoveries,
+            aggregate_series: aggregate,
+        })
+    }
+
+    /// Runs the scenario under every policy, in [`Policy::all`] order.
+    pub fn run_matrix(&self) -> Result<Vec<Scorecard>, ScenarioError> {
+        Policy::all().iter().map(|p| self.run(*p)).collect()
+    }
+
+    /// One policy consultation; returns migrations performed.
+    fn consult(&self, policy: Policy, sdn: &mut SelfDrivingNetwork, labels: &[String]) -> u64 {
+        let before: Vec<Option<String>> = labels
+            .iter()
+            .map(|l| sdn.flow_tunnel(l).map(str::to_string))
+            .collect();
+        match policy {
+            Policy::StaticShortest => 0,
+            Policy::Hecate => {
+                // May fail during warm-up (insufficient telemetry) —
+                // the policy just skips that round, like the steering
+                // experiment does.
+                if sdn.reoptimize_bandwidth().is_err() {
+                    return 0;
+                }
+                labels
+                    .iter()
+                    .zip(&before)
+                    .filter(|(l, b)| sdn.flow_tunnel(l).map(str::to_string) != **b)
+                    .count() as u64
+            }
+            Policy::LastSample => {
+                let names = sdn.tunnel_names();
+                let caps: Vec<f64> = names
+                    .iter()
+                    .map(|n| {
+                        sdn.telemetry
+                            .last(&SeriesKey::new(n, Metric::AvailableBandwidth))
+                            .unwrap_or(0.0)
+                            .max(0.0)
+                    })
+                    .collect();
+                let live: Vec<&String> = labels
+                    .iter()
+                    .zip(&before)
+                    .filter(|(_, b)| b.is_some())
+                    .map(|(l, _)| l)
+                    .collect();
+                if live.is_empty() {
+                    return 0;
+                }
+                let demands: Vec<Option<f64>> = live
+                    .iter()
+                    .map(|l| {
+                        self.flows
+                            .iter()
+                            .find(|f| f.label == l.as_str())
+                            .and_then(|f| f.demand_mbps)
+                    })
+                    .collect();
+                let Ok(assignment) = assign_flows(&caps, &demands) else {
+                    return 0;
+                };
+                let mut moves = 0;
+                for (l, &t) in live.iter().zip(&assignment.tunnel_of_flow) {
+                    let target = &names[t];
+                    if sdn.flow_tunnel(l) != Some(target.as_str())
+                        && sdn.migrate_flow(l, target).is_ok()
+                    {
+                        moves += 1;
+                    }
+                }
+                moves
+            }
+        }
+    }
+}
+
+/// Index of the link between two named endpoints in the raw link list.
+fn link_index(names: &[(String, String)], a: &str, b: &str) -> Result<usize, ScenarioError> {
+    names
+        .iter()
+        .position(|(x, y)| (x == a && y == b) || (x == b && y == a))
+        .ok_or_else(|| ScenarioError::Config(format!("no link {a}-{b}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, LinkPick};
+
+    fn tiny(policy_seed: u64) -> Scenario {
+        Scenario {
+            name: "tiny-ring".into(),
+            topology: TopologySpec::RingChords {
+                n: 10,
+                chord_every: 2,
+            },
+            traffic: TrafficSpec::Gravity {
+                pairs: 6,
+                total_mbps: 40.0,
+            },
+            events: vec![EventSpec {
+                at_epoch: 16,
+                kind: EventKind::LinkDown {
+                    link: LinkPick::PrimaryHop(1),
+                    restore_after: Some(6),
+                },
+            }],
+            flows: vec![
+                FlowPlan {
+                    label: "f1".into(),
+                    demand_mbps: None,
+                    start_epoch: 0,
+                },
+                FlowPlan {
+                    label: "f2".into(),
+                    demand_mbps: Some(4.0),
+                    start_epoch: 2,
+                },
+            ],
+            horizon_epochs: 26,
+            decision_every: 5,
+            k_tunnels: 3,
+            slo_fraction: 0.9,
+            plane: PlaneMode::Fluid,
+            seed: policy_seed,
+        }
+    }
+
+    #[test]
+    fn fluid_run_produces_a_complete_scorecard() {
+        let card = tiny(7).run(Policy::Hecate).unwrap();
+        assert_eq!(card.epochs, 26);
+        assert_eq!(card.aggregate_series.len(), 26);
+        assert!(card.mean_aggregate_mbps > 0.0);
+        assert!(card.p99_flow_mbps >= card.p50_flow_mbps);
+        assert_eq!(card.recoveries.len(), 1);
+        assert_eq!(card.recoveries[0].failed_at_epoch, 16);
+    }
+
+    #[test]
+    fn static_policy_never_migrates() {
+        let card = tiny(7).run(Policy::StaticShortest).unwrap();
+        assert_eq!(card.migrations, 0);
+    }
+
+    #[test]
+    fn adaptive_beats_static_under_permanent_primary_failure() {
+        let mut s = tiny(11);
+        s.events = vec![EventSpec {
+            at_epoch: 12,
+            kind: EventKind::LinkDown {
+                link: LinkPick::PrimaryHop(1),
+                restore_after: None,
+            },
+        }];
+        s.horizon_epochs = 30;
+        let hecate = s.run(Policy::Hecate).unwrap();
+        let last = s.run(Policy::LastSample).unwrap();
+        let fixed = s.run(Policy::StaticShortest).unwrap();
+        // Adaptive policies route around the dead primary; static
+        // parks on it and starves.
+        assert!(
+            hecate.mean_aggregate_mbps > fixed.mean_aggregate_mbps + 1.0,
+            "hecate {} vs static {}",
+            hecate.mean_aggregate_mbps,
+            fixed.mean_aggregate_mbps
+        );
+        assert!(last.mean_aggregate_mbps > fixed.mean_aggregate_mbps + 1.0);
+        assert!(hecate.migrations >= 1);
+        // Static never recovers; the adaptive policies do.
+        assert_eq!(fixed.recoveries[0].recovered_after_epochs, None);
+        assert!(hecate.recoveries[0].recovered_after_epochs.is_some());
+    }
+
+    #[test]
+    fn scaled_shrinks_horizon_and_events() {
+        let s = tiny(1).scaled(0.5);
+        assert_eq!(s.horizon_epochs, 13);
+        assert_eq!(s.decision_every, 3);
+        assert_eq!(s.events[0].at_epoch, 8);
+        assert_eq!(s.flows[1].start_epoch, 1);
+    }
+
+    #[test]
+    fn empty_scenarios_are_rejected() {
+        let mut s = tiny(1);
+        s.flows.clear();
+        assert!(s.run(Policy::Hecate).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The scorecard: what one `(scenario, policy, seed)` run measured,
+//! plus the policy-matrix rendering.
+//!
+//! Scorecards are **plain deterministic data** — `PartialEq` compares
+//! every float bit-for-bit, which is exactly the replay contract the
+//! determinism proptest enforces.
+
+use framework::dashboard::{render_table, sparkline};
+
+/// Recovery bookkeeping for one scripted failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Epoch the failure fired.
+    pub failed_at_epoch: u64,
+    /// Epochs until aggregate goodput regained 80% of its pre-failure
+    /// level; `None` = never recovered within the horizon.
+    pub recovered_after_epochs: Option<u64>,
+}
+
+/// What one scenario run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy that drove the run.
+    pub policy: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Epochs executed (1 epoch = 1 simulated second).
+    pub epochs: u64,
+    /// Mean aggregate managed goodput over epochs where at least one
+    /// flow had started (Mbps).
+    pub mean_aggregate_mbps: f64,
+    /// Median per-flow per-epoch throughput sample (Mbps).
+    pub p50_flow_mbps: f64,
+    /// 99th-percentile per-flow per-epoch throughput sample (Mbps) —
+    /// the tail a lucky flow reaches.
+    pub p99_flow_mbps: f64,
+    /// Epochs in which at least one demand-declared flow delivered less
+    /// than the scenario's SLO fraction of its demand.
+    pub slo_violation_epochs: u64,
+    /// Path migrations the policy performed.
+    pub migrations: u64,
+    /// Per-scripted-failure recovery times.
+    pub recoveries: Vec<Recovery>,
+    /// Aggregate managed goodput per epoch (Mbps) — the sparkline, and
+    /// the series recoveries are measured on.
+    pub aggregate_series: Vec<f64>,
+}
+
+/// Column headers matching [`Scorecard::row`].
+pub const HEADERS: [&str; 7] = [
+    "policy", "goodput", "p50", "p99", "slo-viol", "migr", "recovery",
+];
+
+impl Scorecard {
+    /// One table row (policy-matrix format; see [`HEADERS`]).
+    pub fn row(&self) -> Vec<String> {
+        let recovery = if self.recoveries.is_empty() {
+            "-".to_string()
+        } else {
+            self.recoveries
+                .iter()
+                .map(|r| match r.recovered_after_epochs {
+                    Some(e) => format!("{e}ep"),
+                    None => "never".to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        vec![
+            self.policy.clone(),
+            format!("{:.2}", self.mean_aggregate_mbps),
+            format!("{:.2}", self.p50_flow_mbps),
+            format!("{:.2}", self.p99_flow_mbps),
+            format!("{}", self.slo_violation_epochs),
+            format!("{}", self.migrations),
+            recovery,
+        ]
+    }
+}
+
+/// Deterministic nearest-rank percentile (q in 0..=1) over a copy of
+/// the samples. Empty input yields 0.0.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Renders one scenario's policy comparison as a one-screen dashboard
+/// frame: the scorecard table plus one goodput sparkline per policy.
+pub fn render_matrix(title: &str, cards: &[Scorecard]) -> String {
+    let rows: Vec<Vec<String>> = cards.iter().map(Scorecard::row).collect();
+    let mut out = render_table(title, &HEADERS, &rows);
+    for c in cards {
+        out.push_str(&format!(
+            "  {:<16} {}\n",
+            c.policy,
+            sparkline(&c.aggregate_series)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn card(policy: &str) -> Scorecard {
+        Scorecard {
+            scenario: "s".into(),
+            policy: policy.into(),
+            seed: 1,
+            epochs: 4,
+            mean_aggregate_mbps: 12.5,
+            p50_flow_mbps: 4.0,
+            p99_flow_mbps: 9.25,
+            slo_violation_epochs: 2,
+            migrations: 3,
+            recoveries: vec![
+                Recovery {
+                    failed_at_epoch: 10,
+                    recovered_after_epochs: Some(4),
+                },
+                Recovery {
+                    failed_at_epoch: 30,
+                    recovered_after_epochs: None,
+                },
+            ],
+            aggregate_series: vec![1.0, 8.0, 12.0, 12.5],
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 0.5), 3.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 5.0);
+        assert_eq!(percentile(&s, 0.99), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn matrix_renders_rows_and_sparklines() {
+        let frame = render_matrix("fat-tree(4)", &[card("hecate"), card("static-shortest")]);
+        assert!(frame.contains("=== fat-tree(4) ==="));
+        assert!(frame.contains("hecate"));
+        assert!(frame.contains("static-shortest"));
+        assert!(frame.contains("12.50"));
+        assert!(frame.contains("4ep,never"));
+        // two sparkline lines
+        assert!(frame.matches('\u{2581}').count() >= 2);
+    }
+
+    #[test]
+    fn scorecards_compare_bitwise() {
+        assert_eq!(card("p"), card("p"));
+        let mut other = card("p");
+        other.aggregate_series[2] += 1e-12;
+        assert_ne!(card("p"), other);
+    }
+}

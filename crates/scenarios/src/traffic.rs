@@ -1,0 +1,415 @@
+//! Traffic-matrix generators: seeded demand processes compiled to
+//! per-link background-load series.
+//!
+//! Background traffic models the *rest of the network* — inelastic
+//! cross-traffic the managed flows compete with. Each generator picks
+//! source/destination pairs (gravity-weighted by node degree), routes
+//! them on shortest paths, and emits one offered-load sample per epoch.
+//! The runner folds the per-link sums into effective link capacities
+//! via `SelfDrivingNetwork::set_link_capacity`, after scaling the whole
+//! matrix so no link's background alone exceeds [`MAX_BG_UTILIZATION`]
+//! — background pressures the managed flows, it never starves them
+//! outright.
+
+use netsim::{LinkId, NodeIdx, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Background demand may occupy at most this fraction of any link.
+pub const MAX_BG_UTILIZATION: f64 = 0.7;
+
+/// A traffic-matrix family plus its parameters — the "which demands"
+/// axis of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficSpec {
+    /// Gravity model: `pairs` node pairs sampled with degree-weighted
+    /// probability; pair demand proportional to the product of endpoint
+    /// weights, normalized to `total_mbps`, mildly noisy per epoch.
+    Gravity {
+        /// Number of background pairs.
+        pairs: usize,
+        /// Aggregate offered load across all pairs (Mbps).
+        total_mbps: f64,
+    },
+    /// Gravity demands modulated by a shared sinusoid (diurnal load)
+    /// with per-pair phase jitter.
+    DiurnalGravity {
+        /// Number of background pairs.
+        pairs: usize,
+        /// Aggregate mean offered load (Mbps).
+        total_mbps: f64,
+        /// Peak-to-mean swing (0..1).
+        amplitude: f64,
+        /// Period of the sinusoid in epochs.
+        period_epochs: f64,
+    },
+    /// A few long-lived heavy "elephant" pairs over a sea of short
+    /// light "mice" transfers with random start epochs.
+    ElephantMice {
+        /// Long-lived heavy pairs.
+        elephants: usize,
+        /// Short-lived light transfers.
+        mice: usize,
+        /// Per-elephant offered load (Mbps).
+        elephant_mbps: f64,
+        /// Per-mouse offered load while alive (Mbps).
+        mouse_mbps: f64,
+        /// Mouse lifetime (epochs).
+        mouse_epochs: u64,
+    },
+    /// Two-state Markov on/off sources: each source offers `rate_mbps`
+    /// while on; per-epoch transition probabilities control burstiness.
+    OnOff {
+        /// Number of sources.
+        sources: usize,
+        /// Offered load while on (Mbps).
+        rate_mbps: f64,
+        /// P(off -> on) per epoch.
+        p_on: f64,
+        /// P(on -> off) per epoch.
+        p_off: f64,
+    },
+}
+
+impl TrafficSpec {
+    /// A short display label, e.g. `gravity(12)`.
+    pub fn label(&self) -> String {
+        match *self {
+            TrafficSpec::Gravity { pairs, .. } => format!("gravity({pairs})"),
+            TrafficSpec::DiurnalGravity { pairs, .. } => format!("diurnal({pairs})"),
+            TrafficSpec::ElephantMice {
+                elephants, mice, ..
+            } => format!("eleph/mice({elephants}/{mice})"),
+            TrafficSpec::OnOff { sources, .. } => format!("on-off({sources})"),
+        }
+    }
+
+    /// Compiles the spec into concrete background flows with one
+    /// offered-load sample per epoch, deterministically from `seed`.
+    pub fn background(&self, topo: &Topology, horizon: u64, seed: u64) -> Vec<BgFlow> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = horizon as usize;
+        match *self {
+            TrafficSpec::Gravity { pairs, total_mbps } => {
+                gravity_pairs(topo, pairs, total_mbps, &mut rng)
+                    .into_iter()
+                    .map(|(path, mean)| {
+                        let rate = (0..h)
+                            .map(|_| (mean * rng.gen_range(0.85f64..1.15)).max(0.0))
+                            .collect();
+                        BgFlow { path, rate }
+                    })
+                    .collect()
+            }
+            TrafficSpec::DiurnalGravity {
+                pairs,
+                total_mbps,
+                amplitude,
+                period_epochs,
+            } => gravity_pairs(topo, pairs, total_mbps, &mut rng)
+                .into_iter()
+                .map(|(path, mean)| {
+                    let phase: f64 = rng.gen_range(0.0..1.0);
+                    let rate = (0..h)
+                        .map(|e| {
+                            let arg = 2.0
+                                * std::f64::consts::PI
+                                * (e as f64 / period_epochs.max(1.0) + phase);
+                            (mean * (1.0 + amplitude * arg.sin())).max(0.0)
+                        })
+                        .collect();
+                    BgFlow { path, rate }
+                })
+                .collect(),
+            TrafficSpec::ElephantMice {
+                elephants,
+                mice,
+                elephant_mbps,
+                mouse_mbps,
+                mouse_epochs,
+            } => {
+                let mut out: Vec<BgFlow> =
+                    gravity_pairs(topo, elephants, elephant_mbps * elephants as f64, &mut rng)
+                        .into_iter()
+                        .map(|(path, _)| BgFlow {
+                            path,
+                            rate: vec![elephant_mbps; h],
+                        })
+                        .collect();
+                for (path, _) in gravity_pairs(topo, mice, mouse_mbps * mice as f64, &mut rng) {
+                    let start = rng.gen_range(0..horizon.max(1));
+                    let mut rate = vec![0.0; h];
+                    for e in start..(start + mouse_epochs).min(horizon) {
+                        rate[e as usize] = mouse_mbps;
+                    }
+                    out.push(BgFlow { path, rate });
+                }
+                out
+            }
+            TrafficSpec::OnOff {
+                sources,
+                rate_mbps,
+                p_on,
+                p_off,
+            } => gravity_pairs(topo, sources, rate_mbps * sources as f64, &mut rng)
+                .into_iter()
+                .map(|(path, _)| {
+                    let mut on = false;
+                    let rate = (0..h)
+                        .map(|_| {
+                            let flip: f64 = rng.gen_range(0.0..1.0);
+                            on = if on { flip >= p_off } else { flip < p_on };
+                            if on {
+                                rate_mbps
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    BgFlow { path, rate }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One compiled background flow: a shortest path and its offered load
+/// per epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgFlow {
+    /// Node path (adjacent hops).
+    pub path: Vec<NodeIdx>,
+    /// Offered load per epoch (Mbps); length = scenario horizon.
+    pub rate: Vec<f64>,
+}
+
+/// Samples `pairs` distinct (src, dst) pairs with degree-weighted
+/// (gravity) probability and splits `total_mbps` across them
+/// proportionally to the weight product. Pairs that happen to be
+/// disconnected are skipped (up to a bounded number of retries).
+fn gravity_pairs(
+    topo: &Topology,
+    pairs: usize,
+    total_mbps: f64,
+    rng: &mut StdRng,
+) -> Vec<(Vec<NodeIdx>, f64)> {
+    let n = topo.node_count();
+    if n < 2 || pairs == 0 {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = (0..n)
+        .map(|i| topo.degree(NodeIdx(i as u32)) as f64)
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let draw = |rng: &mut StdRng| -> NodeIdx {
+        let mut x = rng.gen_range(0.0..total_w.max(1e-9));
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return NodeIdx(i as u32);
+            }
+        }
+        NodeIdx((n - 1) as u32)
+    };
+    let mut chosen: Vec<(Vec<NodeIdx>, f64)> = Vec::with_capacity(pairs);
+    let mut attempts = 0;
+    while chosen.len() < pairs && attempts < pairs * 8 {
+        attempts += 1;
+        let s = draw(rng);
+        let d = draw(rng);
+        if s == d {
+            continue;
+        }
+        let Some(path) = topo.shortest_path_by_delay(s, d) else {
+            continue;
+        };
+        let w = weights[s.0 as usize] * weights[d.0 as usize];
+        chosen.push((path, w));
+    }
+    let wsum: f64 = chosen.iter().map(|(_, w)| w).sum();
+    chosen
+        .into_iter()
+        .map(|(p, w)| (p, total_mbps * w / wsum.max(1e-9)))
+        .collect()
+}
+
+/// Sums the background flows into a per-link offered-load series: for
+/// each link, the heavier of its two directions per epoch (capacities
+/// apply per direction, and one scalar capacity models the link).
+/// Links that never carry background are absent from the map.
+pub fn link_load(topo: &Topology, bg: &[BgFlow], horizon: u64) -> BTreeMap<LinkId, Vec<f64>> {
+    let h = horizon as usize;
+    // (link, forward?) -> per-epoch load
+    let mut directed: BTreeMap<(LinkId, bool), Vec<f64>> = BTreeMap::new();
+    for flow in bg {
+        let Ok(links) = topo.path_links(&flow.path) else {
+            continue;
+        };
+        for (hop, lid) in links.iter().enumerate() {
+            let forward = topo.link(*lid).a == flow.path[hop];
+            let entry = directed
+                .entry((*lid, forward))
+                .or_insert_with(|| vec![0.0; h]);
+            for (e, r) in flow.rate.iter().enumerate() {
+                entry[e] += r;
+            }
+        }
+    }
+    let mut out: BTreeMap<LinkId, Vec<f64>> = BTreeMap::new();
+    for ((lid, _), series) in directed {
+        let entry = out.entry(lid).or_insert_with(|| vec![0.0; h]);
+        for (e, v) in series.into_iter().enumerate() {
+            entry[e] = entry[e].max(v);
+        }
+    }
+    out
+}
+
+/// The global scale factor keeping every link's background below
+/// [`MAX_BG_UTILIZATION`] of its raw capacity: `min(1, 0.7 / worst)`.
+pub fn headroom_scale(topo: &Topology, loads: &BTreeMap<LinkId, Vec<f64>>) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (lid, series) in loads {
+        let cap = topo.link(*lid).capacity_mbps.max(1e-9);
+        for v in series {
+            worst = worst.max(v / cap);
+        }
+    }
+    if worst <= MAX_BG_UTILIZATION {
+        1.0
+    } else {
+        MAX_BG_UTILIZATION / worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn all_specs() -> Vec<TrafficSpec> {
+        vec![
+            TrafficSpec::Gravity {
+                pairs: 10,
+                total_mbps: 60.0,
+            },
+            TrafficSpec::DiurnalGravity {
+                pairs: 8,
+                total_mbps: 40.0,
+                amplitude: 0.6,
+                period_epochs: 30.0,
+            },
+            TrafficSpec::ElephantMice {
+                elephants: 3,
+                mice: 12,
+                elephant_mbps: 8.0,
+                mouse_mbps: 1.5,
+                mouse_epochs: 5,
+            },
+            TrafficSpec::OnOff {
+                sources: 8,
+                rate_mbps: 4.0,
+                p_on: 0.3,
+                p_off: 0.4,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_spec_compiles_and_replays_identically() {
+        let topo = zoo::esnet_like();
+        for spec in all_specs() {
+            let a = spec.background(&topo, 40, 9);
+            let b = spec.background(&topo, 40, 9);
+            assert_eq!(a, b, "{}", spec.label());
+            assert!(!a.is_empty(), "{}", spec.label());
+            for f in &a {
+                assert_eq!(f.rate.len(), 40);
+                assert!(f.rate.iter().all(|v| *v >= 0.0));
+                assert!(f.path.len() >= 2);
+                topo.path_links(&f.path).expect("adjacent path");
+            }
+            // Different seeds differ.
+            let c = spec.background(&topo, 40, 10);
+            assert_ne!(a, c, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn gravity_total_matches_spec() {
+        let topo = zoo::esnet_like();
+        let bg = TrafficSpec::Gravity {
+            pairs: 12,
+            total_mbps: 60.0,
+        }
+        .background(&topo, 10, 4);
+        // Mean offered load across pairs sums to ~total (noise is ±15%).
+        let mean_total: f64 = bg
+            .iter()
+            .map(|f| f.rate.iter().sum::<f64>() / f.rate.len() as f64)
+            .sum();
+        assert!((mean_total - 60.0).abs() < 8.0, "{mean_total}");
+    }
+
+    #[test]
+    fn diurnal_oscillates() {
+        let topo = zoo::geant_like();
+        let bg = TrafficSpec::DiurnalGravity {
+            pairs: 4,
+            total_mbps: 40.0,
+            amplitude: 0.8,
+            period_epochs: 20.0,
+        }
+        .background(&topo, 40, 1);
+        // Per-flow swing: max well above min.
+        for f in &bg {
+            let lo = f.rate.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = f.rate.iter().cloned().fold(0.0, f64::max);
+            assert!(hi > lo * 1.5 + 0.1, "no swing: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn elephants_persist_and_mice_are_short() {
+        let topo = zoo::esnet_like();
+        let bg = TrafficSpec::ElephantMice {
+            elephants: 2,
+            mice: 10,
+            elephant_mbps: 8.0,
+            mouse_mbps: 1.0,
+            mouse_epochs: 4,
+        }
+        .background(&topo, 30, 2);
+        let persistent = bg
+            .iter()
+            .filter(|f| f.rate.iter().all(|v| *v > 0.0))
+            .count();
+        assert_eq!(persistent, 2, "elephants run the whole horizon");
+        for f in bg.iter().skip(2) {
+            let alive = f.rate.iter().filter(|v| **v > 0.0).count();
+            assert!(alive <= 4, "mouse alive {alive} epochs");
+        }
+    }
+
+    #[test]
+    fn link_load_and_headroom_bound_background() {
+        let topo = zoo::ring_chords(12, 3);
+        let bg = TrafficSpec::Gravity {
+            pairs: 20,
+            total_mbps: 300.0, // deliberately oversubscribed
+        }
+        .background(&topo, 20, 5);
+        let loads = link_load(&topo, &bg, 20);
+        assert!(!loads.is_empty());
+        let scale = headroom_scale(&topo, &loads);
+        assert!(scale < 1.0, "oversubscription must be scaled down");
+        for (lid, series) in &loads {
+            let cap = topo.link(*lid).capacity_mbps;
+            for v in series {
+                assert!(v * scale <= cap * MAX_BG_UTILIZATION + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The scenario engine's two contracts:
+//!
+//! 1. **Determinism** — any `(seed, scenario-config, policy)` triple
+//!    replays to a *bit-identical* `Scorecard` (every float compared
+//!    exactly). This is what makes scorecards comparable across
+//!    machines and policy rows comparable to each other.
+//! 2. **Recovery** — on `fat_tree(4)` with no background traffic, a
+//!    scripted single-link failure of the primary tunnel is always
+//!    routed around within one policy decision interval (plus the TCP
+//!    ramp), for both adaptive policies.
+
+use proptest::prelude::*;
+use scenarios::events::{EventKind, EventSpec, LinkPick};
+use scenarios::{catalog_smoke, FlowPlan, PlaneMode, Policy, Scenario, TopologySpec, TrafficSpec};
+
+fn replayable(seed: u64, horizon: u64, topology: TopologySpec, traffic: TrafficSpec) -> Scenario {
+    Scenario {
+        name: "prop".into(),
+        topology,
+        traffic,
+        events: vec![EventSpec {
+            at_epoch: horizon / 2,
+            kind: EventKind::LinkDown {
+                link: LinkPick::PrimaryHop(1),
+                restore_after: Some(4),
+            },
+        }],
+        flows: vec![
+            FlowPlan {
+                label: "a".into(),
+                demand_mbps: None,
+                start_epoch: 0,
+            },
+            FlowPlan {
+                label: "b".into(),
+                demand_mbps: Some(3.0),
+                start_epoch: 1,
+            },
+        ],
+        horizon_epochs: horizon,
+        decision_every: 5,
+        k_tunnels: 3,
+        slo_fraction: 0.8,
+        plane: PlaneMode::Fluid,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any (seed, topology family, traffic family, policy) replays to a
+    /// bit-identical scorecard.
+    #[test]
+    fn any_seed_and_config_replays_bit_identically(
+        seed in 0u64..10_000,
+        topo_pick in 0usize..4,
+        traffic_pick in 0usize..4,
+        policy_pick in 0usize..3,
+    ) {
+        let topology = match topo_pick {
+            0 => TopologySpec::FatTree { k: 4 },
+            1 => TopologySpec::RingChords { n: 12, chord_every: 3 },
+            2 => TopologySpec::Waxman { n: 14, alpha: 0.9, beta: 0.4 },
+            _ => TopologySpec::ErdosRenyi { n: 14, link_prob: 0.25 },
+        };
+        let traffic = match traffic_pick {
+            0 => TrafficSpec::Gravity { pairs: 6, total_mbps: 30.0 },
+            1 => TrafficSpec::DiurnalGravity {
+                pairs: 5, total_mbps: 25.0, amplitude: 0.5, period_epochs: 12.0,
+            },
+            2 => TrafficSpec::ElephantMice {
+                elephants: 2, mice: 6, elephant_mbps: 3.0, mouse_mbps: 1.0, mouse_epochs: 3,
+            },
+            _ => TrafficSpec::OnOff { sources: 5, rate_mbps: 3.0, p_on: 0.3, p_off: 0.4 },
+        };
+        let policy = Policy::all()[policy_pick];
+        let scenario = replayable(seed, 16, topology, traffic);
+        let first = scenario.run(policy).unwrap();
+        let second = scenario.run(policy).unwrap();
+        prop_assert_eq!(&first, &second, "scorecards must replay bit-identically");
+        // ... and the aggregate series is bitwise equal too (PartialEq
+        // covers it, but make the contract explicit).
+        prop_assert_eq!(
+            first.aggregate_series.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            second.aggregate_series.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Every canned catalog entry (smoke-scaled, including the packet-plane
+/// one) replays bit-identically under the full policy matrix.
+#[test]
+fn smoke_catalog_matrix_replays_bit_identically() {
+    for scenario in catalog_smoke() {
+        let a = scenario.run_matrix().unwrap();
+        let b = scenario.run_matrix().unwrap();
+        assert_eq!(a, b, "{} must replay bit-identically", scenario.name);
+        assert_eq!(a.len(), 3);
+    }
+}
+
+/// Different seeds genuinely change the outcome (the engine is seeded,
+/// not constant).
+#[test]
+fn different_seeds_differ() {
+    let traffic = TrafficSpec::Gravity {
+        pairs: 6,
+        total_mbps: 30.0,
+    };
+    let a = replayable(1, 16, TopologySpec::FatTree { k: 4 }, traffic.clone())
+        .run(Policy::Hecate)
+        .unwrap();
+    let b = replayable(2, 16, TopologySpec::FatTree { k: 4 }, traffic)
+        .run(Policy::Hecate)
+        .unwrap();
+    assert_ne!(a.aggregate_series, b.aggregate_series);
+}
+
+/// Regression: a scripted single-link failure on `fat_tree(4)` with no
+/// background traffic is routed around within the policy's decision
+/// interval plus a short TCP-ramp grace, for both adaptive policies.
+/// Static routing, parked on the dead primary, must *not* recover —
+/// that contrast is the point of the scenario engine.
+///
+/// The managed flows are demand-limited and sized so the surviving
+/// tunnel can carry all of them: full recovery is physically possible,
+/// so the only question is whether the policy gets there in time.
+/// (The fat-tree edge has an uplink cut of 2, so greedy flows spread
+/// over both disjoint tunnels could never regain 80% after losing one.)
+#[test]
+fn fat_tree_single_failure_recovers_within_decision_interval() {
+    let decision_every = 5u64;
+    let scenario = Scenario {
+        name: "fat-tree-regression".into(),
+        topology: TopologySpec::FatTree { k: 4 },
+        traffic: TrafficSpec::Gravity {
+            pairs: 0, // no background: the failure must do the damage
+            total_mbps: 0.0,
+        },
+        events: vec![EventSpec {
+            at_epoch: 20,
+            kind: EventKind::LinkDown {
+                link: LinkPick::PrimaryHop(1),
+                restore_after: None,
+            },
+        }],
+        flows: vec![
+            FlowPlan {
+                label: "f1".into(),
+                demand_mbps: Some(3.0),
+                start_epoch: 0,
+            },
+            FlowPlan {
+                label: "f2".into(),
+                demand_mbps: Some(3.0),
+                start_epoch: 0,
+            },
+            FlowPlan {
+                label: "f3".into(),
+                demand_mbps: Some(2.0),
+                start_epoch: 0,
+            },
+        ],
+        horizon_epochs: 36,
+        decision_every,
+        k_tunnels: 3,
+        slo_fraction: 0.8,
+        plane: PlaneMode::Fluid,
+        seed: 42,
+    };
+    for policy in [Policy::Hecate, Policy::LastSample] {
+        let card = scenario.run(policy).unwrap();
+        assert_eq!(card.recoveries.len(), 1, "{:?}", policy);
+        let recovered = card.recoveries[0]
+            .recovered_after_epochs
+            .unwrap_or_else(|| panic!("{policy:?} never recovered: {card:?}"));
+        // One decision interval to notice + migrate, ~3 epochs of TCP
+        // ramp back to 80% of the pre-failure aggregate.
+        assert!(
+            recovered <= decision_every + 3,
+            "{policy:?} took {recovered} epochs (> {} allowed): {card:?}",
+            decision_every + 3
+        );
+        assert!(card.migrations >= 1, "{policy:?} must migrate: {card:?}");
+    }
+    let fixed = scenario.run(Policy::StaticShortest).unwrap();
+    assert_eq!(
+        fixed.recoveries[0].recovered_after_epochs, None,
+        "static routing cannot recover from a dead primary: {fixed:?}"
+    );
+}

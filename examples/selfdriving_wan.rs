@@ -1,105 +1,52 @@
-//! A self-driving WAN session: the full Fig 3/4 loop with the Scheduler,
-//! Dashboard, telemetry-driven decisions and a link failure thrown in.
+//! A self-driving WAN session, scenario-engine edition: one canned
+//! scenario from the catalog — an ESnet-like US backbone under diurnal
+//! gravity traffic with a mid-run flap storm on the primary tunnel —
+//! executed across the full routing-policy matrix.
 //!
-//! Scenario: three scheduled flows arrive over time; Hecate steers each
-//! to the best predicted tunnel; mid-run the MIA-SAO link fails and the
-//! framework re-optimizes the survivors onto the remaining paths.
+//! The scenario engine builds the topology, discovers link-disjoint
+//! PolKA tunnels between the farthest PoPs, drives background load and
+//! scripted impairments through the `SelfDrivingNetwork` control loop,
+//! and scores each policy (Hecate forecasts vs last-sample vs static
+//! shortest-path) into a deterministic `Scorecard`.
 //!
 //! Run with: `cargo run --release --example selfdriving_wan`
 
-use polka_hecate::framework::dashboard::render_frame;
-use polka_hecate::framework::scheduler::FlowRequest;
-use polka_hecate::framework::sdn::SelfDrivingNetwork;
-use polka_hecate::netsim::Event;
+use polka_hecate::scenarios::{catalog, render_matrix, Policy};
 
 fn main() {
-    let mut sdn = SelfDrivingNetwork::testbed(7).expect("testbed builds");
+    let scenario = catalog()
+        .into_iter()
+        .find(|s| s.name == "esnet-diurnal-flaps")
+        .expect("catalog scenario exists");
+    println!("scenario: {}", scenario.describe());
+    println!(
+        "seed    : {} (replay = same numbers, bit for bit)\n",
+        scenario.seed
+    );
 
-    // Users request flows over time via the Dashboard -> Scheduler.
-    sdn.scheduler.submit(FlowRequest {
-        label: "flow1".into(),
-        tos: 32,
-        demand_mbps: None,
-        start_ms: 15_000,
-    });
-    sdn.scheduler.submit(FlowRequest {
-        label: "flow2".into(),
-        tos: 64,
-        demand_mbps: Some(6.0),
-        start_ms: 30_000,
-    });
-    sdn.scheduler.submit(FlowRequest {
-        label: "flow3".into(),
-        tos: 96,
-        demand_mbps: None,
-        start_ms: 45_000,
-    });
+    let cards = scenario.run_matrix().expect("scenario runs");
+    print!("{}", render_matrix(&scenario.name, &cards));
 
-    // Warm-up + arrivals.
-    sdn.advance(60_000).expect("sim advances");
-    println!("after 60s:");
-    for label in ["flow1", "flow2", "flow3"] {
-        println!(
-            "  {label} on {:?} at {:.2} Mbps",
-            sdn.flow_tunnel(label).unwrap_or("?"),
-            sdn.flow_series(label)
-                .last()
-                .map(|(_, v)| *v)
-                .unwrap_or(0.0)
-        );
-    }
-
-    // Re-optimize with full telemetry.
-    let moves = sdn.reoptimize_bandwidth().expect("reoptimization");
-    println!("\noptimizer assignment:");
-    for (flow, tunnel) in &moves {
-        println!("  {flow} -> {tunnel}");
-    }
-    sdn.advance(90_000).expect("sim advances");
-
-    // Fail the MIA-SAO link: tunnel1 dies.
-    let mia = sdn.sim.topo.node("MIA").expect("MIA exists");
-    let sao = sdn.sim.topo.node("SAO").expect("SAO exists");
-    let lid = sdn.sim.topo.link_between(mia, sao).expect("link exists");
-    let now = sdn.sim.now_ms();
-    sdn.sim
-        .schedule(now, Event::SetLinkUp(lid, false))
-        .expect("link events are always schedulable");
-    println!("\nt=90s: MIA-SAO link FAILED");
-    sdn.advance(105_000).expect("sim advances");
-
-    // Re-optimize: survivors of tunnel1 must move.
-    let moves = sdn.reoptimize_bandwidth().expect("failure recovery");
-    println!("recovery assignment:");
-    for (flow, tunnel) in &moves {
-        println!("  {flow} -> {tunnel}");
-    }
-    sdn.advance(135_000).expect("sim advances");
-
-    // Dashboard frame.
-    let links: Vec<(String, f64)> = sdn
-        .sim
-        .telemetry()
-        .iter()
-        .rev()
-        .filter(|r| r.key.starts_with("link:"))
-        .take(8)
-        .map(|r| (r.key.clone(), r.value))
-        .collect();
-    let flows: Vec<(String, f64, Vec<f64>)> = ["flow1", "flow2", "flow3"]
-        .iter()
-        .map(|l| {
-            let series: Vec<f64> = sdn.flow_series(l).iter().map(|(_, v)| *v).collect();
-            let last = series.last().copied().unwrap_or(0.0);
-            (l.to_string(), last, series)
-        })
-        .collect();
-    println!("\n{}", render_frame("t=135s", &links, &flows));
-
-    let total: f64 = flows.iter().map(|(_, last, _)| last).sum();
-    println!("aggregate goodput after failure recovery: {total:.2} Mbps");
+    // The adaptive policies must beat parking every flow on the
+    // shortest path while its links flap.
+    let by_policy = |p: Policy| {
+        cards
+            .iter()
+            .find(|c| c.policy == p.name())
+            .expect("policy row")
+    };
+    let hecate = by_policy(Policy::Hecate);
+    let fixed = by_policy(Policy::StaticShortest);
+    println!(
+        "\nhecate {:.2} Mbps vs static {:.2} Mbps ({} migrations, {} SLO-violation epochs vs {})",
+        hecate.mean_aggregate_mbps,
+        fixed.mean_aggregate_mbps,
+        hecate.migrations,
+        hecate.slo_violation_epochs,
+        fixed.slo_violation_epochs,
+    );
     assert!(
-        total > 10.0,
-        "the network must keep delivering after the failure"
+        hecate.mean_aggregate_mbps > fixed.mean_aggregate_mbps,
+        "the self-driving loop must keep delivering through the storm"
     );
 }

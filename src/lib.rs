@@ -30,7 +30,13 @@
 //!   (train once, roll/observe online, refit after N new samples),
 //!   batched scheduler-tick decisions via
 //!   `framework::controller::decide_flows`, and a mirrored-ring
-//!   telemetry store with zero-copy windowed reads.
+//!   telemetry store with zero-copy windowed reads;
+//! * [`scenarios`] — the deterministic scenario engine: a topology zoo
+//!   (fat-tree, ring+chords, two-tier WAN, Waxman/Erdős–Rényi, ESnet-
+//!   and GÉANT-like maps), traffic-matrix generators (gravity, diurnal,
+//!   elephant/mice, on/off), scripted failure timelines, and a runner
+//!   that scores routing policies (`Scorecard`) across the whole
+//!   catalog from a single `u64` seed.
 //!
 //! ## Quickstart
 //!
@@ -51,4 +57,5 @@ pub use linalg;
 pub use lp;
 pub use netsim;
 pub use polka;
+pub use scenarios;
 pub use traces;
