@@ -172,6 +172,36 @@ pub fn throughput_testbed(paths: usize) -> (framework::TelemetryService, Vec<Str
     (sdn.telemetry.clone(), names)
 }
 
+/// Telemetry, global tunnel names and the shared-link capacity model
+/// for a `pairs`-pair traffic matrix on a 40-node chorded-ring mesh
+/// (pair `i` runs `n{i} -> n{i+20}`, two disjoint tunnels each),
+/// warmed through the live control loop — the `decision_throughput`
+/// bench's multi-pair workload. With `pairs == 1` this is exactly the
+/// legacy single-pair shape (bare tunnel names), so the N=1 decision
+/// path can be compared against the pre-refactor engine directly.
+pub fn multipair_testbed(
+    pairs: usize,
+) -> (
+    framework::TelemetryService,
+    Vec<String>,
+    framework::optimizer::SharedLinkModel,
+) {
+    let n = 40;
+    let topo = netsim::topo::mesh(n, 3, 20.0);
+    let endpoints: Vec<(String, String)> = (0..pairs.max(1))
+        .map(|i| (format!("n{i}"), format!("n{}", i + n / 2)))
+        .collect();
+    let refs: Vec<(&str, &str)> = endpoints
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    let mut sdn =
+        SelfDrivingNetwork::over_topology_pairs(topo, &refs, 2, 11).expect("multipair testbed");
+    sdn.advance(40_000).expect("telemetry warm-up");
+    let model = sdn.link_model(false);
+    (sdn.telemetry.clone(), sdn.tunnel_names(), model)
+}
+
 /// The decision-throughput artifact: cold (refit-every-decision, the
 /// seed's behavior) vs warm (trained-model cache) flow-arrival
 /// decisions over the same netsim-driven telemetry.
@@ -246,6 +276,7 @@ pub fn decision_throughput(paths: usize, cold_flows: usize, warm_flows: usize) -
             tos: 0,
             demand_mbps: None,
             start_ms: 0,
+            pair: framework::PairId::default(),
         })
         .collect();
     let batches = warm_flows.div_ceil(64).max(1);
@@ -512,6 +543,71 @@ mod tests {
         // min-max utilization grows with demand
         let utils: Vec<f64> = rows.iter().map(|r| r.3).collect();
         assert!(utils.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+
+    #[test]
+    fn multipair_n1_decisions_match_the_legacy_engine() {
+        // The refactor's N=1 contract at the decision level: on the
+        // same warmed single-pair testbed, the shared-link engine
+        // (decide_flows_pairs) recommends exactly what the legacy
+        // bottleneck engine (decide_flows) recommends — pair count 1
+        // changes nothing but the code path taken by multi-pair
+        // networks.
+        use framework::controller::{decide_flows, decide_flows_pairs, SequenceLog};
+        use framework::scheduler::FlowRequest;
+        use framework::{HecateService, Objective};
+        let (telemetry, names, model) = multipair_testbed(1);
+        assert_eq!(names, vec!["tunnel1", "tunnel2"], "legacy bare names");
+        let hecate = HecateService::new();
+        let reqs: Vec<FlowRequest> = (0..2)
+            .map(|i| FlowRequest {
+                label: format!("f{i}"),
+                tos: 0,
+                demand_mbps: None,
+                start_ms: 0,
+                pair: framework::PairId::default(),
+            })
+            .collect();
+        let mut log = SequenceLog::default();
+        let legacy = decide_flows(
+            &hecate,
+            &telemetry,
+            &reqs,
+            &names,
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .expect("legacy decision");
+        let shared = decide_flows_pairs(
+            &hecate,
+            &telemetry,
+            &reqs,
+            &names,
+            &model,
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .expect("shared-link decision");
+        let tunnels = |ds: &[framework::controller::PathDecision]| {
+            let mut t: Vec<String> = ds.iter().map(|d| d.tunnel.clone()).collect();
+            t.sort();
+            t
+        };
+        assert_eq!(tunnels(&legacy), tunnels(&shared));
+        assert!(shared.iter().all(|d| d.used_forecast));
+    }
+
+    #[test]
+    fn multipair_testbed_scales_to_sixteen_pairs() {
+        let (telemetry, names, model) = multipair_testbed(16);
+        assert_eq!(names.len(), 32, "two disjoint tunnels per pair");
+        assert_eq!(model.candidates.len(), 16);
+        assert_eq!(model.tunnel_links.len(), 32);
+        for name in &names {
+            let key =
+                framework::telemetry::SeriesKey::new(name, framework::Metric::AvailableBandwidth);
+            assert!(telemetry.len(&key) >= 30, "{name}: {}", telemetry.len(&key));
+        }
     }
 
     #[test]

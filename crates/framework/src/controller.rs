@@ -7,9 +7,11 @@
 //! flow through it by adjusting the edge routers."
 
 use crate::hecate::HecateService;
-use crate::optimizer::{assign_flows, select_path, Objective};
+use crate::optimizer::{
+    assign_flows, assign_flows_shared, select_path, FlowDemand, Objective, SharedLinkModel,
+};
 use crate::scheduler::FlowRequest;
-use crate::telemetry::{Metric, TelemetryService};
+use crate::telemetry::{Metric, SeriesKey, TelemetryService};
 use crate::FrameworkError;
 
 /// The outcome of one path decision.
@@ -217,6 +219,136 @@ fn place_batch(caps: &[f64], demands: &[Option<f64>]) -> Result<Vec<usize>, Fram
     Ok(placement)
 }
 
+/// Batched decision for a **multi-pair** network: one Fig 4
+/// consultation for every flow due in the tick, across *all* managed
+/// pairs, against the shared-link capacity model.
+///
+/// `tunnel_names` is the global candidate order (every pair's tunnels,
+/// pair-scoped series names) aligned with `model.tunnel_links`; the
+/// forecasts are therefore keyed `(pair, tunnel, metric)` in Hecate's
+/// cache — one trained model per pair-scoped series, exactly like the
+/// single-pair engine keys per tunnel.
+///
+/// Placement semantics mirror [`decide_flows`]:
+///
+/// * cold start (no forecastable series at all) sends each flow to its
+///   own pair's first candidate;
+/// * latency/utilization objectives have no flow-interaction model:
+///   each pair's flows all take that pair's [`select_path`] winner;
+/// * [`Objective::MaxBandwidth`] forms per-tunnel capacity caps
+///   (forecast mean, falling back to the last observed sample, floored
+///   at zero), folds them into the model as synthetic links
+///   ([`SharedLinkModel::with_tunnel_caps`]), and places the batch with
+///   [`assign_flows_shared`] — so no shared link is oversubscribed.
+///
+/// Single-pair networks never call this: they keep the legacy
+/// [`decide_flows`] path bit-for-bit.
+pub fn decide_flows_pairs(
+    hecate: &HecateService,
+    telemetry: &TelemetryService,
+    requests: &[FlowRequest],
+    tunnel_names: &[String],
+    model: &SharedLinkModel,
+    objective: Objective,
+    log: &mut SequenceLog,
+) -> Result<Vec<PathDecision>, FrameworkError> {
+    if tunnel_names.is_empty() || tunnel_names.len() != model.tunnel_links.len() {
+        return Err(FrameworkError::NoFeasiblePath);
+    }
+    if requests.is_empty() {
+        return Ok(Vec::new());
+    }
+    for req in requests {
+        if model
+            .candidates
+            .get(req.pair.index())
+            .is_none_or(|c| c.is_empty())
+        {
+            return Err(FrameworkError::NoFeasiblePath);
+        }
+    }
+    log.record("getTelemetry");
+    let metric = match objective {
+        Objective::MinLatency => Metric::Rtt,
+        _ => Metric::AvailableBandwidth,
+    };
+    log.record("askHecatePath");
+    let forecasts = hecate.forecast_all(telemetry, tunnel_names, metric);
+    if forecasts.is_empty() {
+        // Cold start: each pair's phase-(i) arbitrary first candidate.
+        log.record("fallbackArbitraryPath");
+        return Ok(requests
+            .iter()
+            .map(|req| PathDecision {
+                tunnel: tunnel_names[model.candidates[req.pair.index()][0]].clone(),
+                used_forecast: false,
+                score: None,
+            })
+            .collect());
+    }
+    let forecast_of = |t: usize| forecasts.iter().find(|f| f.path == tunnel_names[t]);
+    let decisions = match objective {
+        Objective::MaxBandwidth => {
+            // Per-tunnel caps: forecast mean, else last sample, else 0.
+            let caps: Vec<f64> = (0..tunnel_names.len())
+                .map(|t| {
+                    forecast_of(t)
+                        .map(|f| f.mean())
+                        .or_else(|| telemetry.last(&SeriesKey::new(&tunnel_names[t], metric)))
+                        .unwrap_or(0.0)
+                        .max(0.0)
+                })
+                .collect();
+            let capped = model.clone().with_tunnel_caps(&caps);
+            let flows: Vec<FlowDemand> = requests
+                .iter()
+                .map(|r| FlowDemand {
+                    pair: r.pair,
+                    demand: r.demand_mbps,
+                })
+                .collect();
+            let assignment = assign_flows_shared(&capped, &flows)?;
+            assignment
+                .tunnel_of_flow
+                .iter()
+                .map(|&t| PathDecision {
+                    tunnel: tunnel_names[t].clone(),
+                    used_forecast: true,
+                    score: forecast_of(t).map(|f| f.mean()),
+                })
+                .collect()
+        }
+        _ => {
+            // No flow-interaction model: each pair's flows take that
+            // pair's winner among its own forecasts.
+            requests
+                .iter()
+                .map(|req| {
+                    let mine: Vec<_> = model.candidates[req.pair.index()]
+                        .iter()
+                        .filter_map(|&t| forecast_of(t).cloned())
+                        .collect();
+                    match select_path(objective, &mine) {
+                        Ok(best) => PathDecision {
+                            tunnel: best.path.clone(),
+                            used_forecast: true,
+                            score: Some(best.mean()),
+                        },
+                        // This pair is still cold: arbitrary first.
+                        Err(_) => PathDecision {
+                            tunnel: tunnel_names[model.candidates[req.pair.index()][0]].clone(),
+                            used_forecast: false,
+                            score: None,
+                        },
+                    }
+                })
+                .collect()
+        }
+    };
+    log.record("optimizerReturn");
+    Ok(decisions)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +462,7 @@ mod tests {
                 tos: 32,
                 demand_mbps: None,
                 start_ms: 0,
+                pair: crate::PairId::default(),
             })
             .collect()
     }
@@ -439,6 +572,143 @@ mod tests {
         )
         .unwrap();
         assert!(decisions.is_empty());
+    }
+
+    // ---- multi-pair batched decisions ----
+
+    /// Two pairs, two tunnels each, tunnels 1 and 2 sharing link 2.
+    fn pair_model() -> (SharedLinkModel, Vec<String>) {
+        let model = SharedLinkModel::new(
+            vec![20.0, 10.0, 10.0, 20.0, 10.0],
+            vec![vec![0], vec![1, 2], vec![2, 3], vec![4]],
+            vec![vec![0, 1], vec![2, 3]],
+        );
+        let names = vec![
+            "p0/tunnel1".to_string(),
+            "p0/tunnel2".to_string(),
+            "p1/tunnel1".to_string(),
+            "p1/tunnel2".to_string(),
+        ];
+        (model, names)
+    }
+
+    fn pair_reqs(pairs: &[usize]) -> Vec<FlowRequest> {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| FlowRequest {
+                label: format!("f{i}"),
+                tos: 32,
+                demand_mbps: None,
+                start_ms: 0,
+                pair: crate::PairId(p),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_batch_consults_scoped_series_and_spreads() {
+        // Warm telemetry under the pair-scoped names: the consultation
+        // is keyed (pair, tunnel, metric) and the joint placement sends
+        // each pair to its uncontended tunnel.
+        let (model, names) = pair_model();
+        let ts = store_with(
+            &[
+                ("p0/tunnel1", 20.0),
+                ("p0/tunnel2", 9.0),
+                ("p1/tunnel1", 9.0),
+                ("p1/tunnel2", 10.0),
+            ],
+            Metric::AvailableBandwidth,
+        );
+        let h = HecateService::new();
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows_pairs(
+            &h,
+            &ts,
+            &pair_reqs(&[0, 1]),
+            &names,
+            &model,
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(decisions[0].tunnel, "p0/tunnel1");
+        assert_eq!(decisions[1].tunnel, "p1/tunnel2");
+        assert!(decisions.iter().all(|d| d.used_forecast));
+        assert_eq!(
+            log.steps(),
+            &["getTelemetry", "askHecatePath", "optimizerReturn"],
+            "one consultation for the whole cross-pair batch"
+        );
+    }
+
+    #[test]
+    fn pair_batch_cold_start_falls_back_per_pair() {
+        let (model, names) = pair_model();
+        let ts = TelemetryService::new(10);
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows_pairs(
+            &HecateService::new(),
+            &ts,
+            &pair_reqs(&[0, 1, 1]),
+            &names,
+            &model,
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .unwrap();
+        // Each flow lands on its own pair's first candidate, not a
+        // global first.
+        assert_eq!(decisions[0].tunnel, "p0/tunnel1");
+        assert_eq!(decisions[1].tunnel, "p1/tunnel1");
+        assert_eq!(decisions[2].tunnel, "p1/tunnel1");
+        assert!(decisions.iter().all(|d| !d.used_forecast));
+        assert!(log.steps().contains(&"fallbackArbitraryPath".to_string()));
+    }
+
+    #[test]
+    fn pair_batch_latency_objective_decides_per_pair() {
+        let (model, names) = pair_model();
+        let ts = store_with(
+            &[
+                ("p0/tunnel1", 50.0),
+                ("p0/tunnel2", 15.0),
+                ("p1/tunnel1", 12.0),
+                ("p1/tunnel2", 40.0),
+            ],
+            Metric::Rtt,
+        );
+        let mut log = SequenceLog::default();
+        let decisions = decide_flows_pairs(
+            &HecateService::new(),
+            &ts,
+            &pair_reqs(&[0, 1]),
+            &names,
+            &model,
+            Objective::MinLatency,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(decisions[0].tunnel, "p0/tunnel2", "pair 0's fastest");
+        assert_eq!(decisions[1].tunnel, "p1/tunnel1", "pair 1's fastest");
+    }
+
+    #[test]
+    fn pair_batch_rejects_unknown_pair() {
+        let (model, names) = pair_model();
+        let ts = TelemetryService::new(10);
+        let mut log = SequenceLog::default();
+        assert!(decide_flows_pairs(
+            &HecateService::new(),
+            &ts,
+            &pair_reqs(&[5]),
+            &names,
+            &model,
+            Objective::MaxBandwidth,
+            &mut log,
+        )
+        .is_err());
     }
 
     #[test]

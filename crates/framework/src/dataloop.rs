@@ -346,6 +346,7 @@ mod tests {
     use super::*;
     use crate::optimizer::Objective;
     use crate::scheduler::FlowRequest;
+    use crate::PairId;
 
     fn attached() -> SelfDrivingNetwork {
         let mut sdn = SelfDrivingNetwork::testbed(5).unwrap();
@@ -381,6 +382,7 @@ mod tests {
                 tos: 32,
                 demand_mbps: Some(6.0),
                 start_ms: 0,
+                pair: PairId::default(),
             },
             Objective::MaxBandwidth,
         )

@@ -40,6 +40,30 @@ pub use scheduler::{FlowRequest, Scheduler};
 pub use sdn::SelfDrivingNetwork;
 pub use telemetry::{Metric, TelemetryService};
 
+/// Index of a **managed ingress/egress pair** — the unit the multi-pair
+/// control plane keys everything on: candidate tunnel sets, telemetry
+/// namespaces, flow admission and the shared-link assignment.
+///
+/// A single-pair deployment (the paper's testbed,
+/// [`SelfDrivingNetwork::over_topology`]) is `PairId(0)` everywhere and
+/// keeps the legacy un-namespaced series/tunnel names, so existing
+/// behavior is bit-for-bit unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PairId(pub usize);
+
+impl PairId {
+    /// The pair's index into the network's managed-pair table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PairId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
 /// Errors from the framework layer.
 #[derive(Debug)]
 pub enum FrameworkError {

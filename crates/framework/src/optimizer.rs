@@ -1,11 +1,26 @@
 //! The Optimizer: objective functions and the flow→tunnel assignment
-//! search.
+//! search — per-tunnel bottleneck for a single managed pair, and the
+//! **link-level shared-capacity engine** for a traffic matrix of pairs.
 //!
 //! "The path QoS estimations are sent to the Optimizer, which selects the
 //! optimal route based on the defined objective function."
+//!
+//! The paper's testbed manages one ingress/egress pair over mutually
+//! disjoint tunnels, so a tunnel is fully described by one bottleneck
+//! capacity and [`assign_flows`] searches over those. With **N managed
+//! pairs** the candidate tunnels of different pairs overlap on shared
+//! links, which breaks the bottleneck-per-tunnel model: two tunnels'
+//! "capacities" may be the *same* physical headroom counted twice. The
+//! [`SharedLinkModel`] therefore decomposes every candidate tunnel into
+//! its directed links, tracks residual headroom per link, and
+//! [`assign_flows_shared`] water-fills flows across pairs so that **no
+//! shared link is ever oversubscribed** (exhaustive placement for small
+//! batches, online greedy for large ones — mirroring the single-pair
+//! engine's split). A single-pair network keeps calling
+//! [`assign_flows`], so its decisions stay bit-for-bit identical.
 
 use crate::hecate::PathForecast;
-use crate::FrameworkError;
+use crate::{FrameworkError, PairId};
 
 /// Objective functions the framework supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +188,316 @@ fn score_assignment(
     (total, min_rate)
 }
 
+/// A managed flow presented to the shared-link assignment engine: which
+/// pair it belongs to (selecting its candidate tunnel set) and its
+/// offered load (`None` = greedy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowDemand {
+    /// The managed pair the flow travels on.
+    pub pair: PairId,
+    /// Offered load in Mbps; `None` = greedy.
+    pub demand: Option<f64>,
+}
+
+/// The link-level capacity model the multi-pair optimizer assigns over.
+///
+/// * `headroom[l]` — residual Mbps available to managed traffic on
+///   directed link `l` (from telemetry / control-plane state);
+/// * `tunnel_links[t]` — candidate tunnel `t` decomposed into the
+///   indices of the directed links it crosses (tunnels of *different*
+///   pairs may share entries — that sharing is the whole point);
+/// * `candidates[p]` — the global tunnel indices pair `p` may use
+///   (disjoint within the pair, overlapping across pairs).
+///
+/// Per-tunnel *forecast* caps are folded in as synthetic private links
+/// via [`SharedLinkModel::with_tunnel_caps`], so one water-fill respects
+/// both shared physical headroom and Hecate's predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedLinkModel {
+    /// Residual headroom per directed link (Mbps).
+    pub headroom: Vec<f64>,
+    /// Tunnel index → directed-link indices (into `headroom`).
+    pub tunnel_links: Vec<Vec<usize>>,
+    /// Pair index → candidate tunnel indices.
+    pub candidates: Vec<Vec<usize>>,
+    /// How many leading entries of `headroom` are physical links; the
+    /// rest are synthetic per-tunnel forecast caps.
+    pub real_links: usize,
+}
+
+impl SharedLinkModel {
+    /// A model over physical links only (no forecast caps yet).
+    pub fn new(
+        headroom: Vec<f64>,
+        tunnel_links: Vec<Vec<usize>>,
+        candidates: Vec<Vec<usize>>,
+    ) -> Self {
+        let real_links = headroom.len();
+        SharedLinkModel {
+            headroom,
+            tunnel_links,
+            candidates,
+            real_links,
+        }
+    }
+
+    /// Folds per-tunnel forecast capacities into the model as one
+    /// synthetic private link per tunnel: tunnel `t`'s flows are then
+    /// capped both by every shared physical link *and* by Hecate's
+    /// predicted capacity `caps[t]`, under the same water-fill.
+    ///
+    /// # Panics
+    /// Panics when `caps` is not one capacity per tunnel, or when caps
+    /// were already folded in (stacking a second set of synthetic links
+    /// would silently double-cap every tunnel).
+    pub fn with_tunnel_caps(mut self, caps: &[f64]) -> Self {
+        assert_eq!(caps.len(), self.tunnel_links.len(), "one cap per tunnel");
+        assert_eq!(
+            self.headroom.len(),
+            self.real_links,
+            "forecast caps already folded into this model"
+        );
+        for (t, cap) in caps.iter().enumerate() {
+            let idx = self.headroom.len();
+            self.headroom.push(cap.max(0.0));
+            self.tunnel_links[t].push(idx);
+        }
+        self
+    }
+}
+
+/// A multi-pair assignment: per-flow tunnel choice plus the predicted
+/// max-min rates the water-fill scored it with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedAssignment {
+    /// Flow `i` → global tunnel index (into the model's `tunnel_links`).
+    pub tunnel_of_flow: Vec<usize>,
+    /// Predicted per-flow rate under the shared-link water-fill; the
+    /// rates respect every link's headroom by construction.
+    pub rate_of_flow: Vec<f64>,
+    /// Sum of predicted rates.
+    pub predicted_total: f64,
+    /// Predicted rate of the worst-off flow (fairness tie-breaker).
+    pub predicted_min_rate: f64,
+}
+
+/// Exhaustive search is `∏ |candidates(pair)|` *water-fills* — each one
+/// a multi-round pass over every flow's links, an order of magnitude
+/// costlier than the single-pair engine's closed-form tunnel scoring —
+/// so the cutover to the online greedy placement sits lower than the
+/// legacy engine's `100_000`-assignment bound (e.g. a 16-pair tick with
+/// 2 candidates each, 2^16 assignments, goes greedy).
+const SHARED_EXHAUSTIVE_BOUND: u64 = 10_000;
+
+/// Assigns every flow to one of its pair's candidate tunnels so that
+/// the **sum of predicted rates never exceeds any directed link's
+/// headroom** — the invariant the bottleneck-per-tunnel model cannot
+/// provide once candidate tunnels overlap across pairs.
+///
+/// Small batches are placed exhaustively (maximize predicted total,
+/// then worst-off flow rate, then lexicographically-earliest choice —
+/// the single-pair engine's tie-break, so earlier flows stay on earlier
+/// tunnels); large batches fall back to an online greedy water-fill.
+/// Either way the returned rates come from one final
+/// max-min progressive fill over the chosen assignment, so the
+/// no-oversubscription invariant holds exactly.
+pub fn assign_flows_shared(
+    model: &SharedLinkModel,
+    flows: &[FlowDemand],
+) -> Result<SharedAssignment, FrameworkError> {
+    if flows.is_empty() || model.tunnel_links.is_empty() {
+        return Err(FrameworkError::NoFeasiblePath);
+    }
+    for f in flows {
+        if model
+            .candidates
+            .get(f.pair.index())
+            .is_none_or(|c| c.is_empty())
+        {
+            return Err(FrameworkError::NoFeasiblePath);
+        }
+    }
+    let space = flows.iter().try_fold(1u64, |acc, f| {
+        acc.checked_mul(model.candidates[f.pair.index()].len() as u64)
+    });
+    let choice = match space {
+        Some(s) if s <= SHARED_EXHAUSTIVE_BOUND => exhaustive_shared(model, flows),
+        _ => greedy_shared(model, flows),
+    };
+    let (rate_of_flow, predicted_total, predicted_min_rate) = water_fill(model, flows, &choice);
+    Ok(SharedAssignment {
+        tunnel_of_flow: choice,
+        rate_of_flow,
+        predicted_total,
+        predicted_min_rate,
+    })
+}
+
+/// Exhaustive placement: mixed-radix enumeration over each flow's
+/// candidate list, scored by [`water_fill`].
+fn exhaustive_shared(model: &SharedLinkModel, flows: &[FlowDemand]) -> Vec<usize> {
+    let n = flows.len();
+    let radix: Vec<&[usize]> = flows
+        .iter()
+        .map(|f| model.candidates[f.pair.index()].as_slice())
+        .collect();
+    let mut counter = vec![0usize; n];
+    let mut best: Option<(Vec<usize>, f64, f64)> = None;
+    loop {
+        let choice: Vec<usize> = counter.iter().zip(&radix).map(|(&c, r)| r[c]).collect();
+        let (_, total, min_rate) = water_fill(model, flows, &choice);
+        let better = match &best {
+            None => true,
+            Some((b_choice, b_total, b_min)) => {
+                let total_tie = (total - b_total).abs() <= 1e-12;
+                let rate_tie = (min_rate - b_min).abs() <= 1e-12;
+                total > b_total + 1e-12
+                    || (total_tie && min_rate > b_min + 1e-12)
+                    || (total_tie && rate_tie && choice < *b_choice)
+            }
+        };
+        if better {
+            best = Some((choice, total, min_rate));
+        }
+        // increment the mixed-radix counter
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                return best.expect("at least one assignment scored").0;
+            }
+            counter[pos] += 1;
+            if counter[pos] < radix[pos].len() {
+                break;
+            }
+            counter[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Online greedy placement for huge batches: each flow takes the
+/// candidate tunnel currently offering it the best estimated share
+/// (demand-limited flows reserve their demand on every crossed link,
+/// greedy flows split residuals evenly). O(flows × tunnels × links).
+fn greedy_shared(model: &SharedLinkModel, flows: &[FlowDemand]) -> Vec<usize> {
+    let mut reserved = vec![0.0f64; model.headroom.len()];
+    let mut greedy_count = vec![0usize; model.headroom.len()];
+    let mut choice = Vec::with_capacity(flows.len());
+    for f in flows {
+        let share = |t: usize| -> f64 {
+            model.tunnel_links[t]
+                .iter()
+                .map(|&l| {
+                    let residual = (model.headroom[l] - reserved[l]).max(0.0);
+                    let split = residual / (greedy_count[l] + 1) as f64;
+                    match f.demand {
+                        Some(d) => d.min(split),
+                        None => split,
+                    }
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let best = model.candidates[f.pair.index()]
+            .iter()
+            .copied()
+            .max_by(|&a, &b| share(a).total_cmp(&share(b)))
+            .expect("candidate sets validated non-empty");
+        for &l in &model.tunnel_links[best] {
+            match f.demand {
+                Some(d) => reserved[l] += d,
+                None => greedy_count[l] += 1,
+            }
+        }
+        choice.push(best);
+    }
+    choice
+}
+
+/// Max-min progressive filling of one concrete assignment: all active
+/// flows grow at the same rate until a link saturates or a demand is
+/// met; flows touching a saturated link (or at demand) freeze; repeat.
+/// Deterministic (fixed iteration order) and safe: a link's residual
+/// never goes below ~f64 epsilon of zero, so the sum of returned rates
+/// respects every link's headroom.
+fn water_fill(
+    model: &SharedLinkModel,
+    flows: &[FlowDemand],
+    choice: &[usize],
+) -> (Vec<f64>, f64, f64) {
+    let n = flows.len();
+    let mut residual = model.headroom.clone();
+    let mut rate = vec![0.0f64; n];
+    let mut active = vec![true; n];
+    let mut active_left = n;
+    while active_left > 0 {
+        // flows per link among the still-active
+        let mut count = vec![0usize; residual.len()];
+        for i in 0..n {
+            if active[i] {
+                for &l in &model.tunnel_links[choice[i]] {
+                    count[l] += 1;
+                }
+            }
+        }
+        // uniform growth until the first constraint binds
+        let mut delta = f64::INFINITY;
+        for (l, &c) in count.iter().enumerate() {
+            if c > 0 {
+                delta = delta.min(residual[l] / c as f64);
+            }
+        }
+        for i in 0..n {
+            if active[i] {
+                if let Some(d) = flows[i].demand {
+                    delta = delta.min((d - rate[i]).max(0.0));
+                }
+            }
+        }
+        if !delta.is_finite() {
+            // Active flows crossing no capacitated link (degenerate
+            // model): freeze them at their current rate.
+            break;
+        }
+        let delta = delta.max(0.0);
+        for i in 0..n {
+            if active[i] {
+                rate[i] += delta;
+            }
+        }
+        for (l, &c) in count.iter().enumerate() {
+            if c > 0 {
+                residual[l] -= delta * c as f64;
+            }
+        }
+        // freeze flows at demand or on a saturated link
+        let mut froze = false;
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            let at_demand = flows[i].demand.is_some_and(|d| rate[i] >= d - 1e-12);
+            let saturated = model.tunnel_links[choice[i]]
+                .iter()
+                .any(|&l| residual[l] <= 1e-12);
+            if at_demand || saturated {
+                active[i] = false;
+                active_left -= 1;
+                froze = true;
+            }
+        }
+        if !froze {
+            break; // numerical stall: stop growing rather than loop
+        }
+    }
+    let total = rate.iter().sum();
+    let min_rate = rate.iter().copied().fold(f64::INFINITY, f64::min);
+    (
+        rate,
+        total,
+        if min_rate.is_finite() { min_rate } else { 0.0 },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +589,169 @@ mod tests {
     fn empty_inputs_rejected() {
         assert!(assign_flows(&[], &[None]).is_err());
         assert!(assign_flows(&[10.0], &[]).is_err());
+    }
+
+    // ---- shared-link (multi-pair) engine ----
+
+    /// Two pairs, two tunnels each; pair 0's tunnel 1 and pair 1's
+    /// tunnel 0 share the middle link (index 2).
+    ///
+    /// ```text
+    /// link:      0     1     2      3     4
+    /// headroom: 20    10    10     20    10
+    /// tunnels:  [0]  [1,2] [2,3]  [4]
+    /// pair 0:  t0 t1        pair 1: t2 t3
+    /// ```
+    fn shared_model() -> SharedLinkModel {
+        SharedLinkModel::new(
+            vec![20.0, 10.0, 10.0, 20.0, 10.0],
+            vec![vec![0], vec![1, 2], vec![2, 3], vec![4]],
+            vec![vec![0, 1], vec![2, 3]],
+        )
+    }
+
+    fn greedy(pair: usize) -> FlowDemand {
+        FlowDemand {
+            pair: PairId(pair),
+            demand: None,
+        }
+    }
+
+    /// The invariant the whole refactor exists for: on every directed
+    /// link, the sum of assigned rates never exceeds the headroom.
+    fn assert_no_oversubscription(model: &SharedLinkModel, flows: &[FlowDemand]) {
+        let a = assign_flows_shared(model, flows).unwrap();
+        let mut used = vec![0.0f64; model.headroom.len()];
+        for (i, &t) in a.tunnel_of_flow.iter().enumerate() {
+            for &l in &model.tunnel_links[t] {
+                used[l] += a.rate_of_flow[i];
+            }
+        }
+        for (l, (&u, &h)) in used.iter().zip(&model.headroom).enumerate() {
+            assert!(
+                u <= h + 1e-9,
+                "link {l} oversubscribed: {u} > {h} (assignment {a:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_engine_never_oversubscribes_a_shared_link() {
+        let model = shared_model();
+        // Greedy flows on both pairs: the optimum avoids piling both
+        // pairs onto the shared link 2.
+        assert_no_oversubscription(&model, &[greedy(0), greedy(1)]);
+        assert_no_oversubscription(&model, &[greedy(0), greedy(0), greedy(1), greedy(1)]);
+        // Demand-limited mixes.
+        assert_no_oversubscription(
+            &model,
+            &[
+                FlowDemand {
+                    pair: PairId(0),
+                    demand: Some(7.0),
+                },
+                greedy(1),
+                FlowDemand {
+                    pair: PairId(1),
+                    demand: Some(30.0), // more than any path carries
+                },
+            ],
+        );
+        // Large batch: the greedy fallback must hold the invariant too
+        // (2^40 assignments overflow the exhaustive bound).
+        let many: Vec<FlowDemand> = (0..40).map(|i| greedy(i % 2)).collect();
+        assert_no_oversubscription(&model, &many);
+    }
+
+    #[test]
+    fn shared_engine_routes_pairs_around_contention() {
+        // One greedy flow per pair. Piling both onto tunnels sharing
+        // link 2 (t1 + t2) yields 10 total; keeping pair 0 on t0 (20)
+        // and pair 1 on either of its tunnels (10) yields 30. Among the
+        // 30-total optima the tie-break keeps the lexicographically
+        // earliest choice, [t0, t2].
+        let a = assign_flows_shared(&shared_model(), &[greedy(0), greedy(1)]).unwrap();
+        assert_eq!(a.tunnel_of_flow, vec![0, 2]);
+        assert!((a.predicted_total - 30.0).abs() < 1e-9, "{a:?}");
+    }
+
+    #[test]
+    fn shared_engine_respects_candidate_sets() {
+        // Every flow must land on a tunnel its own pair declared.
+        let model = shared_model();
+        let flows: Vec<FlowDemand> = (0..6).map(|i| greedy(i % 2)).collect();
+        let a = assign_flows_shared(&model, &flows).unwrap();
+        for (f, &t) in flows.iter().zip(&a.tunnel_of_flow) {
+            assert!(
+                model.candidates[f.pair.index()].contains(&t),
+                "flow of {:?} landed on foreign tunnel {t}",
+                f.pair
+            );
+        }
+    }
+
+    #[test]
+    fn shared_engine_single_pair_matches_bottleneck_engine() {
+        // One pair over disjoint tunnels is exactly the legacy model:
+        // the link-level search must pick the same spread (one flow per
+        // tunnel, Fig 12) with the same predicted total.
+        let model = SharedLinkModel::new(
+            vec![20.0, 10.0, 5.0],
+            vec![vec![0], vec![1], vec![2]],
+            vec![vec![0, 1, 2]],
+        );
+        let flows = [greedy(0), greedy(0), greedy(0)];
+        let shared = assign_flows_shared(&model, &flows).unwrap();
+        let legacy = assign_flows(&[20.0, 10.0, 5.0], &[None, None, None]).unwrap();
+        assert_eq!(shared.tunnel_of_flow, legacy.tunnel_of_flow);
+        assert!((shared.predicted_total - legacy.predicted_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forecast_caps_bind_through_synthetic_links() {
+        // Physical headroom says 20, the forecast says tunnel 0 only
+        // carries 4: the water-fill must honor the tighter cap and send
+        // the greedy flow to tunnel 1 instead.
+        let model =
+            SharedLinkModel::new(vec![20.0, 10.0], vec![vec![0], vec![1]], vec![vec![0, 1]])
+                .with_tunnel_caps(&[4.0, 9.0]);
+        assert_eq!(model.real_links, 2);
+        let a = assign_flows_shared(&model, &[greedy(0)]).unwrap();
+        assert_eq!(a.tunnel_of_flow, vec![1]);
+        assert!((a.predicted_total - 9.0).abs() < 1e-9, "{a:?}");
+    }
+
+    #[test]
+    fn shared_engine_rejects_bad_inputs() {
+        let model = shared_model();
+        assert!(assign_flows_shared(&model, &[]).is_err());
+        // Unknown pair index.
+        assert!(assign_flows_shared(&model, &[greedy(7)]).is_err());
+        // A pair with an empty candidate set.
+        let empty = SharedLinkModel::new(vec![10.0], vec![vec![0]], vec![vec![]]);
+        assert!(assign_flows_shared(&empty, &[greedy(0)]).is_err());
+    }
+
+    #[test]
+    fn water_fill_is_max_min_fair_on_a_shared_bottleneck() {
+        // Three greedy flows forced through one 12 Mbps link: 4 each.
+        let model = SharedLinkModel::new(vec![12.0], vec![vec![0]], vec![vec![0]]);
+        let flows = [greedy(0), greedy(0), greedy(0)];
+        let a = assign_flows_shared(&model, &flows).unwrap();
+        for r in &a.rate_of_flow {
+            assert!((r - 4.0).abs() < 1e-9, "{a:?}");
+        }
+        assert!((a.predicted_min_rate - 4.0).abs() < 1e-9);
+        // A demand-limited flow leaves its spare share to the greedy.
+        let mixed = [
+            FlowDemand {
+                pair: PairId(0),
+                demand: Some(2.0),
+            },
+            greedy(0),
+        ];
+        let a = assign_flows_shared(&model, &mixed).unwrap();
+        assert!((a.rate_of_flow[0] - 2.0).abs() < 1e-9, "{a:?}");
+        assert!((a.rate_of_flow[1] - 10.0).abs() < 1e-9, "{a:?}");
     }
 }

@@ -5,6 +5,8 @@
 //! starts when the Scheduler notifies the Controller of the intent to
 //! establish a new connection."
 
+use crate::PairId;
+
 /// A user-level flow request, as submitted from the Dashboard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowRequest {
@@ -16,6 +18,9 @@ pub struct FlowRequest {
     pub demand_mbps: Option<f64>,
     /// Requested start time (sim ms).
     pub start_ms: u64,
+    /// Which managed ingress/egress pair carries the flow.
+    /// `PairId(0)` on single-pair networks (the default).
+    pub pair: PairId,
 }
 
 /// A time-ordered queue of flow requests.
@@ -77,6 +82,7 @@ mod tests {
             tos: 0,
             demand_mbps: None,
             start_ms,
+            pair: PairId::default(),
         }
     }
 

@@ -6,12 +6,12 @@
 //! [`SelfDrivingNetwork::run_flow_aggregation`] (Fig 12) and
 //! [`SelfDrivingNetwork::run_trace_driven_steering`] (extension).
 
-use crate::controller::{decide_flows, decide_path, PathDecision, SequenceLog};
+use crate::controller::{decide_flows, decide_flows_pairs, decide_path, PathDecision, SequenceLog};
 use crate::hecate::HecateService;
-use crate::optimizer::{assign_flows, Objective};
+use crate::optimizer::{assign_flows, assign_flows_shared, FlowDemand, Objective, SharedLinkModel};
 use crate::scheduler::{FlowRequest, Scheduler};
-use crate::telemetry::{Metric, SeriesKey, TelemetryService};
-use crate::FrameworkError;
+use crate::telemetry::{scoped_target, Metric, SeriesKey, TelemetryService};
+use crate::{FrameworkError, PairId};
 use freertr::agent::{MessageQueue, RouterHandle};
 use freertr::config::fig10_mia_config;
 use freertr::resolve::{allocator_for, compile_tunnel, CompiledTunnel};
@@ -27,6 +27,32 @@ pub(crate) struct ManagedFlow {
     pub(crate) label: String,
     pub(crate) tunnel: String,
     pub(crate) demand: Option<f64>,
+    pub(crate) pair: PairId,
+}
+
+/// One managed ingress/egress pair: its traffic endpoints, its edge
+/// agent and its candidate tunnel set (disjoint *within* the pair,
+/// possibly overlapping other pairs' tunnels on shared links).
+#[derive(Clone)]
+pub(crate) struct ManagedPair {
+    /// Telemetry/tunnel namespace: `""` on single-pair networks (the
+    /// legacy un-scoped names), `"p{i}"` otherwise.
+    pub(crate) scope: String,
+    /// Ingress router name (where the freeRtr agent runs).
+    pub(crate) ingress: String,
+    /// Egress router name.
+    pub(crate) egress: String,
+    /// Traffic source node (the ingress router, or a measurement host
+    /// on the paper testbed).
+    pub(crate) src_node: NodeIdx,
+    /// Traffic sink node.
+    pub(crate) dst_node: NodeIdx,
+    /// Handle of this pair's ingress agent (pairs sharing an ingress
+    /// share one agent — the handle is a clone).
+    pub(crate) edge: RouterHandle,
+    /// This pair's candidate tunnels in discovery (delay) order, by
+    /// their pair-scoped names.
+    pub(crate) tunnel_order: Vec<String>,
 }
 
 /// The assembled system.
@@ -43,17 +69,15 @@ pub struct SelfDrivingNetwork {
     pub log: SequenceLog,
     #[allow(dead_code)] // owns the router agent threads (keep-alive)
     mq: MessageQueue,
-    edge: RouterHandle,
     pub(crate) alloc: NodeIdAllocator,
     pub(crate) tunnels: HashMap<String, CompiledTunnel>,
+    /// Every tunnel, all pairs, in pair-then-discovery order.
     tunnel_order: Vec<String>,
     pub(crate) flows: Vec<ManagedFlow>,
-    /// Traffic endpoints: where managed flows originate and terminate.
-    /// On the paper testbed these are the measurement hosts; on generic
-    /// topologies ([`SelfDrivingNetwork::over_topology`]) the ingress
-    /// and egress routers themselves.
-    src_node: NodeIdx,
-    dst_node: NodeIdx,
+    /// The managed ingress/egress pairs; single-pair deployments (the
+    /// paper testbed, [`SelfDrivingNetwork::over_topology`]) have
+    /// exactly one entry with the legacy un-scoped namespace.
+    pub(crate) pairs: Vec<ManagedPair>,
     next_flow: u64,
     /// Telemetry sampling period (ms); the paper samples at 1 Hz.
     pub sample_ms: u64,
@@ -82,6 +106,15 @@ impl SelfDrivingNetwork {
         }
         let src_node = topo.node("host1")?;
         let dst_node = topo.node("host2")?;
+        let pair = ManagedPair {
+            scope: String::new(),
+            ingress: "MIA".to_string(),
+            egress: "AMS".to_string(),
+            src_node,
+            dst_node,
+            edge,
+            tunnel_order: tunnel_order.clone(),
+        };
         Ok(SelfDrivingNetwork {
             sim: Simulation::new(topo, seed),
             telemetry: TelemetryService::new(4096),
@@ -89,13 +122,11 @@ impl SelfDrivingNetwork {
             scheduler: Scheduler::new(),
             log: SequenceLog::default(),
             mq,
-            edge,
             alloc,
             tunnels,
             tunnel_order,
             flows: Vec::new(),
-            src_node,
-            dst_node,
+            pairs: vec![pair],
             next_flow: 1,
             sample_ms: 1000,
             packet_plane: None,
@@ -126,32 +157,82 @@ impl SelfDrivingNetwork {
         k: usize,
         seed: u64,
     ) -> Result<Self, FrameworkError> {
-        let src_node = topo.node(ingress)?;
-        let dst_node = topo.node(egress)?;
-        let paths = topo.k_disjoint_shortest_paths(src_node, dst_node, k.max(1));
-        if paths.is_empty() {
+        Self::over_topology_pairs(topo, &[(ingress, egress)], k, seed)
+    }
+
+    /// Assembles the self-driving network over **N managed
+    /// ingress/egress pairs** — the traffic-matrix generalization of
+    /// [`SelfDrivingNetwork::over_topology`] (which is exactly the
+    /// `N = 1` special case, unchanged bit for bit).
+    ///
+    /// Per pair, up to `k` **link-disjoint** candidate tunnels are
+    /// discovered with [`netsim::Topology::k_disjoint_shortest_paths`]
+    /// and compiled to PolKA routeIDs: disjoint *within* each pair
+    /// (mirroring the paper's hand-built testbed tunnels) but freely
+    /// **overlapping across pairs** — which is why the multi-pair
+    /// optimizer reasons about shared directed links instead of
+    /// per-tunnel bottlenecks. One freeRtr agent is spawned per
+    /// *distinct* ingress router; pairs sharing an ingress share the
+    /// agent.
+    ///
+    /// Namespaces: with one pair, tunnels keep the legacy names
+    /// `tunnel1..k`; with more, pair `i`'s tunnels are scoped
+    /// `p{i}/tunnel1..k`, so telemetry series read `pair/tunnel/metric`
+    /// and two pairs can never alias each other's measurements.
+    pub fn over_topology_pairs(
+        topo: netsim::Topology,
+        endpoints: &[(&str, &str)],
+        k: usize,
+        seed: u64,
+    ) -> Result<Self, FrameworkError> {
+        if endpoints.is_empty() {
             return Err(FrameworkError::NoFeasiblePath);
         }
         let mut alloc = allocator_for(&topo);
         let mut mq = MessageQueue::new();
-        let edge = mq.router(ingress);
         let mut tunnels = HashMap::new();
         let mut tunnel_order = Vec::new();
-        for (i, path) in paths.iter().enumerate() {
-            let id = format!("tunnel{}", i + 1);
-            let cfg = freertr::TunnelCfg {
-                id: id.clone(),
-                destination: None,
-                domain_path: path
-                    .iter()
-                    .map(|&n| topo.node_name(n).to_string())
-                    .collect(),
-                mode: Default::default(),
+        let mut pairs = Vec::with_capacity(endpoints.len());
+        for (i, &(ingress, egress)) in endpoints.iter().enumerate() {
+            let scope = if endpoints.len() == 1 {
+                String::new()
+            } else {
+                format!("p{i}")
             };
-            let compiled = compile_tunnel(&cfg, &topo, &mut alloc)?;
-            edge.ensure_tunnel(cfg)?;
-            tunnel_order.push(id.clone());
-            tunnels.insert(id, compiled);
+            let src_node = topo.node(ingress)?;
+            let dst_node = topo.node(egress)?;
+            let paths = topo.k_disjoint_shortest_paths(src_node, dst_node, k.max(1));
+            if paths.is_empty() {
+                return Err(FrameworkError::NoFeasiblePath);
+            }
+            let edge = mq.router(ingress);
+            let mut pair_order = Vec::with_capacity(paths.len());
+            for (j, path) in paths.iter().enumerate() {
+                let id = scoped_target(&scope, &format!("tunnel{}", j + 1));
+                let cfg = freertr::TunnelCfg {
+                    id: id.clone(),
+                    destination: None,
+                    domain_path: path
+                        .iter()
+                        .map(|&n| topo.node_name(n).to_string())
+                        .collect(),
+                    mode: Default::default(),
+                };
+                let compiled = compile_tunnel(&cfg, &topo, &mut alloc)?;
+                edge.ensure_tunnel(cfg)?;
+                pair_order.push(id.clone());
+                tunnel_order.push(id.clone());
+                tunnels.insert(id, compiled);
+            }
+            pairs.push(ManagedPair {
+                scope,
+                ingress: ingress.to_string(),
+                egress: egress.to_string(),
+                src_node,
+                dst_node,
+                edge,
+                tunnel_order: pair_order,
+            });
         }
         Ok(SelfDrivingNetwork {
             sim: Simulation::new(topo, seed),
@@ -160,22 +241,52 @@ impl SelfDrivingNetwork {
             scheduler: Scheduler::new(),
             log: SequenceLog::default(),
             mq,
-            edge,
             alloc,
             tunnels,
             tunnel_order,
             flows: Vec::new(),
-            src_node,
-            dst_node,
+            pairs,
             next_flow: 1,
             sample_ms: 1000,
             packet_plane: None,
         })
     }
 
-    /// Candidate tunnel names, in config order.
+    /// Candidate tunnel names, all pairs, in pair-then-config order.
     pub fn tunnel_names(&self) -> Vec<String> {
         self.tunnel_order.clone()
+    }
+
+    /// Number of managed ingress/egress pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// One pair's candidate tunnel names (pair-scoped), in discovery
+    /// order — `None` for an unknown pair index.
+    pub fn pair_tunnel_names(&self, pair: PairId) -> Option<&[String]> {
+        self.pairs
+            .get(pair.index())
+            .map(|p| p.tunnel_order.as_slice())
+    }
+
+    /// One pair's `(ingress, egress)` router names.
+    pub fn pair_endpoints(&self, pair: PairId) -> Option<(&str, &str)> {
+        self.pairs
+            .get(pair.index())
+            .map(|p| (p.ingress.as_str(), p.egress.as_str()))
+    }
+
+    /// One pair's telemetry namespace: `""` (the legacy bare names) on
+    /// a single-pair network, `"p{i}"` otherwise — see
+    /// [`crate::telemetry::SeriesKey::scoped`].
+    pub fn pair_scope(&self, pair: PairId) -> Option<&str> {
+        self.pairs.get(pair.index()).map(|p| p.scope.as_str())
+    }
+
+    /// The pair a managed flow belongs to.
+    pub fn flow_pair(&self, label: &str) -> Option<PairId> {
+        self.flows.iter().find(|f| f.label == label).map(|f| f.pair)
     }
 
     /// A compiled tunnel.
@@ -188,26 +299,37 @@ impl SelfDrivingNetwork {
         &self.alloc
     }
 
-    /// The MIA edge router handle.
+    /// The first pair's edge router handle (the MIA edge on the paper
+    /// testbed). Multi-pair networks have one agent per distinct
+    /// ingress; see [`SelfDrivingNetwork::pair_edge`].
     pub fn edge(&self) -> &RouterHandle {
-        &self.edge
+        &self.pairs[0].edge
     }
 
-    /// Endpoint-to-endpoint node path through a tunnel: the compiled
-    /// router path, extended by the access hops when the traffic
-    /// endpoints sit outside the tunnel (the testbed's hosts).
-    fn host_path(&self, tunnel: &str) -> Result<Vec<NodeIdx>, FrameworkError> {
+    /// One pair's ingress edge router handle.
+    pub fn pair_edge(&self, pair: PairId) -> Option<&RouterHandle> {
+        self.pairs.get(pair.index()).map(|p| &p.edge)
+    }
+
+    /// Endpoint-to-endpoint node path through a tunnel of one pair: the
+    /// compiled router path, extended by the access hops when the
+    /// traffic endpoints sit outside the tunnel (the testbed's hosts).
+    fn host_path(&self, pair: PairId, tunnel: &str) -> Result<Vec<NodeIdx>, FrameworkError> {
+        let p = self
+            .pairs
+            .get(pair.index())
+            .ok_or(FrameworkError::NoFeasiblePath)?;
         let compiled = self
             .tunnels
             .get(tunnel)
             .ok_or(FrameworkError::NoFeasiblePath)?;
         let mut path = Vec::with_capacity(compiled.node_path.len() + 2);
-        if self.src_node != compiled.node_path[0] {
-            path.push(self.src_node);
+        if p.src_node != compiled.node_path[0] {
+            path.push(p.src_node);
         }
         path.extend_from_slice(&compiled.node_path);
-        if self.dst_node != *compiled.node_path.last().expect("non-empty tunnel") {
-            path.push(self.dst_node);
+        if p.dst_node != *compiled.node_path.last().expect("non-empty tunnel") {
+            path.push(p.dst_node);
         }
         Ok(path)
     }
@@ -276,12 +398,26 @@ impl SelfDrivingNetwork {
 
     /// Admits one flow per the Fig 4 sequence and starts it in the
     /// emulator. Returns the decision.
+    ///
+    /// Equivalent to [`SelfDrivingNetwork::admit_flows`] with a batch
+    /// of one: a single-pair network runs the legacy [`decide_path`]
+    /// consultation (bit-for-bit the paper's sequence), a multi-pair
+    /// network goes through the shared-link engine — even a lone
+    /// arrival must not double-book a trunk that another pair's flows
+    /// already occupy.
     pub fn admit_flow(
         &mut self,
         req: &FlowRequest,
         objective: Objective,
     ) -> Result<PathDecision, FrameworkError> {
-        let candidates = self.tunnel_names();
+        if self.pairs.len() > 1 {
+            let mut decisions = self.admit_flows(std::slice::from_ref(req), objective)?;
+            return Ok(decisions.remove(0));
+        }
+        let candidates = self
+            .pair_tunnel_names(req.pair)
+            .ok_or(FrameworkError::NoFeasiblePath)?
+            .to_vec();
         let decision = decide_path(
             &self.hecate,
             &self.telemetry,
@@ -293,12 +429,18 @@ impl SelfDrivingNetwork {
         Ok(decision)
     }
 
-    /// Admits a whole batch of flows with one amortized consultation
-    /// ([`decide_flows`]): the per-path forecasts are computed once —
-    /// in parallel, against the trained-model cache — and shared by
-    /// every flow due in the tick. Returns one decision per request,
-    /// in request order. A batch of one behaves exactly like
+    /// Admits a whole batch of flows with one amortized consultation:
+    /// the per-path forecasts are computed once — in parallel, against
+    /// the trained-model cache — and shared by every flow due in the
+    /// tick. Returns one decision per request, in request order. A
+    /// batch of one behaves exactly like
     /// [`SelfDrivingNetwork::admit_flow`].
+    ///
+    /// A single-pair network decides via [`decide_flows`] (the legacy
+    /// bottleneck-per-tunnel engine, bit-for-bit unchanged); a
+    /// multi-pair network decides via [`decide_flows_pairs`] against
+    /// the shared-link capacity model, so a batch spanning pairs never
+    /// oversubscribes a link two candidate tunnels have in common.
     pub fn admit_flows(
         &mut self,
         reqs: &[FlowRequest],
@@ -307,15 +449,37 @@ impl SelfDrivingNetwork {
         if reqs.is_empty() {
             return Ok(Vec::new());
         }
-        let candidates = self.tunnel_names();
-        let decisions = decide_flows(
-            &self.hecate,
-            &self.telemetry,
-            reqs,
-            &candidates,
-            objective,
-            &mut self.log,
-        )?;
+        // Validate every request's pair before installing anything: a
+        // bad index failing mid-batch would leave the earlier flows of
+        // the batch installed and running.
+        if reqs.iter().any(|r| r.pair.index() >= self.pairs.len()) {
+            return Err(FrameworkError::NoFeasiblePath);
+        }
+        let decisions = if self.pairs.len() == 1 {
+            let candidates = self.tunnel_names();
+            decide_flows(
+                &self.hecate,
+                &self.telemetry,
+                reqs,
+                &candidates,
+                objective,
+                &mut self.log,
+            )?
+        } else {
+            let names = self.tunnel_names();
+            // New flows are placed on top of the running assignment:
+            // headroom is what the current flows leave behind.
+            let model = self.link_model(false);
+            decide_flows_pairs(
+                &self.hecate,
+                &self.telemetry,
+                reqs,
+                &names,
+                &model,
+                objective,
+                &mut self.log,
+            )?
+        };
         for (req, decision) in reqs.iter().zip(&decisions) {
             self.install_flow(req, decision)?;
         }
@@ -323,30 +487,36 @@ impl SelfDrivingNetwork {
     }
 
     /// SR-service + data-plane half of admission: installs the ACL/PBR
-    /// on the edge and starts the flow on the decided tunnel.
+    /// on the pair's ingress edge and starts the flow on the decided
+    /// tunnel.
     fn install_flow(
         &mut self,
         req: &FlowRequest,
         decision: &PathDecision,
     ) -> Result<(), FrameworkError> {
         self.log.record("configureTunnel");
+        let pair = self
+            .pairs
+            .get(req.pair.index())
+            .ok_or(FrameworkError::NoFeasiblePath)?;
         // SR service: install the flow's ACL if this is a new flow, then
         // bind it to the chosen tunnel.
-        self.edge.ensure_acl(freertr::AclRule {
+        pair.edge.ensure_acl(freertr::AclRule {
             name: req.label.clone(),
             proto: Some(freertr::packet::PROTO_TCP),
             src: freertr::Ipv4Prefix::parse("40.40.1.0/24").expect("testbed prefix"),
             dst: freertr::Ipv4Prefix::parse("40.40.2.2/32").expect("testbed prefix"),
             tos: Some(req.tos),
         })?;
-        self.edge.set_pbr(&req.label, &decision.tunnel)?;
+        pair.edge.set_pbr(&req.label, &decision.tunnel)?;
+        let (src, dst) = (pair.src_node, pair.dst_node);
         // Data plane: start the flow on the tunnel's host path.
-        let path = self.host_path(&decision.tunnel)?;
+        let path = self.host_path(req.pair, &decision.tunnel)?;
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
         let spec = FlowSpec {
-            src: self.src_node,
-            dst: self.dst_node,
+            src,
+            dst,
             demand_mbps: req.demand_mbps,
             tos: req.tos,
             label: req.label.clone(),
@@ -359,21 +529,40 @@ impl SelfDrivingNetwork {
             label: req.label.clone(),
             tunnel: decision.tunnel.clone(),
             demand: req.demand_mbps,
+            pair: req.pair,
         });
         self.log.record("flowStarted");
         Ok(())
     }
 
-    /// Migrates one managed flow to a different tunnel: one PBR rewrite
-    /// on the edge plus the data-plane path swap.
+    /// Migrates one managed flow to a different tunnel **of its own
+    /// pair**: one PBR rewrite on the pair's ingress edge plus the
+    /// data-plane path swap.
     pub fn migrate_flow(&mut self, label: &str, tunnel: &str) -> Result<(), FrameworkError> {
-        let path = self.host_path(tunnel)?;
+        let pair = self
+            .flows
+            .iter()
+            .find(|f| f.label == label)
+            .map(|f| f.pair)
+            .ok_or(FrameworkError::NoFeasiblePath)?;
+        // On a multi-pair network a tunnel of a *different* pair
+        // connects the wrong endpoints — refuse rather than misroute.
+        if self.pairs.len() > 1
+            && !self.pairs[pair.index()]
+                .tunnel_order
+                .iter()
+                .any(|t| t == tunnel)
+        {
+            return Err(FrameworkError::NoFeasiblePath);
+        }
+        let path = self.host_path(pair, tunnel)?;
+        let edge = self.pairs[pair.index()].edge.clone();
         let flow = self
             .flows
             .iter_mut()
             .find(|f| f.label == label)
             .ok_or(FrameworkError::NoFeasiblePath)?;
-        self.edge.set_pbr(label, tunnel)?;
+        edge.set_pbr(label, tunnel)?;
         let now = self.sim.now_ms();
         self.sim.schedule(now, Event::SetFlowPath(flow.id, path))?;
         flow.tunnel = tunnel.to_string();
@@ -386,6 +575,12 @@ impl SelfDrivingNetwork {
     /// ("the controller consults an optimization engine that is able to
     /// improve the previous allocation decision"). Returns the new
     /// (label, tunnel) pairs.
+    ///
+    /// Single-pair networks run the legacy bottleneck-per-tunnel search
+    /// ([`assign_flows`]) exactly as before; multi-pair networks run the
+    /// shared-link engine ([`assign_flows_shared`]) so the joint
+    /// reassignment never oversubscribes a link that candidate tunnels
+    /// of different pairs have in common.
     pub fn reoptimize_bandwidth(&mut self) -> Result<Vec<(String, String)>, FrameworkError> {
         if self.flows.is_empty() {
             return Ok(Vec::new());
@@ -425,15 +620,32 @@ impl SelfDrivingNetwork {
                     .max(0.0)
             })
             .collect();
-        let demands: Vec<Option<f64>> = self.flows.iter().map(|f| f.demand).collect();
-        let assignment = assign_flows(&caps, &demands)?;
-        self.log.record("optimizerReturn");
+        let tunnel_of_flow: Vec<usize> = if self.pairs.len() == 1 {
+            let demands: Vec<Option<f64>> = self.flows.iter().map(|f| f.demand).collect();
+            assign_flows(&caps, &demands)?.tunnel_of_flow
+        } else {
+            // The whole traffic matrix is reassigned at once, so every
+            // link's headroom includes what our own flows currently
+            // occupy — and each tunnel is additionally capped by its
+            // forecast through a synthetic link.
+            let model = self.link_model(true).with_tunnel_caps(&caps);
+            let flows: Vec<FlowDemand> = self
+                .flows
+                .iter()
+                .map(|f| FlowDemand {
+                    pair: f.pair,
+                    demand: f.demand,
+                })
+                .collect();
+            assign_flows_shared(&model, &flows)?.tunnel_of_flow
+        };
         let moves: Vec<(String, String)> = self
             .flows
             .iter()
-            .zip(&assignment.tunnel_of_flow)
+            .zip(&tunnel_of_flow)
             .map(|(f, &t)| (f.label.clone(), names[t].clone()))
             .collect();
+        self.log.record("optimizerReturn");
         for (label, tunnel) in &moves {
             let current = self
                 .flows
@@ -447,11 +659,80 @@ impl SelfDrivingNetwork {
         Ok(moves)
     }
 
+    /// Builds the shared-link capacity model over every directed link
+    /// the candidate tunnels cross: per-link residual headroom from the
+    /// control plane (zero across failures), plus — when
+    /// `include_managed` is set, i.e. the whole assignment is being
+    /// redone — the capacity our own managed flows currently occupy on
+    /// that link. Link indexing is first-seen in tunnel order, so the
+    /// model is deterministic.
+    pub fn link_model(&self, include_managed: bool) -> SharedLinkModel {
+        let mut index: HashMap<(NodeIdx, NodeIdx), usize> = HashMap::new();
+        let mut headroom: Vec<f64> = Vec::new();
+        let mut tunnel_links: Vec<Vec<usize>> = Vec::with_capacity(self.tunnel_order.len());
+        for name in &self.tunnel_order {
+            let path = &self.tunnels[name].node_path;
+            let mut links = Vec::with_capacity(path.len().saturating_sub(1));
+            for hop in path.windows(2) {
+                let key = (hop[0], hop[1]);
+                let idx = *index.entry(key).or_insert_with(|| {
+                    // Residual capacity on the directed link right now;
+                    // a failed link is honestly worth zero.
+                    let residual = self
+                        .sim
+                        .path_available_mbps(&[hop[0], hop[1]])
+                        .unwrap_or(0.0)
+                        .max(0.0);
+                    headroom.push(residual);
+                    headroom.len() - 1
+                });
+                links.push(idx);
+            }
+            tunnel_links.push(links);
+        }
+        if include_managed {
+            for f in &self.flows {
+                let Ok(rate) = self.sim.flow_rate(f.id) else {
+                    continue;
+                };
+                let Some(compiled) = self.tunnels.get(&f.tunnel) else {
+                    continue;
+                };
+                for hop in compiled.node_path.windows(2) {
+                    if let Some(&idx) = index.get(&(hop[0], hop[1])) {
+                        headroom[idx] += rate;
+                    }
+                }
+            }
+        }
+        let candidates: Vec<Vec<usize>> = self
+            .pairs
+            .iter()
+            .map(|p| {
+                p.tunnel_order
+                    .iter()
+                    .map(|t| {
+                        self.tunnel_order
+                            .iter()
+                            .position(|n| n == t)
+                            .expect("pair tunnels are registered globally")
+                    })
+                    .collect()
+            })
+            .collect();
+        SharedLinkModel::new(headroom, tunnel_links, candidates)
+    }
+
     /// Discovers up to `k` candidate tunnels between two routers with
     /// Yen's k-shortest paths, compiles each to a PolKA label, installs
-    /// it on the edge router, and registers it as a candidate for the
-    /// optimizer. Paths that already exist as tunnels are skipped.
-    /// Returns the names of newly created tunnels.
+    /// it on the owning pair's edge router, and registers it as a
+    /// candidate for the optimizer. Paths that already exist as tunnels
+    /// are skipped. Returns the names of newly created tunnels.
+    ///
+    /// On a multi-pair network `(src, dst)` must be a managed pair's
+    /// exact `(ingress, egress)` — the discovered tunnels join *that*
+    /// pair's candidate set under its namespace; any other endpoints
+    /// error, since no pair could route flows onto them.
     ///
     /// This automates what the paper's testbed does by hand in Fig 10 —
     /// the step toward the "continent-wide topology scenario" of Sec VII
@@ -462,6 +743,20 @@ impl SelfDrivingNetwork {
         dst: &str,
         k: usize,
     ) -> Result<Vec<String>, FrameworkError> {
+        // On a single-pair network every discovered tunnel becomes a
+        // candidate for the (one) pair, as before. On a multi-pair
+        // network the tunnels must land in the candidate set of the
+        // pair that actually owns the (src, dst) endpoints — a tunnel
+        // in a foreign pair's set would later let the optimizer splice
+        // wrong endpoints around it.
+        let owner = if self.pairs.len() == 1 {
+            0
+        } else {
+            self.pairs
+                .iter()
+                .position(|p| p.ingress == src && p.egress == dst)
+                .ok_or(FrameworkError::NoFeasiblePath)?
+        };
         let s = self.sim.topo.node(src)?;
         let d = self.sim.topo.node(dst)?;
         let paths = self.sim.topo.k_shortest_paths(s, d, k);
@@ -474,7 +769,8 @@ impl SelfDrivingNetwork {
                 .iter()
                 .map(|&n| self.sim.topo.node_name(n).to_string())
                 .collect();
-            let id = format!("auto{}", self.tunnels.len() + 1);
+            let scope = self.pairs[owner].scope.clone();
+            let id = scoped_target(&scope, &format!("auto{}", self.tunnels.len() + 1));
             let cfg = freertr::TunnelCfg {
                 id: id.clone(),
                 destination: None,
@@ -482,8 +778,9 @@ impl SelfDrivingNetwork {
                 mode: Default::default(),
             };
             let compiled = compile_tunnel(&cfg, &self.sim.topo, &mut self.alloc)?;
-            self.edge.ensure_tunnel(cfg)?;
+            self.pairs[owner].edge.ensure_tunnel(cfg)?;
             self.tunnel_order.push(id.clone());
+            self.pairs[owner].tunnel_order.push(id.clone());
             self.tunnels.insert(id.clone(), compiled);
             created.push(id);
         }
@@ -566,6 +863,7 @@ impl SelfDrivingNetwork {
             tos: 0,
             demand_mbps: Some(0.1), // ping stream: negligible load
             start_ms: 0,
+            pair: PairId::default(),
         };
         // Phase (i): arbitrary allocation — tunnel1 per the Fig 10 PBR.
         self.admit_flow(&req, Objective::MaxBandwidth)?;
@@ -634,6 +932,7 @@ impl SelfDrivingNetwork {
                 tos: 32 * (i as u8 + 1),
                 demand_mbps: None,
                 start_ms: i as u64 * 1000,
+                pair: PairId::default(),
             }));
         self.advance(phase_s * 1000)?;
         // All flows were PBR'd to tunnel1 in phase (i) (cold start).
@@ -742,6 +1041,7 @@ impl SelfDrivingNetwork {
                 tos: 32,
                 demand_mbps: None,
                 start_ms: 0,
+                pair: PairId::default(),
             },
             Objective::MaxBandwidth,
         )?;
@@ -840,6 +1140,7 @@ mod tests {
                     tos: 32,
                     demand_mbps: None,
                     start_ms: 0,
+                    pair: PairId::default(),
                 },
                 Objective::MaxBandwidth,
             )
@@ -860,6 +1161,7 @@ mod tests {
                     tos: 32,
                     demand_mbps: None,
                     start_ms: 0,
+                    pair: PairId::default(),
                 },
                 Objective::MaxBandwidth,
             )
@@ -932,6 +1234,7 @@ mod tests {
                 tos: 32,
                 demand_mbps: None,
                 start_ms: 0,
+                pair: PairId::default(),
             },
             Objective::MaxBandwidth,
         )
@@ -959,6 +1262,7 @@ mod tests {
                 tos: 32,
                 demand_mbps: None,
                 start_ms: 0,
+                pair: PairId::default(),
             },
             Objective::MaxBandwidth,
         )

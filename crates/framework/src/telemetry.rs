@@ -50,6 +50,33 @@ impl SeriesKey {
             metric,
         }
     }
+
+    /// Builds a **pair-namespaced** key: the series target is
+    /// `"{pair}/{tunnel}"`, so the full key reads `pair/tunnel/metric`
+    /// and two managed pairs that both call a tunnel `tunnel1` can never
+    /// alias each other's telemetry.
+    ///
+    /// The empty pair scope `""` is the **backward-compat shim**: it
+    /// yields the bare tunnel name, exactly the series a single-pair
+    /// deployment has always written — so every key, store entry and
+    /// cached forecast from before the multi-pair refactor stays valid
+    /// byte for byte.
+    pub fn scoped(pair: &str, tunnel: &str, metric: Metric) -> Self {
+        Self::new(&scoped_target(pair, tunnel), metric)
+    }
+}
+
+/// The pair-namespaced series target for a tunnel (without the metric):
+/// `"{pair}/{tunnel}"`, or the bare tunnel name under the empty
+/// (single-pair legacy) scope. This is the name tunnels are registered
+/// under in [`crate::SelfDrivingNetwork`], so forecasts, PBR entries and
+/// telemetry all agree on one namespace.
+pub fn scoped_target(pair: &str, tunnel: &str) -> String {
+    if pair.is_empty() {
+        tunnel.to_string()
+    } else {
+        format!("{pair}/{tunnel}")
+    }
 }
 
 impl std::fmt::Display for SeriesKey {
@@ -313,6 +340,44 @@ mod tests {
     #[test]
     fn display_key() {
         assert_eq!(key().to_string(), "tunnel1:avail");
+    }
+
+    #[test]
+    fn scoped_keys_namespace_by_pair_without_aliasing() {
+        // Regression: two pairs sharing a tunnel id must not alias.
+        let m = Metric::AvailableBandwidth;
+        let p0 = SeriesKey::scoped("p0", "tunnel1", m);
+        let p1 = SeriesKey::scoped("p1", "tunnel1", m);
+        assert_ne!(p0, p1);
+        assert_eq!(p0.to_string(), "p0/tunnel1:avail");
+        assert_eq!(p1.to_string(), "p1/tunnel1:avail");
+        // Neither collides with the legacy un-scoped name either.
+        let legacy = SeriesKey::new("tunnel1", m);
+        assert_ne!(p0, legacy);
+        assert_ne!(p1, legacy);
+        // The store keeps all three series separate.
+        let ts = TelemetryService::new(10);
+        ts.insert(&p0, 0, 1.0);
+        ts.insert(&p1, 0, 2.0);
+        ts.insert(&legacy, 0, 3.0);
+        assert_eq!(ts.last(&p0), Some(1.0));
+        assert_eq!(ts.last(&p1), Some(2.0));
+        assert_eq!(ts.last(&legacy), Some(3.0));
+        assert_eq!(ts.keys().len(), 3);
+    }
+
+    #[test]
+    fn empty_scope_is_the_single_pair_shim() {
+        // The empty scope must produce byte-identical keys to the
+        // pre-refactor single-pair names, so existing series and cached
+        // forecasts stay addressable.
+        let m = Metric::Rtt;
+        assert_eq!(
+            SeriesKey::scoped("", "tunnel2", m),
+            SeriesKey::new("tunnel2", m)
+        );
+        assert_eq!(scoped_target("", "tunnel2"), "tunnel2");
+        assert_eq!(scoped_target("p3", "tunnel2"), "p3/tunnel2");
     }
 
     #[test]

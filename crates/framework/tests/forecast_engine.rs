@@ -91,6 +91,7 @@ fn cached_recommendations_match_uncached_on_8_paths() {
             tos: 0,
             demand_mbps: None,
             start_ms: 0,
+            pair: framework::PairId::default(),
         })
         .collect();
     let mut log = SequenceLog::default();
@@ -155,6 +156,7 @@ fn concurrent_decisions_and_writers_stay_fresh() {
                             tos: 0,
                             demand_mbps: None,
                             start_ms: 0,
+                            pair: framework::PairId::default(),
                         })
                         .collect();
                     let mut log = SequenceLog::default();
@@ -185,6 +187,7 @@ fn concurrent_decisions_and_writers_stay_fresh() {
             tos: 0,
             demand_mbps: None,
             start_ms: 0,
+            pair: framework::PairId::default(),
         }],
         &names,
         Objective::MaxBandwidth,

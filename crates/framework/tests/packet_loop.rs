@@ -27,6 +27,7 @@ fn failure_recovery_is_one_ingress_rewrite_and_refuels_the_forecast() {
             tos: 32,
             demand_mbps: Some(6.0),
             start_ms: 0,
+            pair: framework::PairId::default(),
         },
         Objective::MaxBandwidth,
     )

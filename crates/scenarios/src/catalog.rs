@@ -1,8 +1,9 @@
-//! The canned scenario catalog: seven fixed-seed
+//! The canned scenario catalog: nine fixed-seed
 //! `(topology × traffic × events)` combinations covering every traffic
-//! model, every event type and every topology family except
-//! Erdős–Rényi (exercised by the determinism proptests instead) — the
-//! suite `repro scenarios` runs and the determinism tests replay.
+//! model, every event type, single- and multi-pair traffic matrices,
+//! and every topology family except Erdős–Rényi (exercised by the
+//! determinism proptests instead) — the suite `repro scenarios` runs
+//! and the determinism tests replay.
 //!
 //! Managed flows always start while the network is healthy (scripted
 //! failures fire later); every scenario keeps at least one tunnel
@@ -19,16 +20,19 @@ fn flows3() -> Vec<FlowPlan> {
             label: "flow1".into(),
             demand_mbps: None,
             start_epoch: 0,
+            pair: 0,
         },
         FlowPlan {
             label: "flow2".into(),
             demand_mbps: Some(6.0),
             start_epoch: 2,
+            pair: 0,
         },
         FlowPlan {
             label: "flow3".into(),
             demand_mbps: None,
             start_epoch: 4,
+            pair: 0,
         },
     ]
 }
@@ -40,6 +44,7 @@ fn base(name: &str, topology: TopologySpec, traffic: TrafficSpec, seed: u64) -> 
         traffic,
         events: Vec::new(),
         flows: flows3(),
+        pairs: 1,
         horizon_epochs: 60,
         decision_every: 10,
         k_tunnels: 3,
@@ -51,7 +56,9 @@ fn base(name: &str, topology: TopologySpec, traffic: TrafficSpec, seed: u64) -> 
     }
 }
 
-/// The full suite: 7 scenarios × (3 policies when run as a matrix).
+/// The full suite: 9 scenarios × (3 policies when run as a matrix),
+/// including two multi-pair traffic matrices (fluid WAN with 4 pairs,
+/// packet fat-tree with 3 pairs).
 pub fn catalog() -> Vec<Scenario> {
     let mut out = Vec::new();
 
@@ -234,20 +241,127 @@ pub fn catalog() -> Vec<Scenario> {
             label: "flow1".into(),
             demand_mbps: Some(2.5),
             start_epoch: 0,
+            pair: 0,
         },
         FlowPlan {
             label: "flow2".into(),
             demand_mbps: Some(2.5),
             start_epoch: 2,
+            pair: 0,
         },
         FlowPlan {
             label: "flow3".into(),
             demand_mbps: None,
             start_epoch: 4,
+            pair: 0,
         },
     ];
     s.events = vec![EventSpec {
         at_epoch: 18,
+        kind: EventKind::LinkDown {
+            link: LinkPick::PrimaryHop(1),
+            restore_after: Some(8),
+        },
+    }];
+    out.push(s);
+
+    // 8. The multi-pair WAN: a true traffic matrix of four managed
+    // ingress/egress pairs over the US backbone (gravity-spread
+    // endpoints from the zoo's farthest-pair generalization), whose
+    // candidate tunnels overlap on shared trunks. Mid-run the primary
+    // pair's first backbone hop fails, so the shared-link-aware
+    // optimizer has to re-pack all four pairs without oversubscribing
+    // the surviving trunks.
+    let mut s = base(
+        "wan-multipair",
+        TopologySpec::EsnetLike,
+        TrafficSpec::Gravity {
+            pairs: 10,
+            total_mbps: 300.0,
+        },
+        108,
+    );
+    s.pairs = 4;
+    s.k_tunnels = 2;
+    s.flows = vec![
+        FlowPlan {
+            label: "m0".into(),
+            demand_mbps: None,
+            start_epoch: 0,
+            pair: 0,
+        },
+        FlowPlan {
+            label: "m1".into(),
+            demand_mbps: Some(12.0),
+            start_epoch: 1,
+            pair: 1,
+        },
+        FlowPlan {
+            label: "m2".into(),
+            demand_mbps: None,
+            start_epoch: 2,
+            pair: 2,
+        },
+        FlowPlan {
+            label: "m3".into(),
+            demand_mbps: Some(8.0),
+            start_epoch: 3,
+            pair: 3,
+        },
+        FlowPlan {
+            label: "m0b".into(),
+            demand_mbps: Some(10.0),
+            start_epoch: 4,
+            pair: 0,
+        },
+    ];
+    s.events = vec![EventSpec {
+        at_epoch: 26,
+        kind: EventKind::LinkDown {
+            link: LinkPick::PrimaryHop(1),
+            restore_after: None,
+        },
+    }];
+    out.push(s);
+
+    // 9. The multi-pair packet-plane scenario: three managed pairs on
+    // the fat-tree forwarding real PolKA packets (per-pair probes +
+    // sources), with a transient failure on pair 0's primary uplink.
+    let mut s = base(
+        "fat-tree-packet-multipair",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::Gravity {
+            pairs: 4,
+            total_mbps: 12.0,
+        },
+        109,
+    );
+    s.pairs = 3;
+    s.k_tunnels = 2;
+    s.plane = PlaneMode::Packet;
+    s.horizon_epochs = 30;
+    s.flows = vec![
+        FlowPlan {
+            label: "q0".into(),
+            demand_mbps: Some(2.0),
+            start_epoch: 0,
+            pair: 0,
+        },
+        FlowPlan {
+            label: "q1".into(),
+            demand_mbps: Some(2.0),
+            start_epoch: 1,
+            pair: 1,
+        },
+        FlowPlan {
+            label: "q2".into(),
+            demand_mbps: None,
+            start_epoch: 2,
+            pair: 2,
+        },
+    ];
+    s.events = vec![EventSpec {
+        at_epoch: 14,
         kind: EventKind::LinkDown {
             link: LinkPick::PrimaryHop(1),
             restore_after: Some(8),
@@ -291,6 +405,23 @@ mod tests {
             .any(|e| matches!(e.kind, EventKind::Drain { .. })));
         // At least one packet-plane scenario.
         assert!(cat.iter().any(|s| s.plane == PlaneMode::Packet));
+        // The multi-pair axis: a fluid WAN matrix with 4 pairs and a
+        // packet fat-tree matrix with 3 pairs, flows on every pair.
+        for (name, pairs, plane) in [
+            ("wan-multipair", 4, PlaneMode::Fluid),
+            ("fat-tree-packet-multipair", 3, PlaneMode::Packet),
+        ] {
+            let s = cat.iter().find(|s| s.name == name).expect(name);
+            assert_eq!(s.pairs, pairs);
+            assert_eq!(s.plane, plane);
+            for p in 0..pairs {
+                assert!(
+                    s.flows.iter().any(|f| f.pair == p),
+                    "{name}: pair {p} has no managed flow"
+                );
+            }
+            assert!(s.flows.iter().all(|f| f.pair < pairs));
+        }
         // Flows start before the first impairment everywhere.
         for s in &cat {
             let first_event = s

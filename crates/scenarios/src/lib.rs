@@ -41,7 +41,7 @@ pub mod zoo;
 
 pub use catalog::{catalog, catalog_smoke};
 pub use runner::{FlowPlan, PlaneMode, Policy, Scenario};
-pub use scorecard::{render_matrix, Recovery, Scorecard};
+pub use scorecard::{render_matrix, PairScore, Recovery, Scorecard};
 pub use traffic::TrafficSpec;
 pub use zoo::TopologySpec;
 

@@ -12,15 +12,15 @@
 //! `u64` seed is deterministic.
 
 use crate::events::{compile_events, EventSpec, LinkAction};
-use crate::scorecard::{percentile, Recovery, Scorecard};
+use crate::scorecard::{percentile, PairScore, Recovery, Scorecard};
 use crate::traffic::{headroom_scale, link_load, TrafficSpec};
-use crate::zoo::{endpoints, TopologySpec};
+use crate::zoo::{endpoint_pairs, endpoints, TopologySpec};
 use crate::ScenarioError;
 use framework::dataloop::DataplaneConfig;
 use framework::optimizer::assign_flows;
 use framework::scheduler::FlowRequest;
 use framework::telemetry::{Metric, SeriesKey};
-use framework::{Objective, SelfDrivingNetwork};
+use framework::{Objective, PairId, SelfDrivingNetwork};
 use std::collections::BTreeMap;
 
 /// How flows are (re-)steered at each decision interval.
@@ -72,6 +72,9 @@ pub struct FlowPlan {
     pub demand_mbps: Option<f64>,
     /// Epoch the flow starts.
     pub start_epoch: u64,
+    /// Which managed pair carries the flow (index below the scenario's
+    /// `pairs`; `0` on single-pair scenarios).
+    pub pair: usize,
 }
 
 /// A complete scenario description: plain data, cloneable, replayable.
@@ -87,6 +90,12 @@ pub struct Scenario {
     pub events: Vec<EventSpec>,
     /// Managed flows the policies steer.
     pub flows: Vec<FlowPlan>,
+    /// Managed ingress/egress pairs (`1` = the classic single-pair
+    /// scenario). Endpoints come from the zoo's farthest-pair
+    /// generalization ([`endpoint_pairs`]); each pair gets its own
+    /// candidate tunnel set, and the policies steer the whole traffic
+    /// matrix with shared-link-aware assignments.
+    pub pairs: usize,
     /// Total epochs (1 epoch = 1 simulated second).
     pub horizon_epochs: u64,
     /// Policy consultation interval (epochs); the paper commits
@@ -108,13 +117,19 @@ impl Scenario {
     /// A one-line description, e.g.
     /// `fat-tree(4) x eleph/mice(2/10) x 2 events`.
     pub fn describe(&self) -> String {
+        let pairs = if self.pairs > 1 {
+            format!(", {} pairs", self.pairs)
+        } else {
+            String::new()
+        };
         format!(
-            "{} x {} x {} event(s), {} epochs, {:?}",
+            "{} x {} x {} event(s), {} epochs, {:?}{}",
             self.topology.label(),
             self.traffic.label(),
             self.events.len(),
             self.horizon_epochs,
-            self.plane
+            self.plane,
+            pairs
         )
     }
 
@@ -152,13 +167,22 @@ impl Scenario {
                 "scenario needs a horizon and at least one managed flow".into(),
             ));
         }
-        // Build the graph, pick endpoints, compile background + events.
+        let npairs = self.pairs.max(1);
+        if let Some(f) = self.flows.iter().find(|f| f.pair >= npairs) {
+            return Err(ScenarioError::Config(format!(
+                "flow {} rides pair {} but the scenario declares {npairs} pair(s)",
+                f.label, f.pair
+            )));
+        }
+        // Build the graph, pick the managed endpoint pairs (pair 0 is
+        // the classic farthest pair), compile background + events.
         let topo = self.topology.build(self.seed);
-        let (src, dst) = endpoints(&topo);
-        let (ingress, egress) = (
-            topo.node_name(src).to_string(),
-            topo.node_name(dst).to_string(),
-        );
+        let pair_nodes = endpoint_pairs(&topo, npairs);
+        debug_assert_eq!(pair_nodes[0], endpoints(&topo));
+        let pair_names: Vec<(String, String)> = pair_nodes
+            .iter()
+            .map(|&(s, d)| (topo.node_name(s).to_string(), topo.node_name(d).to_string()))
+            .collect();
         let bg = self.traffic.background(
             &topo,
             self.horizon_epochs,
@@ -178,11 +202,23 @@ impl Scenario {
             })
             .collect();
 
-        let mut sdn =
-            SelfDrivingNetwork::over_topology(topo, &ingress, &egress, self.k_tunnels, self.seed)?;
+        let endpoint_refs: Vec<(&str, &str)> = pair_names
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
+        let mut sdn = SelfDrivingNetwork::over_topology_pairs(
+            topo,
+            &endpoint_refs,
+            self.k_tunnels,
+            self.seed,
+        )?;
+        // Events target pair 0's primary tunnel (the shortest path of
+        // the classic farthest pair) — `tunnel1` on single-pair
+        // scenarios, `p0/tunnel1` otherwise.
+        let primary_name = sdn.pair_tunnel_names(PairId(0)).expect("pair 0 exists")[0].clone();
         let primary = sdn
-            .tunnel("tunnel1")
-            .expect("tunnel1 exists")
+            .tunnel(&primary_name)
+            .expect("primary tunnel exists")
             .node_path
             .clone();
         let actions = compile_events(&self.events, &sdn.sim.topo, &primary)?;
@@ -207,6 +243,11 @@ impl Scenario {
         let mut flow_samples: Vec<f64> = Vec::new();
         let mut slo_violations: u64 = 0;
         let mut cursor = 0usize;
+        // Per-pair attribution (tracked alongside, never feeding back
+        // into the aggregate accumulators).
+        let mut pair_series: Vec<Vec<f64>> = vec![Vec::new(); npairs];
+        let mut pair_samples: Vec<Vec<f64>> = vec![Vec::new(); npairs];
+        let mut pair_migrations: Vec<u64> = vec![0; npairs];
 
         for e in 0..self.horizon_epochs {
             // (1) scripted link events due this epoch.
@@ -259,6 +300,7 @@ impl Scenario {
                         tos: 32u8.wrapping_mul(i as u8 + 1),
                         demand_mbps: self.flows[i].demand_mbps,
                         start_ms: e * 1000,
+                        pair: PairId(self.flows[i].pair),
                     }
                 })
                 .collect();
@@ -266,8 +308,12 @@ impl Scenario {
                 sdn.admit_flows(&due, Objective::MaxBandwidth)?;
                 if policy == Policy::StaticShortest {
                     for req in &due {
-                        if sdn.flow_tunnel(&req.label) != Some("tunnel1") {
-                            sdn.migrate_flow(&req.label, "tunnel1")?;
+                        let shortest = sdn
+                            .pair_tunnel_names(req.pair)
+                            .expect("flow pairs validated")[0]
+                            .clone();
+                        if sdn.flow_tunnel(&req.label) != Some(shortest.as_str()) {
+                            sdn.migrate_flow(&req.label, &shortest)?;
                         }
                     }
                 }
@@ -281,8 +327,9 @@ impl Scenario {
                     packet_goodput = report.flow_goodput.into_iter().collect();
                 }
             }
-            // (5) record per-flow rates + SLO.
+            // (5) record per-flow rates + SLO, attributed per pair.
             let mut total = 0.0;
+            let mut pair_total = vec![0.0f64; npairs];
             let mut violated = false;
             for (i, plan) in self.flows.iter().enumerate() {
                 if !started[i] {
@@ -294,6 +341,8 @@ impl Scenario {
                 };
                 total += rate;
                 flow_samples.push(rate);
+                pair_total[plan.pair] += rate;
+                pair_samples[plan.pair].push(rate);
                 if let Some(demand) = plan.demand_mbps {
                     // Two epochs of TCP-ramp grace after start.
                     if e >= plan.start_epoch + 2 && rate < self.slo_fraction * demand {
@@ -302,6 +351,9 @@ impl Scenario {
                 }
             }
             aggregate.push(total);
+            for (p, t) in pair_total.into_iter().enumerate() {
+                pair_series[p].push(t);
+            }
             if violated {
                 slo_violations += 1;
             }
@@ -310,7 +362,11 @@ impl Scenario {
                 && (e + 1) % self.decision_every == 0
                 && e + 1 < self.horizon_epochs;
             if decision_due {
-                migrations += self.consult(policy, &mut sdn, &labels);
+                let per_pair = self.consult(policy, &mut sdn, &labels, npairs);
+                for (p, m) in per_pair.into_iter().enumerate() {
+                    migrations += m;
+                    pair_migrations[p] += m;
+                }
             }
         }
 
@@ -339,6 +395,30 @@ impl Scenario {
             .copied()
             .skip(self.flows.iter().map(|f| f.start_epoch).min().unwrap_or(0) as usize)
             .collect();
+        let per_pair: Vec<PairScore> = (0..npairs)
+            .map(|p| {
+                let first_start = self
+                    .flows
+                    .iter()
+                    .filter(|f| f.pair == p)
+                    .map(|f| f.start_epoch)
+                    .min()
+                    .unwrap_or(0);
+                let active: Vec<f64> = pair_series[p]
+                    .iter()
+                    .copied()
+                    .skip(first_start as usize)
+                    .collect();
+                PairScore {
+                    pair: format!("p{p}"),
+                    route: format!("{}-{}", pair_names[p].0, pair_names[p].1),
+                    mean_goodput_mbps: active.iter().sum::<f64>() / active.len().max(1) as f64,
+                    p50_flow_mbps: percentile(&pair_samples[p], 0.50),
+                    p99_flow_mbps: percentile(&pair_samples[p], 0.99),
+                    migrations: pair_migrations[p],
+                }
+            })
+            .collect();
         Ok(Scorecard {
             scenario: self.name.clone(),
             policy: policy.name().to_string(),
@@ -351,6 +431,7 @@ impl Scenario {
             migrations,
             recoveries,
             aggregate_series: aggregate,
+            per_pair,
         })
     }
 
@@ -359,71 +440,99 @@ impl Scenario {
         Policy::all().iter().map(|p| self.run(*p)).collect()
     }
 
-    /// One policy consultation; returns migrations performed.
-    fn consult(&self, policy: Policy, sdn: &mut SelfDrivingNetwork, labels: &[String]) -> u64 {
+    /// One policy consultation; returns migrations performed, one
+    /// count per managed pair (so regressions stay attributable).
+    fn consult(
+        &self,
+        policy: Policy,
+        sdn: &mut SelfDrivingNetwork,
+        labels: &[String],
+        npairs: usize,
+    ) -> Vec<u64> {
+        let pair_of = |label: &str| -> usize {
+            self.flows
+                .iter()
+                .find(|f| f.label == label)
+                .map(|f| f.pair)
+                .unwrap_or(0)
+        };
         let before: Vec<Option<String>> = labels
             .iter()
             .map(|l| sdn.flow_tunnel(l).map(str::to_string))
             .collect();
+        let mut moves = vec![0u64; npairs];
         match policy {
-            Policy::StaticShortest => 0,
+            Policy::StaticShortest => {}
             Policy::Hecate => {
                 // May fail during warm-up (insufficient telemetry) —
                 // the policy just skips that round, like the steering
-                // experiment does.
+                // experiment does. Single-pair networks run the legacy
+                // bottleneck search; multi-pair networks the
+                // shared-link engine — both inside the framework.
                 if sdn.reoptimize_bandwidth().is_err() {
-                    return 0;
+                    return moves;
                 }
-                labels
-                    .iter()
-                    .zip(&before)
-                    .filter(|(l, b)| sdn.flow_tunnel(l).map(str::to_string) != **b)
-                    .count() as u64
-            }
-            Policy::LastSample => {
-                let names = sdn.tunnel_names();
-                let caps: Vec<f64> = names
-                    .iter()
-                    .map(|n| {
-                        sdn.telemetry
-                            .last(&SeriesKey::new(n, Metric::AvailableBandwidth))
-                            .unwrap_or(0.0)
-                            .max(0.0)
-                    })
-                    .collect();
-                let live: Vec<&String> = labels
-                    .iter()
-                    .zip(&before)
-                    .filter(|(_, b)| b.is_some())
-                    .map(|(l, _)| l)
-                    .collect();
-                if live.is_empty() {
-                    return 0;
-                }
-                let demands: Vec<Option<f64>> = live
-                    .iter()
-                    .map(|l| {
-                        self.flows
-                            .iter()
-                            .find(|f| f.label == l.as_str())
-                            .and_then(|f| f.demand_mbps)
-                    })
-                    .collect();
-                let Ok(assignment) = assign_flows(&caps, &demands) else {
-                    return 0;
-                };
-                let mut moves = 0;
-                for (l, &t) in live.iter().zip(&assignment.tunnel_of_flow) {
-                    let target = &names[t];
-                    if sdn.flow_tunnel(l) != Some(target.as_str())
-                        && sdn.migrate_flow(l, target).is_ok()
-                    {
-                        moves += 1;
+                for (l, b) in labels.iter().zip(&before) {
+                    if sdn.flow_tunnel(l).map(str::to_string) != *b {
+                        moves[pair_of(l)] += 1;
                     }
                 }
-                moves
+            }
+            Policy::LastSample => {
+                // The reactive baseline re-assigns each pair
+                // *independently* on last observed samples: it neither
+                // forecasts nor knows about links its tunnels share
+                // with other pairs — exactly the contrast the
+                // shared-link-aware Hecate policy is scored against.
+                #[allow(clippy::needless_range_loop)] // p indexes moves AND names the pair
+                for p in 0..npairs {
+                    let Some(names) = sdn.pair_tunnel_names(PairId(p)).map(<[String]>::to_vec)
+                    else {
+                        continue;
+                    };
+                    let caps: Vec<f64> = names
+                        .iter()
+                        .map(|n| {
+                            sdn.telemetry
+                                .last(&SeriesKey::new(n, Metric::AvailableBandwidth))
+                                .unwrap_or(0.0)
+                                .max(0.0)
+                        })
+                        .collect();
+                    let live: Vec<&String> = labels
+                        .iter()
+                        .zip(&before)
+                        .filter(|(_, b)| b.is_some())
+                        .map(|(l, _)| l)
+                        .filter(|l| pair_of(l) == p)
+                        .collect();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let demands: Vec<Option<f64>> = live
+                        .iter()
+                        .map(|l| {
+                            self.flows
+                                .iter()
+                                .find(|f| f.label == l.as_str())
+                                .and_then(|f| f.demand_mbps)
+                        })
+                        .collect();
+                    let Ok(assignment) = assign_flows(&caps, &demands) else {
+                        continue;
+                    };
+                    for (l, &t) in live.iter().zip(&assignment.tunnel_of_flow) {
+                        let target = &names[t];
+                        if sdn.flow_tunnel(l) != Some(target.as_str())
+                            && sdn.migrate_flow(l, target).is_ok()
+                        {
+                            moves[p] += 1;
+                        }
+                    }
+                }
             }
         }
+        moves
     }
 }
 
@@ -463,13 +572,16 @@ mod tests {
                     label: "f1".into(),
                     demand_mbps: None,
                     start_epoch: 0,
+                    pair: 0,
                 },
                 FlowPlan {
                     label: "f2".into(),
                     demand_mbps: Some(4.0),
                     start_epoch: 2,
+                    pair: 0,
                 },
             ],
+            pairs: 1,
             horizon_epochs: 26,
             decision_every: 5,
             k_tunnels: 3,
@@ -539,5 +651,76 @@ mod tests {
         let mut s = tiny(1);
         s.flows.clear();
         assert!(s.run(Policy::Hecate).is_err());
+    }
+
+    #[test]
+    fn flows_on_undeclared_pairs_are_rejected() {
+        let mut s = tiny(1);
+        s.flows[1].pair = 3; // scenario declares 1 pair
+        assert!(s.run(Policy::Hecate).is_err());
+    }
+
+    #[test]
+    fn single_pair_scorecard_mirrors_the_aggregate() {
+        let card = tiny(7).run(Policy::Hecate).unwrap();
+        assert_eq!(card.per_pair.len(), 1);
+        let p = &card.per_pair[0];
+        assert_eq!(p.pair, "p0");
+        assert!((p.mean_goodput_mbps - card.mean_aggregate_mbps).abs() < 1e-12);
+        assert_eq!(p.migrations, card.migrations);
+    }
+
+    fn tiny_multipair(seed: u64) -> Scenario {
+        let mut s = tiny(seed);
+        s.name = "tiny-multipair".into();
+        s.pairs = 3;
+        s.flows = vec![
+            FlowPlan {
+                label: "f1".into(),
+                demand_mbps: None,
+                start_epoch: 0,
+                pair: 0,
+            },
+            FlowPlan {
+                label: "f2".into(),
+                demand_mbps: Some(4.0),
+                start_epoch: 1,
+                pair: 1,
+            },
+            FlowPlan {
+                label: "f3".into(),
+                demand_mbps: None,
+                start_epoch: 2,
+                pair: 2,
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn multi_pair_run_scores_every_pair() {
+        let card = tiny_multipair(7).run(Policy::Hecate).unwrap();
+        assert_eq!(card.per_pair.len(), 3);
+        // Every pair's flows actually carried traffic, attributed to
+        // the right rows, and the rows sum to the aggregate.
+        let sum: f64 = card.per_pair.iter().map(|p| p.mean_goodput_mbps).sum();
+        for p in &card.per_pair {
+            assert!(p.mean_goodput_mbps > 0.0, "{p:?}");
+            assert!(p.route.contains('-'));
+        }
+        // (pair means skip each pair's own warm-up epochs, so they can
+        // only exceed the aggregate mean, never undershoot the sum.)
+        assert!(sum >= card.mean_aggregate_mbps - 1e-9, "{card:?}");
+        let migration_sum: u64 = card.per_pair.iter().map(|p| p.migrations).sum();
+        assert_eq!(migration_sum, card.migrations);
+    }
+
+    #[test]
+    fn multi_pair_replays_bit_identically_per_policy() {
+        for policy in Policy::all() {
+            let a = tiny_multipair(11).run(policy).unwrap();
+            let b = tiny_multipair(11).run(policy).unwrap();
+            assert_eq!(a, b, "{policy:?}");
+        }
     }
 }

@@ -17,6 +17,26 @@ pub struct Recovery {
     pub recovered_after_epochs: Option<u64>,
 }
 
+/// What one managed pair contributed to a multi-pair run — the
+/// attribution rows that make a regression on *one* pair visible under
+/// an otherwise healthy aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairScore {
+    /// Pair namespace (`p0`, `p1`, …).
+    pub pair: String,
+    /// `ingress-egress` router names.
+    pub route: String,
+    /// Mean aggregate goodput of this pair's flows over epochs where at
+    /// least one of them had started (Mbps).
+    pub mean_goodput_mbps: f64,
+    /// Median per-flow per-epoch throughput sample of this pair (Mbps).
+    pub p50_flow_mbps: f64,
+    /// 99th-percentile per-flow per-epoch sample of this pair (Mbps).
+    pub p99_flow_mbps: f64,
+    /// Migrations the policy performed on this pair's flows.
+    pub migrations: u64,
+}
+
 /// What one scenario run measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scorecard {
@@ -46,6 +66,9 @@ pub struct Scorecard {
     /// Aggregate managed goodput per epoch (Mbps) — the sparkline, and
     /// the series recoveries are measured on.
     pub aggregate_series: Vec<f64>,
+    /// Per-managed-pair attribution (one entry per pair; single-pair
+    /// scenarios have exactly one, mirroring the aggregate).
+    pub per_pair: Vec<PairScore>,
 }
 
 /// Column headers matching [`Scorecard::row`].
@@ -78,6 +101,30 @@ impl Scorecard {
             recovery,
         ]
     }
+
+    /// Per-pair attribution rows (same columns as [`Scorecard::row`];
+    /// the pair has no SLO/recovery bookkeeping of its own, so those
+    /// cells read `-`). Empty on single-pair scorecards — the aggregate
+    /// line already *is* the one pair.
+    pub fn pair_rows(&self) -> Vec<Vec<String>> {
+        if self.per_pair.len() <= 1 {
+            return Vec::new();
+        }
+        self.per_pair
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("  {} {}", p.pair, p.route),
+                    format!("{:.2}", p.mean_goodput_mbps),
+                    format!("{:.2}", p.p50_flow_mbps),
+                    format!("{:.2}", p.p99_flow_mbps),
+                    "-".to_string(),
+                    format!("{}", p.migrations),
+                    "-".to_string(),
+                ]
+            })
+            .collect()
+    }
 }
 
 /// Deterministic nearest-rank percentile (q in 0..=1) over a copy of
@@ -93,9 +140,15 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
 }
 
 /// Renders one scenario's policy comparison as a one-screen dashboard
-/// frame: the scorecard table plus one goodput sparkline per policy.
+/// frame: the scorecard table — each policy's aggregate line followed
+/// by its per-pair attribution rows on multi-pair scenarios — plus one
+/// goodput sparkline per policy.
 pub fn render_matrix(title: &str, cards: &[Scorecard]) -> String {
-    let rows: Vec<Vec<String>> = cards.iter().map(Scorecard::row).collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in cards {
+        rows.push(c.row());
+        rows.extend(c.pair_rows());
+    }
     let mut out = render_table(title, &HEADERS, &rows);
     for c in cards {
         out.push_str(&format!(
@@ -133,6 +186,24 @@ mod tests {
                 },
             ],
             aggregate_series: vec![1.0, 8.0, 12.0, 12.5],
+            per_pair: vec![
+                PairScore {
+                    pair: "p0".into(),
+                    route: "SEAT-BOST".into(),
+                    mean_goodput_mbps: 8.0,
+                    p50_flow_mbps: 3.0,
+                    p99_flow_mbps: 6.5,
+                    migrations: 2,
+                },
+                PairScore {
+                    pair: "p1".into(),
+                    route: "SUNN-NEWY".into(),
+                    mean_goodput_mbps: 4.5,
+                    p50_flow_mbps: 1.0,
+                    p99_flow_mbps: 2.75,
+                    migrations: 1,
+                },
+            ],
         }
     }
 
@@ -156,6 +227,23 @@ mod tests {
         assert!(frame.contains("4ep,never"));
         // two sparkline lines
         assert!(frame.matches('\u{2581}').count() >= 2);
+    }
+
+    #[test]
+    fn per_pair_rows_attribute_multi_pair_regressions() {
+        let frame = render_matrix("wan-multipair", &[card("hecate")]);
+        // The aggregate line and one attribution row per pair, with
+        // goodput, p99 and migrations visible per pair.
+        assert!(frame.contains("p0 SEAT-BOST"));
+        assert!(frame.contains("p1 SUNN-NEWY"));
+        assert!(frame.contains("8.00"));
+        assert!(frame.contains("2.75"));
+        // A single-pair card renders no attribution rows.
+        let mut single = card("hecate");
+        single.per_pair.truncate(1);
+        assert!(single.pair_rows().is_empty());
+        let lines = render_matrix("s", &[single]).lines().count();
+        assert!(lines < frame.lines().count());
     }
 
     #[test]

@@ -360,6 +360,20 @@ pub fn geant_like() -> Topology {
 /// yields the same pair — diametrically opposite edge switches on the
 /// fat-tree, coast-to-coast PoPs on the WAN maps.
 pub fn endpoints(topo: &Topology) -> (NodeIdx, NodeIdx) {
+    endpoint_pairs(topo, 1)[0]
+}
+
+/// The farthest-pair generalization for a **traffic matrix of `n`
+/// managed pairs**: pair 0 is exactly [`endpoints`] (the double-sweep
+/// diameter pair), and every further pair greedily maximizes spread —
+/// its ingress is the still-unused candidate farthest (by summed
+/// shortest-path delay) from all endpoints already placed, its egress
+/// the still-unused candidate farthest from that ingress. When the
+/// candidate pool runs dry the used-set resets (minus the pair's own
+/// ingress), so small topologies can still host several pairs. Ties
+/// break to the lowest node index; a given `(topology, n)` always
+/// yields the identical pair list.
+pub fn endpoint_pairs(topo: &Topology, n: usize) -> Vec<(NodeIdx, NodeIdx)> {
     let mut candidates: Vec<NodeIdx> = (0..topo.node_count())
         .map(|i| NodeIdx(i as u32))
         .filter(|&n| topo.node_kind(n) == NodeKind::Edge)
@@ -367,14 +381,18 @@ pub fn endpoints(topo: &Topology) -> (NodeIdx, NodeIdx) {
     if candidates.len() < 2 {
         candidates = (0..topo.node_count()).map(|i| NodeIdx(i as u32)).collect();
     }
-    let farthest = |from: NodeIdx| -> NodeIdx {
+    let dist = |from: NodeIdx, to: NodeIdx| -> Option<f64> {
+        topo.shortest_path_by_delay(from, to)
+            .map(|p| topo.path_delay_ms(&p).unwrap_or(0.0))
+    };
+    // The legacy double sweep, scoped to an allowed subset.
+    let farthest = |from: NodeIdx, allowed: &[NodeIdx]| -> NodeIdx {
         let mut best = (from, -1.0f64);
-        for &to in &candidates {
+        for &to in allowed {
             if to == from {
                 continue;
             }
-            if let Some(p) = topo.shortest_path_by_delay(from, to) {
-                let d = topo.path_delay_ms(&p).unwrap_or(0.0);
+            if let Some(d) = dist(from, to) {
                 if d > best.1 {
                     best = (to, d);
                 }
@@ -382,9 +400,45 @@ pub fn endpoints(topo: &Topology) -> (NodeIdx, NodeIdx) {
         }
         best.0
     };
-    let u = farthest(candidates[0]);
-    let v = farthest(u);
-    (u, v)
+    let mut out = Vec::with_capacity(n.max(1));
+    let mut used: Vec<NodeIdx> = Vec::new();
+    let u0 = farthest(candidates[0], &candidates);
+    let v0 = farthest(u0, &candidates);
+    out.push((u0, v0));
+    used.push(u0);
+    used.push(v0);
+    while out.len() < n {
+        let mut unused: Vec<NodeIdx> = candidates
+            .iter()
+            .copied()
+            .filter(|c| !used.contains(c))
+            .collect();
+        if unused.len() < 2 {
+            // Pool exhausted: recycle the candidates so dense matrices
+            // on small topologies remain possible.
+            used.clear();
+            unused = candidates.clone();
+        }
+        // Ingress: the unused candidate farthest from everything
+        // placed. Spreads are computed once per candidate — recomputing
+        // them inside the comparator would re-run a Dijkstra per used
+        // endpoint on every comparison.
+        let spreads: Vec<(NodeIdx, f64)> = unused
+            .iter()
+            .map(|&x| (x, used.iter().filter_map(|&u| dist(x, u)).sum::<f64>()))
+            .collect();
+        let ingress = spreads
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0 .0.cmp(&a.0 .0))) // ties -> lowest index
+            .expect("candidate pool is non-empty")
+            .0;
+        let remaining: Vec<NodeIdx> = unused.iter().copied().filter(|&c| c != ingress).collect();
+        let egress = farthest(ingress, &remaining);
+        out.push((ingress, egress));
+        used.push(ingress);
+        used.push(egress);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -486,6 +540,48 @@ mod tests {
         assert!(t.node_name(a).contains('e'));
         assert!(t.node_name(b).contains('e'));
         assert_ne!(t.node_name(a)[..2], t.node_name(b)[..2]);
+    }
+
+    #[test]
+    fn endpoint_pairs_generalize_the_farthest_pair() {
+        for t in [fat_tree(4), esnet_like(), geant_like()] {
+            // Pair 0 is exactly the legacy diameter pair.
+            assert_eq!(endpoint_pairs(&t, 1), vec![endpoints(&t)]);
+            assert_eq!(endpoint_pairs(&t, 4), endpoint_pairs(&t, 4), "stable");
+            let pairs = endpoint_pairs(&t, 4);
+            assert_eq!(pairs.len(), 4);
+            // Every pair has distinct endpoints and no duplicate pair.
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                assert_ne!(a, b, "{}: pair {i} degenerate", t.node_name(a));
+                for &(c, d) in &pairs[i + 1..] {
+                    assert_ne!((a, b), (c, d), "duplicate pair");
+                }
+            }
+        }
+        // Fat-tree has 8 edge switches: 4 pairs use each at most once.
+        let t = fat_tree(4);
+        let pairs = endpoint_pairs(&t, 4);
+        let mut all: Vec<NodeIdx> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 8, "{pairs:?}");
+        // Each multi-pair endpoint pair still offers >= 2 disjoint
+        // tunnels (the cut a routing policy needs).
+        for &(a, b) in &pairs {
+            assert!(t.k_disjoint_shortest_paths(a, b, 2).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn endpoint_pairs_recycle_on_tiny_topologies() {
+        // 3 nodes, 6 requested pairs: the pool recycles instead of
+        // panicking, and every pair stays non-degenerate.
+        let t = ring_chords(3, 0);
+        let pairs = endpoint_pairs(&t, 6);
+        assert_eq!(pairs.len(), 6);
+        for &(a, b) in &pairs {
+            assert_ne!(a, b);
+        }
     }
 
     #[test]

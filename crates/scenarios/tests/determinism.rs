@@ -13,7 +13,41 @@ use proptest::prelude::*;
 use scenarios::events::{EventKind, EventSpec, LinkPick};
 use scenarios::{catalog_smoke, FlowPlan, PlaneMode, Policy, Scenario, TopologySpec, TrafficSpec};
 
-fn replayable(seed: u64, horizon: u64, topology: TopologySpec, traffic: TrafficSpec) -> Scenario {
+fn replayable(
+    seed: u64,
+    horizon: u64,
+    topology: TopologySpec,
+    traffic: TrafficSpec,
+    pair_count: usize,
+) -> Scenario {
+    // Managed flows spread round-robin across the declared pairs, so
+    // every pair of a multi-pair matrix actually carries traffic.
+    let flows = vec![
+        FlowPlan {
+            label: "a".into(),
+            demand_mbps: None,
+            start_epoch: 0,
+            pair: 0,
+        },
+        FlowPlan {
+            label: "b".into(),
+            demand_mbps: Some(3.0),
+            start_epoch: 1,
+            pair: 1 % pair_count,
+        },
+        FlowPlan {
+            label: "c".into(),
+            demand_mbps: None,
+            start_epoch: 2,
+            pair: 2 % pair_count,
+        },
+        FlowPlan {
+            label: "d".into(),
+            demand_mbps: Some(2.0),
+            start_epoch: 3,
+            pair: 3 % pair_count,
+        },
+    ];
     Scenario {
         name: "prop".into(),
         topology,
@@ -25,21 +59,11 @@ fn replayable(seed: u64, horizon: u64, topology: TopologySpec, traffic: TrafficS
                 restore_after: Some(4),
             },
         }],
-        flows: vec![
-            FlowPlan {
-                label: "a".into(),
-                demand_mbps: None,
-                start_epoch: 0,
-            },
-            FlowPlan {
-                label: "b".into(),
-                demand_mbps: Some(3.0),
-                start_epoch: 1,
-            },
-        ],
+        flows,
+        pairs: pair_count,
         horizon_epochs: horizon,
         decision_every: 5,
-        k_tunnels: 3,
+        k_tunnels: if pair_count > 1 { 2 } else { 3 },
         slo_fraction: 0.8,
         plane: PlaneMode::Fluid,
         seed,
@@ -49,13 +73,15 @@ fn replayable(seed: u64, horizon: u64, topology: TopologySpec, traffic: TrafficS
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Any (seed, topology family, traffic family, policy) replays to a
-    /// bit-identical scorecard.
+    /// Any (seed, topology family, traffic family, pair count 1..=4,
+    /// policy) replays to a bit-identical scorecard — the multi-pair
+    /// generalization of the original single-pair contract.
     #[test]
     fn any_seed_and_config_replays_bit_identically(
         seed in 0u64..10_000,
         topo_pick in 0usize..4,
         traffic_pick in 0usize..4,
+        pair_count in 1usize..=4,
         policy_pick in 0usize..3,
     ) {
         let topology = match topo_pick {
@@ -75,10 +101,11 @@ proptest! {
             _ => TrafficSpec::OnOff { sources: 5, rate_mbps: 3.0, p_on: 0.3, p_off: 0.4 },
         };
         let policy = Policy::all()[policy_pick];
-        let scenario = replayable(seed, 16, topology, traffic);
+        let scenario = replayable(seed, 16, topology, traffic, pair_count);
         let first = scenario.run(policy).unwrap();
         let second = scenario.run(policy).unwrap();
         prop_assert_eq!(&first, &second, "scorecards must replay bit-identically");
+        prop_assert_eq!(first.per_pair.len(), pair_count);
         // ... and the aggregate series is bitwise equal too (PartialEq
         // covers it, but make the contract explicit).
         prop_assert_eq!(
@@ -108,13 +135,42 @@ fn different_seeds_differ() {
         pairs: 6,
         total_mbps: 30.0,
     };
-    let a = replayable(1, 16, TopologySpec::FatTree { k: 4 }, traffic.clone())
+    let a = replayable(1, 16, TopologySpec::FatTree { k: 4 }, traffic.clone(), 1)
         .run(Policy::Hecate)
         .unwrap();
-    let b = replayable(2, 16, TopologySpec::FatTree { k: 4 }, traffic)
+    let b = replayable(2, 16, TopologySpec::FatTree { k: 4 }, traffic, 1)
         .run(Policy::Hecate)
         .unwrap();
     assert_ne!(a.aggregate_series, b.aggregate_series);
+}
+
+/// The multi-pair acceptance contract: the `wan-multipair` catalog
+/// entry replays bit-identically, and the shared-link-aware Hecate
+/// policy delivers at least static-shortest's aggregate goodput while
+/// the optimizer's no-oversubscription invariant holds (unit-tested in
+/// `framework::optimizer` and `tests/multipair.rs`).
+#[test]
+fn wan_multipair_catalog_replays_and_hecate_beats_static() {
+    let scenario = scenarios::catalog()
+        .into_iter()
+        .find(|s| s.name == "wan-multipair")
+        .expect("catalog has the multi-pair WAN");
+    let a = scenario.run_matrix().unwrap();
+    let b = scenario.run_matrix().unwrap();
+    assert_eq!(a, b, "multi-pair matrix must replay bit-identically");
+    let card = |p: Policy| a.iter().find(|c| c.policy == p.name()).unwrap();
+    let hecate = card(Policy::Hecate);
+    let fixed = card(Policy::StaticShortest);
+    assert!(
+        hecate.mean_aggregate_mbps >= fixed.mean_aggregate_mbps,
+        "hecate {} must not lose to static {} on the traffic matrix",
+        hecate.mean_aggregate_mbps,
+        fixed.mean_aggregate_mbps
+    );
+    // The permanent primary failure is attributable: the aggregate
+    // line decomposes into four per-pair rows.
+    assert_eq!(hecate.per_pair.len(), 4);
+    assert!(hecate.per_pair.iter().all(|p| p.mean_goodput_mbps > 0.0));
 }
 
 /// Regression: a scripted single-link failure on `fat_tree(4)` with no
@@ -150,18 +206,22 @@ fn fat_tree_single_failure_recovers_within_decision_interval() {
                 label: "f1".into(),
                 demand_mbps: Some(3.0),
                 start_epoch: 0,
+                pair: 0,
             },
             FlowPlan {
                 label: "f2".into(),
                 demand_mbps: Some(3.0),
                 start_epoch: 0,
+                pair: 0,
             },
             FlowPlan {
                 label: "f3".into(),
                 demand_mbps: Some(2.0),
                 start_epoch: 0,
+                pair: 0,
             },
         ],
+        pairs: 1,
         horizon_epochs: 36,
         decision_every,
         k_tunnels: 3,

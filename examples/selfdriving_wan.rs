@@ -1,44 +1,50 @@
-//! A self-driving WAN session, scenario-engine edition: one canned
-//! scenario from the catalog — an ESnet-like US backbone under diurnal
-//! gravity traffic with a mid-run flap storm on the primary tunnel —
-//! executed across the full routing-policy matrix.
+//! A self-driving WAN session, scenario-engine edition, in two acts:
 //!
-//! The scenario engine builds the topology, discovers link-disjoint
-//! PolKA tunnels between the farthest PoPs, drives background load and
-//! scripted impairments through the `SelfDrivingNetwork` control loop,
-//! and scores each policy (Hecate forecasts vs last-sample vs static
-//! shortest-path) into a deterministic `Scorecard`.
+//! 1. **Single pair** — the canned `esnet-diurnal-flaps` scenario: an
+//!    ESnet-like US backbone under diurnal gravity traffic with a
+//!    mid-run flap storm on the primary tunnel, executed across the
+//!    full routing-policy matrix.
+//! 2. **Traffic matrix** — the same backbone managed as *four*
+//!    ingress/egress pairs at once (`wan-multipair`, built on
+//!    `SelfDrivingNetwork::over_topology_pairs`): each pair gets its
+//!    own disjoint candidate tunnels, telemetry is keyed
+//!    `pair/tunnel/metric`, and the optimizer water-fills all pairs'
+//!    flows so no shared trunk is oversubscribed. The scorecard gains
+//!    one attribution row per pair.
 //!
 //! Run with: `cargo run --release --example selfdriving_wan`
 
-use polka_hecate::scenarios::{catalog, render_matrix, Policy};
+use polka_hecate::scenarios::{catalog, render_matrix, Policy, Scorecard};
 
-fn main() {
+fn run_entry(name: &str) -> Vec<Scorecard> {
     let scenario = catalog()
         .into_iter()
-        .find(|s| s.name == "esnet-diurnal-flaps")
+        .find(|s| s.name == name)
         .expect("catalog scenario exists");
     println!("scenario: {}", scenario.describe());
     println!(
         "seed    : {} (replay = same numbers, bit for bit)\n",
         scenario.seed
     );
-
     let cards = scenario.run_matrix().expect("scenario runs");
     print!("{}", render_matrix(&scenario.name, &cards));
+    cards
+}
 
-    // The adaptive policies must beat parking every flow on the
-    // shortest path while its links flap.
-    let by_policy = |p: Policy| {
+fn main() {
+    // Act 1: the classic single managed pair under a flap storm.
+    let cards = run_entry("esnet-diurnal-flaps");
+    let by_policy = |cards: &[Scorecard], p: Policy| {
         cards
             .iter()
             .find(|c| c.policy == p.name())
+            .cloned()
             .expect("policy row")
     };
-    let hecate = by_policy(Policy::Hecate);
-    let fixed = by_policy(Policy::StaticShortest);
+    let hecate = by_policy(&cards, Policy::Hecate);
+    let fixed = by_policy(&cards, Policy::StaticShortest);
     println!(
-        "\nhecate {:.2} Mbps vs static {:.2} Mbps ({} migrations, {} SLO-violation epochs vs {})",
+        "\nhecate {:.2} Mbps vs static {:.2} Mbps ({} migrations, {} SLO-violation epochs vs {})\n",
         hecate.mean_aggregate_mbps,
         fixed.mean_aggregate_mbps,
         hecate.migrations,
@@ -48,5 +54,26 @@ fn main() {
     assert!(
         hecate.mean_aggregate_mbps > fixed.mean_aggregate_mbps,
         "the self-driving loop must keep delivering through the storm"
+    );
+
+    // Act 2: the same backbone as a managed traffic matrix — four
+    // pairs, shared trunks, a permanent failure on pair 0's primary.
+    let cards = run_entry("wan-multipair");
+    let hecate = by_policy(&cards, Policy::Hecate);
+    let fixed = by_policy(&cards, Policy::StaticShortest);
+    println!("\nper-pair attribution (hecate):");
+    for p in &hecate.per_pair {
+        println!(
+            "  {} {:<12} {:>7.2} Mbps  p99 {:>6.2}  {} migration(s)",
+            p.pair, p.route, p.mean_goodput_mbps, p.p99_flow_mbps, p.migrations
+        );
+    }
+    println!(
+        "\nhecate {:.2} Mbps vs static {:.2} Mbps across the whole matrix",
+        hecate.mean_aggregate_mbps, fixed.mean_aggregate_mbps,
+    );
+    assert!(
+        hecate.mean_aggregate_mbps >= fixed.mean_aggregate_mbps,
+        "shared-link-aware steering must not lose to static routing"
     );
 }

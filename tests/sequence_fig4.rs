@@ -29,6 +29,7 @@ fn fig4_sequence_order() {
         tos: 32,
         demand_mbps: None,
         start_ms: 21_000,
+        pair: polka_hecate::framework::PairId::default(),
     });
     sdn.advance(25_000).unwrap();
 
@@ -69,6 +70,7 @@ fn decisions_are_executed_by_the_polka_data_plane() {
                 tos: 32,
                 demand_mbps: None,
                 start_ms: 0,
+                pair: polka_hecate::framework::PairId::default(),
             },
             Objective::MaxBandwidth,
         )
@@ -93,6 +95,7 @@ fn latency_objective_prefers_the_low_delay_tunnel() {
                 tos: 0,
                 demand_mbps: Some(0.1),
                 start_ms: 0,
+                pair: polka_hecate::framework::PairId::default(),
             },
             Objective::MinLatency,
         )
