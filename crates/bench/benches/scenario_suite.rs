@@ -7,6 +7,9 @@
 //! `neighbor_port` meaningfully slower per call (a regression to
 //! scanning the link list would blow this up linearly).
 
+// Wall-clock timing is the point of a benchmark target.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netsim::topo::mesh;
 use netsim::{NodeIdx, Topology};

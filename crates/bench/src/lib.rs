@@ -6,6 +6,10 @@
 //! `repro` binary, the integration tests and EXPERIMENTS.md all draw from
 //! the same code path.
 
+// Wall-clock timing is this crate's purpose; detlint exempts
+// crates/bench from its wall-clock rule for the same reason.
+#![allow(clippy::disallowed_methods)]
+
 pub mod figures;
 
 /// Formats a `(time, value)` series as aligned rows, one every `step`.

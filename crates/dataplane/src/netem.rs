@@ -412,11 +412,8 @@ impl PacketNet {
     /// window.
     pub fn run_window(&mut self, window_ns: u64) -> WindowReport {
         let end = self.now_ns + window_ns;
-        while let Some(top) = self.heap.peek() {
-            if top.t_ns > end {
-                break;
-            }
-            let ev = self.heap.pop().expect("peeked");
+        while self.heap.peek().is_some_and(|top| top.t_ns <= end) {
+            let Some(ev) = self.heap.pop() else { break };
             self.now_ns = ev.t_ns;
             match ev.kind {
                 EvKind::Emit { flow } => self.emit(flow),

@@ -284,8 +284,11 @@ impl ForwardingPlane {
                         DropReason::NoRoute => report.dropped_no_route += n,
                         DropReason::LinkDown => report.dropped_link_down += n,
                         DropReason::TtlExpired => report.dropped_ttl += n,
-                        // The engine has no queues; only the emulator's
-                        // links produce QueueFull.
+                        // detlint: allow(bare-panic) — DropReason is
+                        // shared with the emulator, but this engine has
+                        // no queues; hop() can only construct the three
+                        // reasons above, so this arm is dead by local
+                        // inspection, not by caller contract.
                         DropReason::QueueFull => unreachable!("the plane has no queues"),
                     }
                     return report;

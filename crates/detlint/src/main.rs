@@ -1,0 +1,133 @@
+//! detlint CLI.
+//!
+//! ```text
+//! cargo run -p detlint --release -- --workspace
+//! cargo run -p detlint --release -- --workspace --rule bad-allow
+//! cargo run -p detlint --release -- --format json crates/netsim/src/sim.rs
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+detlint — workspace determinism & robustness lints
+
+USAGE:
+    detlint [OPTIONS] [--workspace | PATH...]
+
+OPTIONS:
+    --workspace        scan every .rs file under the root (skips vendor/,
+                       target/, fixtures/)
+    --root <DIR>       workspace root for rule scoping [default: .]
+    --rule <NAME>      run only this rule (repeatable)
+    --format <FMT>     text | json [default: text]
+    --list-rules       print rule names and exit
+    -h, --help         print this help
+";
+
+struct Opts {
+    workspace: bool,
+    root: PathBuf,
+    rules: Vec<String>,
+    json: bool,
+    list: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        workspace: false,
+        root: PathBuf::from("."),
+        rules: Vec::new(),
+        json: false,
+        list: false,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--rule" => {
+                let r = args.next().ok_or("--rule needs a rule name")?;
+                if !detlint::RULES.contains(&r.as_str()) {
+                    return Err(format!("unknown rule `{r}` (see --list-rules)"));
+                }
+                opts.rules.push(r);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format must be `text` or `json`, got {other:?}")),
+            },
+            "--list-rules" => opts.list = true,
+            "-h" | "--help" => return Err(String::new()),
+            p if !p.starts_with('-') => opts.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if !opts.list && !opts.workspace && opts.paths.is_empty() {
+        return Err("nothing to scan: pass --workspace or at least one path".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        for r in detlint::RULES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let files = if opts.workspace {
+        match detlint::workspace_files(&opts.root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: walking {}: {e}", opts.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        opts.paths.clone()
+    };
+
+    let filter = if opts.rules.is_empty() {
+        None
+    } else {
+        Some(opts.rules.as_slice())
+    };
+    let findings = match detlint::scan_files(&opts.root, &files, filter) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", detlint::render_json(&findings));
+    } else {
+        print!("{}", detlint::render_text(&findings, files.len()));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

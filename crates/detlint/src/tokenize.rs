@@ -1,0 +1,431 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! detlint deliberately does not depend on `syn` (the container builds
+//! offline); the rules it enforces are lexical-and-local enough that a
+//! faithful token stream plus a little context is sufficient. The lexer
+//! must get the *hard* parts of Rust's surface syntax right, because a
+//! mis-lexed string or comment shifts every downstream judgement:
+//!
+//! * nested block comments (`/* a /* b */ c */`),
+//! * raw strings with arbitrary hash fences (`r#"…"#`, `br##"…"##`),
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity,
+//! * `::` as a single path-separator token (so `Instant::now` is three
+//!   tokens, not four).
+//!
+//! Comments are not tokens; they are collected separately so the rule
+//! engine can parse suppression annotations out of them.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `iter`).
+    Ident,
+    /// Punctuation; `::` is one token, everything else one char.
+    Punct,
+    /// String or byte/raw-string literal (contents not preserved
+    /// verbatim — rules never look inside strings).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal, including suffix (`1.0f64`, `0x1F`).
+    Num,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line/col).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block) with the line it *ends* on — allow
+/// annotations attach to the code that follows, so the end line is the
+/// anchor. `text` is the comment body without the delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+}
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            toks: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string_literal(line, col),
+                b'\'' => self.quote(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    self.ident_or_prefixed_literal(line, col)
+                }
+                b':' if self.peek_at(1) == Some(b':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::", line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, &(c as char).to_string(), line, col);
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32, col: u32) {
+        self.toks.push(Token {
+            kind,
+            text: text.to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let end_line = self.line;
+        // consume the closing */
+        self.bump();
+        self.bump();
+        self.comments.push(Comment {
+            text,
+            line,
+            end_line,
+        });
+    }
+
+    /// Ordinary `"…"` string with escapes.
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, "\"…\"", line, col);
+    }
+
+    /// Raw string after a prefix ident (`r`, `br`, `cr`): `#`* then `"`,
+    /// terminated by `"` followed by the same number of `#`.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break, // unterminated; tolerate
+            }
+        }
+        self.push(TokKind::Str, "r\"…\"", line, col);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        match self.peek() {
+            Some(b'\\') => {
+                // escaped char literal: '\n', '\u{1F600}', '\''
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, "'…'", line, col);
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 => {
+                // Run of ident chars. 'x' (run of 1 then quote) is a
+                // char; anything else ('static, 'a followed by non-')
+                // is a lifetime.
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let run = self.pos - start;
+                if self.peek() == Some(b'\'') && (1..=4).contains(&run) {
+                    // could still be a lifetime followed by a char
+                    // literal in pathological code; chars are 1 scalar,
+                    // so accept runs that are one UTF-8 scalar long.
+                    let text = &self.src[start..self.pos];
+                    let scalars = String::from_utf8_lossy(text).chars().count();
+                    if scalars == 1 {
+                        self.bump(); // closing quote
+                        self.push(TokKind::Char, "'…'", line, col);
+                        return;
+                    }
+                }
+                let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push(TokKind::Lifetime, &format!("'{name}"), line, col);
+            }
+            _ => {
+                // stray quote ('', or ' at EOF) — treat as punct
+                self.push(TokKind::Punct, "'", line, col);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else if c == b'.' {
+                // `1..10` is two tokens after the digits; `1.5` is one.
+                match self.peek_at(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Num, &text, line, col);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // String/char-literal prefixes: r"", r#""#, b"", br"", c"", b''
+        let next = self.peek();
+        match (text.as_str(), next) {
+            ("r" | "br" | "cr", Some(b'"') | Some(b'#')) => {
+                self.raw_string(line, col);
+                return;
+            }
+            ("b" | "c", Some(b'"')) => {
+                self.string_literal(line, col);
+                return;
+            }
+            ("b", Some(b'\'')) => {
+                self.quote(line, col);
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, &text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let (toks, _) = lex("Instant::now()");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let u = '_'; }");
+        let lifes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifes, ["'a", "'a"]);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn static_lifetime_and_loop_label() {
+        let (toks, _) = lex("'outer: for x in 0..3 { break 'outer; } &'static str");
+        let lifes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifes, ["'outer", "'outer", "'static"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_strings_hide_idents() {
+        let src = r##"
+            /* HashMap /* SystemTime::now() */ still comment */
+            let s = "Instant::now() in a string";
+            let r = r#"thread_rng() in a raw string"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+    }
+
+    #[test]
+    fn comments_collected_with_lines() {
+        let src = "let a = 1; // detlint: allow(wall-clock) — reason\nlet b = 2;";
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].text.contains("detlint: allow"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let (toks, _) = lex("for i in 0..n { x += 1.5f64; y = 0x1F; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "1.5f64", "0x1F"]);
+    }
+}

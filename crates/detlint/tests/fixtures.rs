@@ -1,0 +1,89 @@
+//! The fixture corpus: every rule has at least one `flagged*.rs` file
+//! that must produce a finding of that rule, and at least one
+//! `clean*.rs` file that must produce no findings at all. Fixtures
+//! carry a `detlint-fixture-path:` directive so rule scoping behaves
+//! as if the snippet lived in the real tree; they are never compiled.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn scan_fixture(path: &Path) -> Vec<detlint::Finding> {
+    let src = std::fs::read_to_string(path).unwrap();
+    let p = path.to_string_lossy().replace('\\', "/");
+    detlint::scan_source(&p, &p, &src)
+}
+
+#[test]
+fn every_rule_has_a_flagged_and_a_clean_fixture() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut flagged_per_rule: BTreeMap<String, usize> = BTreeMap::new();
+    let mut clean_per_rule: BTreeMap<String, usize> = BTreeMap::new();
+
+    let mut dirs: Vec<_> = std::fs::read_dir(&root)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let rule = dir.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            detlint::RULES.contains(&rule.as_str()),
+            "fixture dir `{rule}` does not name a rule"
+        );
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        for f in files {
+            let name = f.file_name().unwrap().to_string_lossy().into_owned();
+            let findings = scan_fixture(&f);
+            if name.starts_with("flagged") {
+                let hits = findings.iter().filter(|x| x.rule == rule).count();
+                assert!(
+                    hits >= 1,
+                    "{rule}/{name}: expected at least one `{rule}` finding, got {findings:#?}"
+                );
+                *flagged_per_rule.entry(rule.clone()).or_default() += 1;
+            } else if name.starts_with("clean") {
+                assert!(
+                    findings.is_empty(),
+                    "{rule}/{name}: expected a clean scan, got {findings:#?}"
+                );
+                *clean_per_rule.entry(rule.clone()).or_default() += 1;
+            } else {
+                panic!("{rule}/{name}: fixture names must start with `flagged` or `clean`");
+            }
+        }
+    }
+
+    for rule in detlint::RULES {
+        assert!(
+            flagged_per_rule.get(*rule).copied().unwrap_or(0) >= 1,
+            "rule `{rule}` has no flagged fixture"
+        );
+        assert!(
+            clean_per_rule.get(*rule).copied().unwrap_or(0) >= 1,
+            "rule `{rule}` has no clean fixture"
+        );
+    }
+}
+
+#[test]
+fn reintroducing_the_hashmap_order_fold_bug_is_caught() {
+    // The regression that motivated this crate: summing per-link usage
+    // straight out of a HashMap. Both the iteration and the fold rule
+    // must fire on it.
+    let src = "use std::collections::HashMap;\n\
+               fn rfr_score(usage: &HashMap<(u32, u32), f64>) -> f64 {\n\
+                   usage.values().sum::<f64>()\n\
+               }\n";
+    let findings = detlint::scan_source(
+        "crates/framework/src/sdn.rs",
+        "crates/framework/src/sdn.rs",
+        src,
+    );
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"unordered-iter"), "{findings:#?}");
+    assert!(rules.contains(&"float-unordered-fold"), "{findings:#?}");
+}

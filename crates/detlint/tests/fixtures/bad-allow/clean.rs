@@ -1,0 +1,17 @@
+// detlint-fixture-path: crates/netsim/src/fixture.rs
+// Negative corpus: well-formed suppressions — named rule(s) plus a
+// substantive justification.
+use std::collections::HashMap;
+
+fn single_rule(m: &HashMap<u32, u32>) -> usize {
+    // detlint: allow(unordered-iter) — counting elements; an integer
+    // count is order-independent by construction.
+    m.keys().count()
+}
+
+fn multi_rule(m: &HashMap<u32, f64>) -> f64 {
+    // detlint: allow(unordered-iter, float-unordered-fold) — the sum
+    // feeds a log line rounded to whole Mbps; sub-ULP order effects
+    // cannot survive the rounding.
+    m.values().sum::<f64>()
+}

@@ -1,0 +1,23 @@
+// detlint-fixture-path: crates/netsim/src/fixture.rs
+// Positive corpus: suppressions that must be rejected — the escape
+// hatch requires a justification and a real rule name.
+
+fn missing_justification() -> u128 {
+    // detlint: allow(wall-clock)
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+fn unknown_rule_name(x: Option<u32>) -> u32 {
+    // detlint: allow(wall-time) — close, but not a rule name
+    x.unwrap_or(0)
+}
+
+fn empty_rule_list() -> u64 {
+    // detlint: allow() — no rule named at all
+    0
+}
+
+fn dashes_are_not_a_justification() -> u64 {
+    // detlint: allow(unordered-iter) — ——
+    0
+}

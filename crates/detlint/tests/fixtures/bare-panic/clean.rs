@@ -1,0 +1,26 @@
+// detlint-fixture-path: crates/netsim/src/sim.rs
+// Negative corpus: errors propagate; the one justified panic carries
+// its invariant; tests may assert freely.
+
+fn pop_due_event(sim: &mut Sim) -> Result<Event, NetsimError> {
+    sim.events.pop().ok_or(NetsimError::NoEventsDue)
+}
+
+fn lookup_link(sim: &Sim, id: LinkId) -> Result<&Link, NetsimError> {
+    sim.topo.link_checked(id).ok_or(NetsimError::UnknownLink(id))
+}
+
+fn schedule_validated(sim: &mut Sim, ev: Event) {
+    // detlint: allow(bare-panic) — schedule() validated the event's
+    // adjacency above; a panic here means schedule() broke its own
+    // contract, which must be loud.
+    sim.queue.push_validated(ev).expect("validated event");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

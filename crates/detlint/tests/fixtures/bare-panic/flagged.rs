@@ -1,0 +1,21 @@
+// detlint-fixture-path: crates/netsim/src/sim.rs
+// Positive corpus: panics on the simulator hot path. A panic here
+// tears down a scenario run mid-flight instead of surfacing an error
+// the scorecard can record.
+
+fn pop_due_event(sim: &mut Sim) -> Event {
+    sim.events.pop().unwrap()
+}
+
+fn lookup_link(sim: &Sim, id: LinkId) -> &Link {
+    sim.topo.link_checked(id).expect("link must exist")
+}
+
+fn reject(kind: u8) {
+    match kind {
+        0 => panic!("bad kind"),
+        1 => unreachable!(),
+        2 => todo!("later"),
+        _ => unimplemented!(),
+    }
+}

@@ -1,0 +1,20 @@
+// detlint-fixture-path: crates/framework/src/fixture.rs
+// Negative corpus: reductions over ordered sequences are fine — the
+// term order, and therefore the rounding, is reproducible.
+use std::collections::BTreeMap;
+
+fn ordered_total(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>()
+}
+
+fn btree_total(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+
+fn vec_fold(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |acc, x| acc + x)
+}
+
+fn integer_sum_is_order_free(counts: &[u64]) -> u64 {
+    counts.iter().sum::<u64>()
+}

@@ -1,0 +1,17 @@
+// detlint-fixture-path: crates/framework/src/fixture.rs
+// Positive corpus: the exact bug shape that once broke bit-replay —
+// a floating-point reduction whose term order depends on HashMap
+// iteration order. ULP-level drift in the sum flipped an RFR routing
+// decision between two runs of the same scenario. The unordered-iter
+// allows isolate the fold rule; that iteration has its own corpus.
+use std::collections::HashMap;
+
+fn total_usage(link_usage: &HashMap<(u32, u32), f64>) -> f64 {
+    // detlint: allow(unordered-iter) — fixture isolates the fold rule.
+    link_usage.values().sum::<f64>()
+}
+
+fn weighted_cost(m: &HashMap<u32, f64>) -> f64 {
+    // detlint: allow(unordered-iter) — fixture isolates the fold rule.
+    m.values().map(|c| c * 0.5).fold(0.0, |acc, c| acc + c)
+}

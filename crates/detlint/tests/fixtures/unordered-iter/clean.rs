@@ -1,0 +1,34 @@
+// detlint-fixture-path: crates/netsim/src/fixture.rs
+// Negative corpus: ordered collections, lookup-only hash maps, and a
+// justified suppression — none of this may be flagged.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+fn btree_iteration(m: &BTreeMap<u32, f64>) -> usize {
+    m.iter().count()
+}
+
+fn btreeset_for_loop(s: &BTreeSet<u32>) {
+    for x in s {
+        emit_one(x);
+    }
+}
+
+fn lookup_only(m: &HashMap<String, u32>, key: &str) -> Option<u32> {
+    m.get(key).copied()
+}
+
+fn vec_iteration(v: &[u32]) -> usize {
+    v.iter().filter(|x| **x > 0).count()
+}
+
+fn slice_param_shadows_field(names: &[&str]) -> usize {
+    // `names` here is a slice even if a hash field elsewhere shares
+    // the name; parameter shadowing must win.
+    names.iter().count()
+}
+
+fn justified(m: &HashMap<u32, u32>) -> usize {
+    // detlint: allow(unordered-iter) — counting elements; an integer
+    // count is order-independent by construction.
+    m.keys().count()
+}

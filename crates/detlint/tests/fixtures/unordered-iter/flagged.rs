@@ -1,0 +1,52 @@
+// detlint-fixture-path: crates/netsim/src/fixture.rs
+// Positive corpus: every function below iterates an unordered hash
+// collection in a determinism-critical crate and must be flagged.
+// Fixtures are never compiled; they only need to lex like real code.
+use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
+
+struct Telemetry {
+    series: HashMap<String, Vec<f64>>,
+}
+
+fn direct_iter(m: &HashMap<u32, f64>) {
+    for (k, v) in m.iter() {
+        emit(k, v);
+    }
+}
+
+fn bare_for_over_set(set: &HashSet<u32>) {
+    for x in set {
+        emit_one(x);
+    }
+}
+
+fn keys_through_lock(guarded: &RwLock<HashMap<String, u32>>) {
+    for key in guarded.read().unwrap().keys() {
+        emit_key(key);
+    }
+}
+
+fn inferred_let_binding() {
+    let mut scratch = HashMap::new();
+    scratch.insert(1u32, 2u32);
+    for (a, b) in scratch.drain() {
+        emit(a, b);
+    }
+}
+
+impl Telemetry {
+    fn field_values(&self) -> usize {
+        self.series.values().count()
+    }
+}
+
+fn from_return_type() {
+    for (k, v) in snapshot().into_iter() {
+        emit(k, v);
+    }
+}
+
+fn snapshot() -> HashMap<u32, f64> {
+    unrelated()
+}

@@ -1,0 +1,22 @@
+// detlint-fixture-path: crates/scenarios/src/fixture.rs
+// Negative corpus: all randomness flows from an explicit u64 seed;
+// tests may use ambient entropy for exploration.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn derived(scenario_seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(scenario_seed ^ stream.rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exploration_may_use_ambient_entropy() {
+        let mut rng = rand::thread_rng();
+        let _ = rng.gen_range(0..10);
+    }
+}

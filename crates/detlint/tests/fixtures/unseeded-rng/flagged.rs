@@ -1,0 +1,20 @@
+// detlint-fixture-path: crates/scenarios/src/fixture.rs
+// Positive corpus: ambient entropy in non-test code.
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+fn seed_from_os() -> StdRng {
+    StdRng::from_entropy()
+}
+
+fn os_rng_direct() -> u64 {
+    let mut r = OsRng;
+    r.next_u64()
+}
+
+fn ambient_random() -> u8 {
+    rand::random()
+}

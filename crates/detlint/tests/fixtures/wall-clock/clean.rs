@@ -1,0 +1,17 @@
+// detlint-fixture-path: crates/framework/src/fixture.rs
+// Negative corpus: simulated time from the event clock, plus a
+// justified measurement-only read.
+
+fn event_clock(sim: &netsim::Sim) -> u64 {
+    sim.now_ms()
+}
+
+fn elapsed_sim_time(start_ms: u64, now_ms: u64) -> u64 {
+    now_ms.saturating_sub(start_ms)
+}
+
+fn reported_fit_time() -> u128 {
+    // detlint: allow(wall-clock) — fit-time is a reported measurement
+    // printed in the run summary, never fed back into a decision.
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,10 @@
+// detlint-fixture-path: crates/bench/src/fixture.rs
+// Negative corpus: crates/bench is the one place wall-clock timing is
+// the whole point — exempt without annotation.
+use std::time::Instant;
+
+fn bench_once(f: impl FnOnce()) -> u128 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,18 @@
+// detlint-fixture-path: crates/framework/src/fixture.rs
+// Positive corpus: wall-clock reads outside bench/examples.
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}
+
+fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn chrono_style() -> i64 {
+    Utc::now().timestamp_millis()
+}

@@ -1,0 +1,30 @@
+//! The lint must hold on the workspace that ships it: scanning the
+//! real tree from the repo root produces zero findings. This is the
+//! same invariant CI gates on, kept here so `cargo test` alone catches
+//! a regression before the CI step does.
+
+use std::path::Path;
+
+#[test]
+fn workspace_scan_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = detlint::workspace_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "suspiciously few files ({}) — walker broke?",
+        files.len()
+    );
+    // The walker must have skipped vendored code and fixtures.
+    for f in &files {
+        let p = f.to_string_lossy().replace('\\', "/");
+        assert!(!p.contains("/vendor/"), "{p}");
+        assert!(!p.contains("/fixtures/"), "{p}");
+        assert!(!p.contains("/target/"), "{p}");
+    }
+    let findings = detlint::scan_files(&root, &files, None).expect("scan");
+    assert!(
+        findings.is_empty(),
+        "the workspace must be detlint-clean:\n{}",
+        detlint::render_text(&findings, files.len())
+    );
+}

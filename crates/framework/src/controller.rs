@@ -207,9 +207,10 @@ fn place_batch(caps: &[f64], demands: &[Option<f64>]) -> Result<Vec<usize>, Fram
                 None => residual / (greedy_count[t] + 1) as f64,
             }
         };
-        let best = (0..caps.len())
-            .max_by(|&a, &b| share(a).total_cmp(&share(b)))
-            .expect("candidates are non-empty");
+        let Some(best) = (0..caps.len()).max_by(|&a, &b| share(a).total_cmp(&share(b))) else {
+            // No candidate tunnels at all: nothing to place on.
+            return Err(FrameworkError::NoFeasiblePath);
+        };
         match demand {
             Some(d) => reserved[best] += d,
             None => greedy_count[best] += 1,

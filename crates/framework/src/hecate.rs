@@ -29,7 +29,7 @@ use crate::FrameworkError;
 use hecate_ml::pipeline::{forecast_next, TrainedForecaster};
 use hecate_ml::RegressorKind;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -87,9 +87,14 @@ struct CacheEntry {
 /// map-wide `RwLock` is only held to look up or publish an entry, and
 /// the per-entry mutex covers the window slide + roll. Only calls for
 /// the same series contend — which is the correct serialization anyway.
+/// Entries are kept in a `BTreeMap` so any future enumeration of the
+/// cache (stats dumps, eviction sweeps) is deterministic by
+/// construction; lookups on the decision hot path are over a few
+/// hundred series at most, where the tree walk is noise next to a
+/// model roll.
 #[derive(Debug, Default)]
 struct CacheInner {
-    entries: RwLock<HashMap<SeriesKey, Arc<Mutex<CacheEntry>>>>,
+    entries: RwLock<BTreeMap<SeriesKey, Arc<Mutex<CacheEntry>>>>,
     hits: AtomicU64,
     updates: AtomicU64,
     refits: AtomicU64,

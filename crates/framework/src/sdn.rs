@@ -18,7 +18,7 @@ use freertr::resolve::{allocator_for, compile_tunnel, CompiledTunnel};
 use netsim::topo::global_p4_lab;
 use netsim::{Event, FlowId, FlowSpec, NodeIdx, Simulation};
 use polka::NodeIdAllocator;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One managed flow's bookkeeping.
 #[derive(Debug, Clone)]
@@ -70,7 +70,7 @@ pub struct SelfDrivingNetwork {
     #[allow(dead_code)] // owns the router agent threads (keep-alive)
     mq: MessageQueue,
     pub(crate) alloc: NodeIdAllocator,
-    pub(crate) tunnels: HashMap<String, CompiledTunnel>,
+    pub(crate) tunnels: BTreeMap<String, CompiledTunnel>,
     /// Every tunnel, all pairs, in pair-then-discovery order.
     tunnel_order: Vec<String>,
     pub(crate) flows: Vec<ManagedFlow>,
@@ -97,7 +97,7 @@ impl SelfDrivingNetwork {
         let edge = mq.router("MIA");
         edge.apply_text(&fig10_mia_config().emit())?;
         let cfg = edge.running_config();
-        let mut tunnels = HashMap::new();
+        let mut tunnels = BTreeMap::new();
         let mut tunnel_order = Vec::new();
         for t in &cfg.tunnels {
             let compiled = compile_tunnel(t, &topo, &mut alloc)?;
@@ -190,7 +190,7 @@ impl SelfDrivingNetwork {
         }
         let mut alloc = allocator_for(&topo);
         let mut mq = MessageQueue::new();
-        let mut tunnels = HashMap::new();
+        let mut tunnels = BTreeMap::new();
         let mut tunnel_order = Vec::new();
         let mut pairs = Vec::with_capacity(endpoints.len());
         for (i, &(ingress, egress)) in endpoints.iter().enumerate() {
@@ -360,7 +360,7 @@ impl SelfDrivingNetwork {
     pub fn collect_telemetry(&mut self) -> Result<(), FrameworkError> {
         let t = self.sim.now_ms();
         // Per-tunnel metrics measured on the router-to-router path.
-        let mut usage_per_tunnel: HashMap<&str, f64> = HashMap::new();
+        let mut usage_per_tunnel: BTreeMap<&str, f64> = BTreeMap::new();
         for f in &self.flows {
             let rate = self.sim.flow_rate(f.id).unwrap_or(0.0);
             *usage_per_tunnel.entry(f.tunnel.as_str()).or_insert(0.0) += rate;
@@ -667,7 +667,7 @@ impl SelfDrivingNetwork {
     /// that link. Link indexing is first-seen in tunnel order, so the
     /// model is deterministic.
     pub fn link_model(&self, include_managed: bool) -> SharedLinkModel {
-        let mut index: HashMap<(NodeIdx, NodeIdx), usize> = HashMap::new();
+        let mut index: BTreeMap<(NodeIdx, NodeIdx), usize> = BTreeMap::new();
         let mut headroom: Vec<f64> = Vec::new();
         let mut tunnel_links: Vec<Vec<usize>> = Vec::with_capacity(self.tunnel_order.len());
         for name in &self.tunnel_order {

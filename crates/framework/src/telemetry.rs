@@ -6,11 +6,11 @@
 //! Service, where it is stored in a time series database for analysis."
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What a sample measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Metric {
     /// Available bandwidth on a path (Mbps).
     AvailableBandwidth,
@@ -33,8 +33,10 @@ impl Metric {
     }
 }
 
-/// A series key: target (path/flow/link name) plus metric.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// A series key: target (path/flow/link name) plus metric. Keys are
+/// totally ordered (target, then metric) so stores can keep series in
+/// a deterministic sorted order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeriesKey {
     /// Path, flow or link name.
     pub target: String,
@@ -146,9 +148,15 @@ impl SampleRing {
 }
 
 /// The time-series store. Cheap to clone (shared behind an `Arc`).
+///
+/// Series live in a `BTreeMap` so every enumeration
+/// ([`TelemetryService::keys`]) comes back in sorted key order —
+/// hash-map iteration order varies per process, which is exactly the
+/// nondeterminism the replay contract (and the `detlint`
+/// `unordered-iter` rule) forbids.
 #[derive(Debug, Clone)]
 pub struct TelemetryService {
-    inner: Arc<RwLock<HashMap<SeriesKey, SampleRing>>>,
+    inner: Arc<RwLock<BTreeMap<SeriesKey, SampleRing>>>,
     /// Retained samples per series (ring semantics).
     capacity: usize,
 }
@@ -257,7 +265,7 @@ impl TelemetryService {
         self.len(key) == 0
     }
 
-    /// All known series keys.
+    /// All known series keys, in sorted (deterministic) order.
     pub fn keys(&self) -> Vec<SeriesKey> {
         self.inner.read().keys().cloned().collect()
     }

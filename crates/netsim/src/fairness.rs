@@ -9,7 +9,7 @@
 //! freeze at their demand as soon as the rising water level reaches it.
 
 use crate::topo::{LinkId, NodeIdx, Topology};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One flow's view for the allocator: its links and optional demand cap.
 #[derive(Debug, Clone)]
@@ -58,8 +58,10 @@ pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
         return rates;
     }
     // Per directed-link remaining capacity and unfrozen flow lists.
-    let mut remaining: HashMap<(LinkId, Direction), f64> = HashMap::new();
-    let mut members: HashMap<(LinkId, Direction), Vec<usize>> = HashMap::new();
+    // Sorted maps: the bottleneck scan below iterates them, and that
+    // iteration order must be reproducible across processes.
+    let mut remaining: BTreeMap<(LinkId, Direction), f64> = BTreeMap::new();
+    let mut members: BTreeMap<(LinkId, Direction), Vec<usize>> = BTreeMap::new();
     let mut frozen = vec![false; n];
     for (i, f) in flows.iter().enumerate() {
         let dead = f.links.iter().any(|(lid, _)| !topo.link(*lid).up);
@@ -83,10 +85,11 @@ pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
         if frozen.iter().all(|f| *f) {
             break;
         }
-        // Fair share offered by each still-shared link. Ties break to
-        // the smallest (link, direction) key — NOT hash-map order,
-        // which varies per process and would make which flows freeze
-        // this round (and thus every downstream rate) irreproducible.
+        // Fair share offered by each still-shared link. The map
+        // iterates in sorted key order, and ties still break
+        // explicitly to the smallest (link, direction) key — which
+        // flows freeze this round (and thus every downstream rate)
+        // must be reproducible across processes.
         let mut min_share = f64::INFINITY;
         let mut min_key: Option<(LinkId, Direction)> = None;
         for (key, cap) in &remaining {
@@ -207,7 +210,7 @@ mod tests {
         ];
         let rates = max_min_allocation(&t, &flows);
         // Recompute per-directed-link usage and compare with capacity.
-        let mut usage: HashMap<(LinkId, Direction), f64> = HashMap::new();
+        let mut usage: BTreeMap<(LinkId, Direction), f64> = BTreeMap::new();
         for (f, r) in flows.iter().zip(&rates) {
             for &(lid, dir) in &f.links {
                 *usage.entry((lid, dir)).or_insert(0.0) += r;

@@ -8,7 +8,7 @@ use crate::NetsimError;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Simulation time in integer milliseconds (deterministic ordering).
 pub type SimTimeMs = u64;
@@ -161,12 +161,9 @@ impl Simulation {
         };
         while self.now_ms < until_ms {
             // apply all events due at or before now
-            while let Some(top) = self.events.peek() {
-                if top.at > self.now_ms {
-                    break;
-                }
-                let ev = self.events.pop().expect("peeked").event;
-                self.apply(ev);
+            while self.events.peek().is_some_and(|top| top.at <= self.now_ms) {
+                let Some(due) = self.events.pop() else { break };
+                self.apply(due.event);
             }
             if self.dirty {
                 self.recompute_fair_shares();
@@ -256,9 +253,11 @@ impl Simulation {
     /// order: float accumulation is order-sensitive at the ULP level,
     /// and hash-map iteration order varies per process — enough to
     /// flip a downstream forecast-driven routing decision and break
-    /// bit-for-bit replay.
-    fn link_utilization(&self) -> HashMap<(LinkId, Direction), f64> {
-        let mut used: HashMap<(LinkId, Direction), f64> = HashMap::new();
+    /// bit-for-bit replay. The result is a sorted map, so consumers
+    /// that enumerate it inherit a deterministic (link, direction)
+    /// order for free.
+    fn link_utilization(&self) -> BTreeMap<(LinkId, Direction), f64> {
+        let mut used: BTreeMap<(LinkId, Direction), f64> = BTreeMap::new();
         for f in self.flow_order.iter().filter_map(|id| self.flows.get(id)) {
             if let Ok(links) = directed_links(&self.topo, &f.path) {
                 for (lid, dir) in links {
@@ -266,21 +265,18 @@ impl Simulation {
                 }
             }
         }
-        used.into_iter()
-            .map(|((lid, dir), mbps)| {
-                let cap = self.topo.link(lid).capacity_mbps.max(1e-9);
-                ((lid, dir), (mbps / cap).min(1.0))
-            })
-            .collect()
+        for ((lid, _), mbps) in used.iter_mut() {
+            let cap = self.topo.link(*lid).capacity_mbps.max(1e-9);
+            *mbps = (*mbps / cap).min(1.0);
+        }
+        used
     }
 
     fn sample_telemetry(&mut self) {
         let at = self.now_ms;
-        let mut utils: Vec<((LinkId, Direction), f64)> =
-            self.link_utilization().into_iter().collect();
-        // Hash-map order varies per process; recorded telemetry should
-        // replay byte-for-byte.
-        utils.sort_by_key(|((lid, dir), _)| (*lid, *dir));
+        // Sorted-map iteration: recorded telemetry replays
+        // byte-for-byte without an explicit sort.
+        let utils: Vec<((LinkId, Direction), f64)> = self.link_utilization().into_iter().collect();
         let mut records = Vec::new();
         for f in self.flow_order.iter().filter_map(|id| self.flows.get(id)) {
             records.push(TelemetryRecord {
@@ -325,6 +321,9 @@ impl Simulation {
                 start_ms + i as u64 * interval_ms,
                 Event::SetLinkCapacity(link, v.max(0.0)),
             )
+            // detlint: allow(bare-panic) — SetLinkCapacity carries no
+            // path, so schedule's adjacency validation cannot fail; a
+            // panic here means schedule() itself changed contract.
             .expect("capacity events are always schedulable");
         }
     }

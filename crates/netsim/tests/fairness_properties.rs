@@ -5,7 +5,7 @@ use netsim::fairness::{directed_links, max_min_allocation, AllocFlow, Direction}
 use netsim::topo::{mesh, LinkId, Topology};
 use netsim::NodeIdx;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Builds a random flow set over shortest paths in a mesh.
 fn flows_from_seed(topo: &Topology, n_flows: usize, seed: u64) -> Vec<AllocFlow> {
@@ -37,8 +37,8 @@ fn flows_from_seed(topo: &Topology, n_flows: usize, seed: u64) -> Vec<AllocFlow>
         .collect()
 }
 
-fn usage_by_link(flows: &[AllocFlow], rates: &[f64]) -> HashMap<(LinkId, Direction), f64> {
-    let mut usage = HashMap::new();
+fn usage_by_link(flows: &[AllocFlow], rates: &[f64]) -> BTreeMap<(LinkId, Direction), f64> {
+    let mut usage = BTreeMap::new();
     for (f, r) in flows.iter().zip(rates) {
         for &(lid, dir) in &f.links {
             *usage.entry((lid, dir)).or_insert(0.0) += r;
