@@ -15,18 +15,21 @@
 //!   repro throughput     # cold vs warm ForecastEngine decisions/sec
 //!   repro steering       # framework-in-the-loop steering extension
 //!   repro scenarios      # scenario-suite policy matrix (topology zoo)
+//!   repro sim            # event-core scale-out (scale-1k) + BENCH_sim.json
 //!   repro mlp            # future-work MLP extension
 //!   repro cv             # walk-forward model selection extension
 //!
 //! `SCENARIO_SMOKE=1` shrinks the scenario suite to the CI subset
-//! (same scenarios, 40% horizon).
+//! (same scenarios, 40% horizon; `sim` runs the 40%-horizon scale-1k
+//! cut). `sim` also writes machine-readable `BENCH_sim.json` (events/sec
+//! and wall time) to the working directory.
 
 use bench::figures;
 use bench::format_series;
 use hecate_ml::RegressorKind;
 
 /// The single source of truth for figure names and their runners.
-const FIGURES: [(&str, fn()); 15] = [
+const FIGURES: [(&str, fn()); 16] = [
     ("fig1", fig1),
     ("fig2", fig2),
     ("fig5", fig5),
@@ -40,6 +43,7 @@ const FIGURES: [(&str, fn()); 15] = [
     ("forwarding", forwarding),
     ("steering", steering),
     ("scenarios", scenario_suite),
+    ("sim", sim_scale),
     ("mlp", mlp),
     ("cv", cv),
 ];
@@ -292,6 +296,41 @@ fn scenario_suite() {
         "\n(goodput = mean aggregate Mbps; p50/p99 over per-flow per-epoch samples; \
          recovery = epochs back to 80% of pre-failure aggregate; deterministic per seed)"
     );
+}
+
+fn sim_scale() {
+    let smoke = std::env::var("SCENARIO_SMOKE").is_ok_and(|v| v == "1");
+    banner(
+        "ext-sim",
+        &format!(
+            "event-driven core at scale: scale-1k{} run twice, bit-identity asserted",
+            if smoke { " (smoke cut)" } else { "" }
+        ),
+    );
+    let r = figures::sim_scale(smoke);
+    println!(
+        "{}: {} epochs, {} queue events, {:.2} s wall, {:.0} events/s, {:.2} Mbps managed aggregate",
+        r.scenario, r.epochs, r.sim_events, r.wall_s, r.events_per_sec, r.mean_aggregate_mbps
+    );
+    println!("replay check: two runs produced bit-identical scorecards");
+    // Machine-readable drop for CI trend tracking. Hand-rolled JSON —
+    // the workspace has no serde, and six fields don't need one.
+    let json = format!(
+        "{{\n  \"scenario\": \"{}\",\n  \"smoke\": {},\n  \"epochs\": {},\n  \
+         \"sim_events\": {},\n  \"wall_s\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
+         \"mean_aggregate_mbps\": {:.4}\n}}\n",
+        r.scenario,
+        smoke,
+        r.epochs,
+        r.sim_events,
+        r.wall_s,
+        r.events_per_sec,
+        r.mean_aggregate_mbps
+    );
+    match std::fs::write("BENCH_sim.json", &json) {
+        Ok(()) => println!("wrote BENCH_sim.json"),
+        Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
+    }
 }
 
 fn mlp() {

@@ -505,7 +505,12 @@ pub struct ScenarioMatrix {
 /// Deterministic end to end: same build, same numbers, bit for bit.
 pub fn scenario_suite(smoke: bool) -> Vec<ScenarioMatrix> {
     let cat = if smoke {
-        scenarios::catalog_smoke()
+        // The smoke subset also carries the event-core scale-out at its
+        // reduced horizon — CI exercises the 1000-node/100k-flow path
+        // on every push.
+        let mut cat = scenarios::catalog_smoke();
+        cat.push(scenarios::scale_1k_smoke());
+        cat
     } else {
         scenarios::catalog()
     };
@@ -516,6 +521,51 @@ pub fn scenario_suite(smoke: bool) -> Vec<ScenarioMatrix> {
             cards: s.run_matrix().expect("catalog scenarios run"),
         })
         .collect()
+}
+
+/// What the event-core scale-out run measured: wall-clock throughput
+/// plus the determinism double-check.
+#[derive(Debug, Clone)]
+pub struct SimScaleReport {
+    /// Scenario name (`scale-1k`, possibly smoke-scaled).
+    pub scenario: String,
+    /// Epochs executed (1 epoch = 1 simulated second).
+    pub epochs: u64,
+    /// Simulator queue events applied (external + internal).
+    pub sim_events: u64,
+    /// Wall-clock seconds of the first (timed) run.
+    pub wall_s: f64,
+    /// `sim_events / wall_s`.
+    pub events_per_sec: f64,
+    /// Mean aggregate managed goodput (Mbps) — a sanity anchor that the
+    /// run did real work.
+    pub mean_aggregate_mbps: f64,
+}
+
+/// Extension: the `scale-1k` event-core scale-out — a 1000-node Waxman
+/// WAN carrying ~100k elastic background flows, run under the Hecate
+/// policy. Runs the scenario **twice** and asserts the two scorecards
+/// are bit-identical (the determinism contract at scale), timing the
+/// first run. `smoke` selects the 40%-horizon CI cut.
+pub fn sim_scale(smoke: bool) -> SimScaleReport {
+    let s = if smoke {
+        scenarios::scale_1k_smoke()
+    } else {
+        scenarios::scale_1k()
+    };
+    let t0 = std::time::Instant::now();
+    let a = s.run(scenarios::Policy::Hecate).expect("scale-1k runs");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let b = s.run(scenarios::Policy::Hecate).expect("scale-1k replays");
+    assert_eq!(a, b, "scale-1k must replay bit-identically");
+    SimScaleReport {
+        scenario: s.name.clone(),
+        epochs: a.epochs,
+        sim_events: a.sim_events,
+        wall_s,
+        events_per_sec: a.sim_events as f64 / wall_s.max(1e-9),
+        mean_aggregate_mbps: a.mean_aggregate_mbps,
+    }
 }
 
 #[cfg(test)]

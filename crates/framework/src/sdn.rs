@@ -349,7 +349,7 @@ impl SelfDrivingNetwork {
                 self.admit_flows(&due, Objective::MaxBandwidth)?;
             }
             let next = (self.sim.now_ms() + self.sample_ms).min(until_ms);
-            self.sim.run_until(next, 100, self.sample_ms);
+            self.sim.run_until(next, self.sample_ms);
             self.collect_telemetry()?;
         }
         Ok(())

@@ -8,8 +8,9 @@
 //! share, remove the used capacity, and continue. Demand-limited flows
 //! freeze at their demand as soon as the rising water level reaches it.
 
+use crate::flow::FlowId;
 use crate::topo::{LinkId, NodeIdx, Topology};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One flow's view for the allocator: its links and optional demand cap.
 #[derive(Debug, Clone)]
@@ -136,6 +137,502 @@ pub fn max_min_allocation(topo: &Topology, flows: &[AllocFlow]) -> Vec<f64> {
         }
     }
     rates
+}
+
+/// Saturation / feasibility tolerance in Mbps.
+const EPS: f64 = 1e-9;
+/// Expansion-fixpoint iterations before falling back to a full solve.
+const MAX_EXPANSIONS: usize = 8;
+
+/// Audit counters for the incremental allocator: how often the
+/// restricted solve sufficed versus escalating to a full water-fill.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WaterfillStats {
+    /// Restricted (component-local) solves that converged.
+    pub incremental_solves: u64,
+    /// Solves that escalated to the full flow set (audited fallback).
+    pub full_solves: u64,
+    /// Component-expansion iterations across all solves.
+    pub expansions: u64,
+    /// Events absorbed with no water-fill at all (e.g. a demand-limited
+    /// arrival onto links with spare capacity).
+    pub fast_path_events: u64,
+}
+
+#[derive(Debug, Clone)]
+struct EngFlow {
+    links: Vec<(LinkId, Direction)>,
+    demand: Option<f64>,
+    /// Current raw (pre-efficiency) max-min rate.
+    rate: f64,
+    /// True when the flow's path crosses a failed link: it holds no
+    /// capacity and carries nothing until the link is restored.
+    dead: bool,
+}
+
+impl EngFlow {
+    fn at_demand(&self) -> bool {
+        self.demand.is_some_and(|d| self.rate >= d - EPS)
+    }
+}
+
+/// Incremental max-min fair allocator.
+///
+/// Maintains per-flow rates and per-directed-link membership sets across
+/// arrival/departure/reroute/capacity events, re-water-filling only the
+/// *affected component*: the event's flows plus, iteratively, any
+/// outside flow whose own allocation the restricted solve would
+/// invalidate (squeezed above the link's new water level, eligible to
+/// grow into freed capacity, or bottlenecked at a link whose level
+/// rose). The expansion fixpoint is exact — when no outside flow
+/// triggers, the Bertsekas–Gallager max-min certificate (every
+/// non-demand-capped flow has a saturated link where its rate is
+/// maximal) still holds for all untouched flows, so the merged
+/// allocation equals the full water-fill up to float rounding. A
+/// proptest in `netsim/tests` pins incremental ≡ full; full solves
+/// remain available as an audited fallback ([`WaterfillStats`]).
+///
+/// Everything iterates `BTreeMap`/`BTreeSet` so float accumulation
+/// order — and therefore every rate — is reproducible bit-for-bit.
+#[derive(Debug, Default)]
+pub struct FairShareEngine {
+    flows: BTreeMap<FlowId, EngFlow>,
+    members: BTreeMap<(LinkId, Direction), BTreeSet<FlowId>>,
+    live: usize,
+    seeds: BTreeSet<FlowId>,
+    changed: BTreeMap<FlowId, f64>,
+    stats: WaterfillStats,
+}
+
+impl FairShareEngine {
+    /// A fresh engine with no flows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a flow. `links: None` means the path crosses a failed
+    /// link right now — the flow is tracked but dead (rate 0) until a
+    /// restore revives it. Re-inserting an existing id replaces it.
+    pub fn insert_flow(
+        &mut self,
+        topo: &Topology,
+        id: FlowId,
+        links: Option<Vec<(LinkId, Direction)>>,
+        demand: Option<f64>,
+    ) {
+        if self.flows.contains_key(&id) {
+            self.remove_flow(topo, id);
+        }
+        let Some(links) = links else {
+            self.flows.insert(
+                id,
+                EngFlow {
+                    links: Vec::new(),
+                    demand,
+                    rate: 0.0,
+                    dead: true,
+                },
+            );
+            self.changed.insert(id, 0.0);
+            return;
+        };
+        // Fast path, proven exact by the max-min certificate: a
+        // demand-limited arrival whose every link keeps spare capacity
+        // even after granting the demand saturates nothing, so no other
+        // flow's certificate link changes.
+        let fast =
+            demand.is_some_and(|d| links.iter().all(|key| self.residual(topo, *key) > d + EPS));
+        let rate = if fast {
+            demand.expect("fast implies demand")
+        } else {
+            0.0
+        };
+        for key in &links {
+            self.members.entry(*key).or_default().insert(id);
+        }
+        self.flows.insert(
+            id,
+            EngFlow {
+                links,
+                demand,
+                rate,
+                dead: false,
+            },
+        );
+        self.live += 1;
+        if fast {
+            self.stats.fast_path_events += 1;
+            self.changed.insert(id, rate);
+        } else {
+            self.seeds.insert(id);
+        }
+    }
+
+    /// Unregisters a flow, seeding neighbors that can grow into the
+    /// capacity it releases.
+    pub fn remove_flow(&mut self, topo: &Topology, id: FlowId) {
+        let Some(f) = self.flows.get(&id).cloned() else {
+            return;
+        };
+        if !f.dead {
+            self.release_seeds(topo, &f.links, id);
+            self.drop_membership(&f.links, id);
+            self.live -= 1;
+        }
+        self.flows.remove(&id);
+        self.seeds.remove(&id);
+        self.changed.remove(&id);
+    }
+
+    /// Repoints a flow at a new link set (`None` = now dead). Used for
+    /// reroutes and for link up/down transitions, where the caller
+    /// re-derives the path's live links.
+    pub fn set_links(
+        &mut self,
+        topo: &Topology,
+        id: FlowId,
+        links: Option<Vec<(LinkId, Direction)>>,
+    ) {
+        let Some(cur) = self.flows.get(&id) else {
+            return;
+        };
+        let (was_dead, old_links) = (cur.dead, cur.links.clone());
+        match links {
+            None => {
+                if was_dead {
+                    return;
+                }
+                self.release_seeds(topo, &old_links, id);
+                self.drop_membership(&old_links, id);
+                self.live -= 1;
+                let f = self.flows.get_mut(&id).expect("checked above");
+                f.dead = true;
+                f.links = Vec::new();
+                f.rate = 0.0;
+                self.seeds.remove(&id);
+                self.changed.insert(id, 0.0);
+            }
+            Some(new_links) => {
+                if !was_dead && new_links == old_links {
+                    return;
+                }
+                if was_dead {
+                    self.live += 1;
+                } else {
+                    self.release_seeds(topo, &old_links, id);
+                    self.drop_membership(&old_links, id);
+                }
+                for key in &new_links {
+                    self.members.entry(*key).or_default().insert(id);
+                }
+                let f = self.flows.get_mut(&id).expect("checked above");
+                f.dead = false;
+                f.links = new_links;
+                self.seeds.insert(id);
+            }
+        }
+    }
+
+    /// Marks a link's capacity as changed: all its member flows (both
+    /// directions) re-solve. Call after updating the topology.
+    pub fn capacity_changed(&mut self, lid: LinkId) {
+        for dir in [Direction::Forward, Direction::Reverse] {
+            if let Some(mem) = self.members.get(&(lid, dir)) {
+                self.seeds.extend(mem.iter().copied());
+            }
+        }
+    }
+
+    /// Re-solves everything the batched events since the last resolve
+    /// touched, returning `(flow, new raw rate)` for every flow whose
+    /// rate changed — sorted by flow id, so downstream share updates
+    /// replay deterministically.
+    pub fn resolve(&mut self, topo: &Topology) -> Vec<(FlowId, f64)> {
+        let seeds = std::mem::take(&mut self.seeds);
+        let comp: BTreeSet<FlowId> = seeds
+            .into_iter()
+            .filter(|id| self.flows.get(id).is_some_and(|f| !f.dead))
+            .collect();
+        if !comp.is_empty() {
+            self.solve(topo, comp);
+        }
+        std::mem::take(&mut self.changed).into_iter().collect()
+    }
+
+    /// Current raw rate of a flow (0 for dead flows).
+    pub fn rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// All `(flow, raw rate)` pairs, sorted by flow id.
+    pub fn rates(&self) -> Vec<(FlowId, f64)> {
+        self.flows.iter().map(|(id, f)| (*id, f.rate)).collect()
+    }
+
+    /// Number of live (non-dead) flows.
+    pub fn live_flows(&self) -> usize {
+        self.live
+    }
+
+    /// Audit counters.
+    pub fn stats(&self) -> WaterfillStats {
+        self.stats
+    }
+
+    fn drop_membership(&mut self, links: &[(LinkId, Direction)], id: FlowId) {
+        for key in links {
+            if let Some(mem) = self.members.get_mut(key) {
+                mem.remove(&id);
+                if mem.is_empty() {
+                    self.members.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Remaining capacity of a directed link given current rates.
+    fn residual(&self, topo: &Topology, key: (LinkId, Direction)) -> f64 {
+        let cap = topo.link(key.0).capacity_mbps;
+        let used: f64 = self
+            .members
+            .get(&key)
+            .map(|mem| mem.iter().map(|m| self.flows[m].rate).sum())
+            .unwrap_or(0.0);
+        cap - used
+    }
+
+    /// When `leaving` is about to stop holding capacity on `links`,
+    /// seed the members of each *currently saturated* such link that
+    /// were bottlenecked there (rate at the link's water level, not
+    /// demand-capped) — they are the flows entitled to grow. A flow at
+    /// rate ≤ EPS releases nothing and an unsaturated link constrains
+    /// nobody, so both skip straight through — that is the departure
+    /// fast path.
+    fn release_seeds(&mut self, topo: &Topology, links: &[(LinkId, Direction)], leaving: FlowId) {
+        if self.flows.get(&leaving).is_none_or(|f| f.rate <= EPS) {
+            return;
+        }
+        for key in links {
+            let Some(mem) = self.members.get(key) else {
+                continue;
+            };
+            let cap = topo.link(key.0).capacity_mbps;
+            let mut used = 0.0;
+            let mut lambda = f64::NEG_INFINITY;
+            for m in mem {
+                let r = self.flows[m].rate;
+                used += r;
+                lambda = lambda.max(r);
+            }
+            if cap - used > EPS {
+                continue;
+            }
+            for m in mem {
+                if *m == leaving {
+                    continue;
+                }
+                let mf = &self.flows[m];
+                if !mf.at_demand() && mf.rate >= lambda - EPS {
+                    self.seeds.insert(*m);
+                }
+            }
+        }
+    }
+
+    fn solve(&mut self, topo: &Topology, mut comp: BTreeSet<FlowId>) {
+        let mut iterations = 0usize;
+        loop {
+            let full = iterations >= MAX_EXPANSIONS || comp.len() * 2 > self.live;
+            if full {
+                comp = self
+                    .flows
+                    .iter()
+                    .filter(|(_, f)| !f.dead)
+                    .map(|(id, _)| *id)
+                    .collect();
+            }
+            let order: Vec<FlowId> = comp.iter().copied().collect();
+            // Pre-solve state of every touched link: effective capacity
+            // for the restricted solve (full capacity minus what
+            // outside flows hold) and the pre-solve water level of
+            // saturated links (for the growth/freed expansion tests).
+            let mut touched: BTreeSet<(LinkId, Direction)> = BTreeSet::new();
+            for id in &order {
+                touched.extend(self.flows[id].links.iter().copied());
+            }
+            let mut cap_eff: BTreeMap<(LinkId, Direction), f64> = BTreeMap::new();
+            let mut pre_lambda: BTreeMap<(LinkId, Direction), f64> = BTreeMap::new();
+            for key in &touched {
+                let cap = topo.link(key.0).capacity_mbps;
+                let mut used_all = 0.0;
+                let mut used_out = 0.0;
+                let mut lambda = f64::NEG_INFINITY;
+                for m in &self.members[key] {
+                    let r = self.flows[m].rate;
+                    used_all += r;
+                    if !comp.contains(m) {
+                        used_out += r;
+                    }
+                    lambda = lambda.max(r);
+                }
+                if cap - used_all <= EPS {
+                    pre_lambda.insert(*key, lambda);
+                }
+                cap_eff.insert(*key, (cap - used_out).max(0.0));
+            }
+            let (new_rates, picked_lambda) = self.waterfill_component(&order, &cap_eff);
+            if full {
+                self.stats.full_solves += 1;
+                self.commit(&new_rates);
+                return;
+            }
+            // Expansion scan: does any outside flow's allocation become
+            // invalid under the restricted solution?
+            let mut joins: BTreeSet<FlowId> = BTreeSet::new();
+            for key in &touched {
+                let cap = topo.link(key.0).capacity_mbps;
+                let mut new_used = 0.0;
+                let mut has_outside = false;
+                for m in &self.members[key] {
+                    new_used += new_rates.get(m).copied().unwrap_or_else(|| {
+                        has_outside = true;
+                        self.flows[m].rate
+                    });
+                }
+                if !has_outside {
+                    continue;
+                }
+                let resid = cap - new_used;
+                let lam = picked_lambda.get(key).copied();
+                let pre = pre_lambda.get(key).copied();
+                for m in &self.members[key] {
+                    if comp.contains(m) {
+                        continue;
+                    }
+                    let mf = &self.flows[m];
+                    let grow_candidate =
+                        !mf.at_demand() && pre.is_some_and(|pl| mf.rate >= pl - EPS);
+                    let squeezed = lam.is_some_and(|l| mf.rate > l + EPS);
+                    let lifted = grow_candidate && lam.is_some_and(|l| l > mf.rate + EPS);
+                    let freed = grow_candidate && resid > EPS;
+                    if squeezed || lifted || freed {
+                        joins.insert(*m);
+                    }
+                }
+            }
+            if joins.is_empty() {
+                self.stats.incremental_solves += 1;
+                self.commit(&new_rates);
+                return;
+            }
+            self.stats.expansions += 1;
+            comp.extend(joins);
+            iterations += 1;
+        }
+    }
+
+    fn commit(&mut self, new_rates: &BTreeMap<FlowId, f64>) {
+        for (id, r) in new_rates {
+            let f = self.flows.get_mut(id).expect("solved flows exist");
+            if f.rate != *r {
+                f.rate = *r;
+                self.changed.insert(*id, *r);
+            }
+        }
+    }
+
+    /// The legacy progressive water-fill, restricted to a component:
+    /// same round structure as [`max_min_allocation`] (global
+    /// demand-limited freezing first, otherwise the bottleneck link's
+    /// members freeze at the minimum share, ties to the smallest link
+    /// key), over effective capacities. Returns the new rates and the
+    /// water level at which each picked bottleneck froze.
+    #[allow(clippy::type_complexity)]
+    fn waterfill_component(
+        &self,
+        order: &[FlowId],
+        cap_eff: &BTreeMap<(LinkId, Direction), f64>,
+    ) -> (BTreeMap<FlowId, f64>, BTreeMap<(LinkId, Direction), f64>) {
+        let n = order.len();
+        let mut rates = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+        let mut remaining: BTreeMap<(LinkId, Direction), f64> = BTreeMap::new();
+        let mut members: BTreeMap<(LinkId, Direction), Vec<usize>> = BTreeMap::new();
+        for (i, id) in order.iter().enumerate() {
+            let f = &self.flows[id];
+            if f.links.is_empty() {
+                frozen[i] = true;
+                rates[i] = f.demand.unwrap_or(0.0);
+                continue;
+            }
+            for key in &f.links {
+                remaining.entry(*key).or_insert(cap_eff[key]);
+                members.entry(*key).or_default().push(i);
+            }
+        }
+        let mut picked_lambda: BTreeMap<(LinkId, Direction), f64> = BTreeMap::new();
+        for _round in 0..n + remaining.len() + 1 {
+            if frozen.iter().all(|f| *f) {
+                break;
+            }
+            let mut min_share = f64::INFINITY;
+            let mut min_key: Option<(LinkId, Direction)> = None;
+            for (key, cap) in &remaining {
+                let count = members[key].iter().filter(|&&i| !frozen[i]).count();
+                if count == 0 {
+                    continue;
+                }
+                let share = *cap / count as f64;
+                let better = match min_key {
+                    None => true,
+                    Some(k) => share < min_share || (share == min_share && *key < k),
+                };
+                if better {
+                    min_share = share;
+                    min_key = Some(*key);
+                }
+            }
+            let Some(bottleneck) = min_key else { break };
+            let demand_limited: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    !frozen[i]
+                        && self.flows[&order[i]]
+                            .demand
+                            .is_some_and(|d| d <= min_share + 1e-12)
+                })
+                .collect();
+            let to_freeze: Vec<(usize, f64)> = if demand_limited.is_empty() {
+                picked_lambda.insert(bottleneck, min_share);
+                members[&bottleneck]
+                    .iter()
+                    .filter(|&&i| !frozen[i])
+                    .map(|&i| (i, min_share))
+                    .collect()
+            } else {
+                demand_limited
+                    .into_iter()
+                    .map(|i| {
+                        (
+                            i,
+                            self.flows[&order[i]]
+                                .demand
+                                .expect("checked demand-limited"),
+                        )
+                    })
+                    .collect()
+            };
+            for (i, rate) in to_freeze {
+                frozen[i] = true;
+                rates[i] = rate;
+                for key in &self.flows[&order[i]].links {
+                    if let Some(cap) = remaining.get_mut(key) {
+                        *cap = (*cap - rate).max(0.0);
+                    }
+                }
+            }
+        }
+        (order.iter().copied().zip(rates).collect(), picked_lambda)
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,12 @@
 //! Flows: demands, paths, and TCP-like rate state.
+//!
+//! Rate dynamics are *analytic*: a flow stores the rate it had the last
+//! time its fair share changed (`rate_mbps` as of `rate_as_of_ms`) and
+//! the share it is converging toward; the instantaneous rate at any
+//! later time is the closed-form first-order response
+//! `share + (r0 - share) * exp(-dt / tau)`. The simulator never steps
+//! flows tick by tick — it materializes a flow's trajectory only at the
+//! events that change its share.
 
 use crate::topo::NodeIdx;
 
@@ -7,7 +15,7 @@ use crate::topo::NodeIdx;
 pub struct FlowId(pub u64);
 
 /// A flow request, as the Scheduler hands to the Controller.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSpec {
     /// Ingress node (host or edge).
     pub src: NodeIdx,
@@ -32,10 +40,20 @@ pub struct Flow {
     pub spec: FlowSpec,
     /// Node path currently assigned (edge-to-edge, hosts included).
     pub path: Vec<NodeIdx>,
-    /// Instantaneous goodput (Mbps) after TCP convergence dynamics.
+    /// Goodput (Mbps) at `rate_as_of_ms` — the anchor of the analytic
+    /// trajectory, **not** necessarily the current rate; use
+    /// [`Flow::rate_at`] for the rate at a given time.
     pub rate_mbps: f64,
     /// The max-min fair allocation the flow is converging toward.
     pub fair_share_mbps: f64,
+    /// Simulation time (ms) at which `rate_mbps` was materialized.
+    pub rate_as_of_ms: u64,
+    /// True once the residual `|rate - share|` is negligible: the
+    /// trajectory is flat and `rate_at` short-circuits to the share.
+    pub converged: bool,
+    /// Generation counter for rate-convergence events: bumped on every
+    /// share change so stale queued completions are ignored.
+    pub conv_gen: u64,
 }
 
 impl Flow {
@@ -47,17 +65,45 @@ impl Flow {
             path,
             rate_mbps: 0.0,
             fair_share_mbps: 0.0,
+            rate_as_of_ms: 0,
+            converged: true,
+            conv_gen: 0,
         }
     }
 
-    /// First-order convergence toward the fair share: a fluid stand-in
-    /// for TCP's ramp (slow start + congestion avoidance). `tau` is the
+    /// Instantaneous goodput at `at_ms >= rate_as_of_ms`: first-order
+    /// convergence toward the fair share, a fluid stand-in for TCP's
+    /// ramp (slow start + congestion avoidance). `tau_s` is the
     /// convergence time constant in seconds.
-    pub fn step_rate(&mut self, dt_s: f64, tau_s: f64) {
-        let alpha = 1.0 - (-dt_s / tau_s).exp();
-        self.rate_mbps += (self.fair_share_mbps - self.rate_mbps) * alpha;
-        if self.rate_mbps < 0.0 {
-            self.rate_mbps = 0.0;
+    pub fn rate_at(&self, at_ms: u64, tau_s: f64) -> f64 {
+        if self.converged {
+            return self.fair_share_mbps;
+        }
+        let dt_s = at_ms.saturating_sub(self.rate_as_of_ms) as f64 / 1000.0;
+        let decay = (-dt_s / tau_s).exp();
+        let r = self.fair_share_mbps + (self.rate_mbps - self.fair_share_mbps) * decay;
+        r.max(0.0)
+    }
+
+    /// Pins the analytic trajectory at `at_ms`: evaluates the current
+    /// rate and re-anchors there. Called right before the fair share
+    /// changes, so the new exponential starts from the rate the flow
+    /// actually had.
+    pub fn materialize(&mut self, at_ms: u64, tau_s: f64) {
+        self.rate_mbps = self.rate_at(at_ms, tau_s);
+        self.rate_as_of_ms = at_ms;
+    }
+
+    /// Milliseconds from `rate_as_of_ms` until the residual
+    /// `|rate - share|` first drops below `eps_mbps` (0 when already
+    /// there). This is when the simulator schedules the flow's
+    /// rate-convergence completion event.
+    pub fn convergence_in_ms(&self, tau_s: f64, eps_mbps: f64) -> u64 {
+        let gap = (self.rate_mbps - self.fair_share_mbps).abs();
+        if gap <= eps_mbps {
+            0
+        } else {
+            (tau_s * (gap / eps_mbps).ln() * 1000.0).ceil() as u64
         }
     }
 }
@@ -76,49 +122,82 @@ mod tests {
         }
     }
 
+    fn converging(share: f64) -> Flow {
+        let mut f = Flow::new(FlowId(1), spec(), vec![NodeIdx(0), NodeIdx(1)]);
+        f.fair_share_mbps = share;
+        f.converged = false;
+        f
+    }
+
     #[test]
     fn rate_converges_to_fair_share() {
-        let mut f = Flow::new(FlowId(1), spec(), vec![NodeIdx(0), NodeIdx(1)]);
-        f.fair_share_mbps = 10.0;
-        for _ in 0..100 {
-            f.step_rate(0.1, 1.0);
-        }
-        assert!((f.rate_mbps - 10.0).abs() < 0.01);
+        let f = converging(10.0);
+        assert!((f.rate_at(10_000, 1.0) - 10.0).abs() < 0.01);
     }
 
     #[test]
     fn rate_tracks_reduced_share_downward() {
-        let mut f = Flow::new(FlowId(1), spec(), vec![NodeIdx(0), NodeIdx(1)]);
-        f.fair_share_mbps = 10.0;
-        for _ in 0..100 {
-            f.step_rate(0.1, 1.0);
-        }
+        let mut f = converging(10.0);
+        f.materialize(10_000, 1.0);
         f.fair_share_mbps = 2.0;
-        for _ in 0..100 {
-            f.step_rate(0.1, 1.0);
+        assert!((f.rate_at(20_000, 1.0) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn analytic_rate_matches_iterated_ticks() {
+        // The old per-tick stepper composed (1 - alpha)^k with
+        // alpha = 1 - exp(-dt/tau); that is exactly exp(-k*dt/tau), so
+        // the closed form must agree at every tick boundary.
+        let f = converging(10.0);
+        let tau = 1.2;
+        let mut iterated = 0.0f64;
+        let alpha = 1.0 - (-0.1f64 / tau).exp();
+        for k in 1..=50 {
+            iterated += (10.0 - iterated) * alpha;
+            let analytic = f.rate_at(k * 100, tau);
+            assert!(
+                (analytic - iterated).abs() < 1e-9,
+                "tick {k}: {analytic} vs {iterated}"
+            );
         }
-        assert!((f.rate_mbps - 2.0).abs() < 0.01);
     }
 
     #[test]
     fn convergence_speed_scales_with_tau() {
-        let mut fast = Flow::new(FlowId(1), spec(), vec![]);
-        let mut slow = Flow::new(FlowId(2), spec(), vec![]);
-        fast.fair_share_mbps = 10.0;
-        slow.fair_share_mbps = 10.0;
-        fast.step_rate(1.0, 0.5);
-        slow.step_rate(1.0, 5.0);
-        assert!(fast.rate_mbps > slow.rate_mbps);
+        let fast = converging(10.0);
+        let slow = converging(10.0);
+        assert!(fast.rate_at(1_000, 0.5) > slow.rate_at(1_000, 5.0));
     }
 
     #[test]
     fn rate_never_negative() {
-        let mut f = Flow::new(FlowId(1), spec(), vec![]);
+        let mut f = converging(0.0);
         f.rate_mbps = 1.0;
-        f.fair_share_mbps = 0.0;
-        for _ in 0..200 {
-            f.step_rate(0.5, 1.0);
+        for t in [0, 100, 1_000, 100_000] {
+            assert!(f.rate_at(t, 1.0) >= 0.0);
         }
-        assert!(f.rate_mbps >= 0.0);
+    }
+
+    #[test]
+    fn materialize_is_idempotent_at_fixed_time() {
+        let mut f = converging(8.0);
+        f.materialize(3_000, 1.2);
+        let r = f.rate_mbps;
+        f.materialize(3_000, 1.2);
+        assert_eq!(f.rate_mbps, r);
+        assert_eq!(f.rate_as_of_ms, 3_000);
+    }
+
+    #[test]
+    fn convergence_time_is_zero_once_within_eps() {
+        let mut f = converging(10.0);
+        f.rate_mbps = 10.0;
+        assert_eq!(f.convergence_in_ms(1.2, 1e-9), 0);
+        f.rate_mbps = 0.0;
+        let ms = f.convergence_in_ms(1.2, 1e-9);
+        // tau * ln(10/1e-9) seconds, a bit under 28 s
+        assert!(ms > 25_000 && ms < 30_000, "ms {ms}");
+        // and the analytic rate really is within eps there
+        assert!((f.rate_at(ms, 1.2) - 10.0).abs() <= 1e-9 * 1.01);
     }
 }

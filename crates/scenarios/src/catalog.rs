@@ -9,6 +9,7 @@
 //! failures fire later); every scenario keeps at least one tunnel
 //! alive at all times.
 
+use crate::elastic::ElasticSpec;
 use crate::events::{EventKind, EventSpec, LinkPick};
 use crate::runner::{FlowPlan, PlaneMode, Scenario};
 use crate::traffic::TrafficSpec;
@@ -52,6 +53,7 @@ fn base(name: &str, topology: TopologySpec, traffic: TrafficSpec, seed: u64) -> 
         // demand-declared flow meets its SLO, a squeezed one does not.
         slo_fraction: 0.8,
         plane: PlaneMode::Fluid,
+        elastic: None,
         seed,
     }
 }
@@ -372,6 +374,70 @@ pub fn catalog() -> Vec<Scenario> {
     out
 }
 
+/// The event-core scale-out scenario: a 1000-node Waxman WAN carrying
+/// ~100k elastic background flows (400 long-lived greedy elephants +
+/// 1,660 mice/epoch churning with 3-epoch lifetimes) alongside two
+/// managed pairs, with a transient mid-run failure on the primary's
+/// first hop. Not part of [`catalog`] — the tick-priced debug suites
+/// iterate that; this one is sized for the release-mode
+/// `repro sim` / `repro scenarios` runs and the throughput benchmark,
+/// and must replay bit-identically like everything else.
+pub fn scale_1k() -> Scenario {
+    let mut s = base(
+        "scale-1k",
+        TopologySpec::Waxman {
+            n: 1000,
+            alpha: 0.15,
+            beta: 0.15,
+        },
+        // Background load is carried by real elastic flows below, not
+        // by the capacity-folding traffic models.
+        TrafficSpec::Gravity {
+            pairs: 0,
+            total_mbps: 0.0,
+        },
+        110,
+    );
+    s.pairs = 2;
+    s.k_tunnels = 2;
+    s.flows = vec![
+        FlowPlan {
+            label: "m0".into(),
+            demand_mbps: None,
+            start_epoch: 0,
+            pair: 0,
+        },
+        FlowPlan {
+            label: "m1".into(),
+            demand_mbps: Some(4.0),
+            start_epoch: 2,
+            pair: 1,
+        },
+    ];
+    s.events = vec![EventSpec {
+        at_epoch: 30,
+        kind: EventKind::LinkDown {
+            link: LinkPick::PrimaryHop(1),
+            restore_after: Some(15),
+        },
+    }];
+    s.elastic = Some(ElasticSpec {
+        elephants: 400,
+        mice_per_epoch: 1660,
+        mouse_mbps: 0.75,
+        mouse_lifetime_epochs: 3,
+        routes: 800,
+    });
+    s
+}
+
+/// The CI-sized cut of [`scale_1k`]: same 1000-node graph and flow
+/// churn *rate*, 40% horizon (the flow population scales along because
+/// mice are per-epoch).
+pub fn scale_1k_smoke() -> Scenario {
+    scale_1k().scaled(0.4)
+}
+
 /// The CI smoke subset: the same seven scenarios at 40% horizon —
 /// small topologies are unchanged (they are already small), event
 /// epochs scale along.
@@ -438,6 +504,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scale_1k_is_shaped_for_the_event_core() {
+        let s = scale_1k();
+        assert_eq!(s.name, "scale-1k");
+        assert!(s.elastic.is_some());
+        assert_eq!(s.plane, PlaneMode::Fluid);
+        // Deliberately not in the tick-priced debug suites.
+        assert!(catalog().iter().all(|c| c.name != s.name));
+        let smoke = scale_1k_smoke();
+        assert!(smoke.horizon_epochs < s.horizon_epochs / 2 + 1);
+        assert_eq!(smoke.elastic, s.elastic, "churn rate survives scaling");
+    }
+
+    #[test]
+    fn elastic_background_replays_bit_identically() {
+        use crate::elastic::ElasticSpec;
+        use crate::runner::Policy;
+        // A debug-sized cut of scale-1k: same mechanism, small numbers.
+        let mut s = scale_1k();
+        s.topology = TopologySpec::Waxman {
+            n: 40,
+            alpha: 0.9,
+            beta: 0.4,
+        };
+        s.horizon_epochs = 12;
+        s.decision_every = 4;
+        s.events = vec![EventSpec {
+            at_epoch: 6,
+            kind: EventKind::LinkDown {
+                link: LinkPick::PrimaryHop(1),
+                restore_after: Some(4),
+            },
+        }];
+        s.elastic = Some(ElasticSpec {
+            elephants: 6,
+            mice_per_epoch: 30,
+            mouse_mbps: 0.5,
+            mouse_lifetime_epochs: 2,
+            routes: 40,
+        });
+        let a = s.run(Policy::Hecate).unwrap();
+        let b = s.run(Policy::Hecate).unwrap();
+        assert_eq!(a, b, "elastic background must not break determinism");
+        assert!(a.mean_aggregate_mbps > 0.0);
+    }
+
+    #[test]
+    fn elastic_background_is_fluid_only() {
+        use crate::elastic::ElasticSpec;
+        use crate::runner::Policy;
+        let mut s = catalog()
+            .into_iter()
+            .find(|s| s.plane == PlaneMode::Packet)
+            .expect("catalog has a packet scenario");
+        s.elastic = Some(ElasticSpec {
+            elephants: 1,
+            mice_per_epoch: 1,
+            mouse_mbps: 0.5,
+            mouse_lifetime_epochs: 1,
+            routes: 4,
+        });
+        assert!(s.run(Policy::Hecate).is_err());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Elastic background *flows*: unlike [`crate::traffic`], which folds
+//! background load into per-link capacity series, this module compiles
+//! a population of real simulator flows — long-lived greedy elephants
+//! plus a steady churn of short demand-limited mice — that compete in
+//! the max-min water-fill alongside the managed flows. This is the
+//! workload that exercises the event-driven core at scale: the
+//! `scale-1k` catalog scenario schedules ~100k such flows on a
+//! 1000-node Waxman WAN.
+//!
+//! Everything is compiled up front into plain `netsim::Event`s from the
+//! scenario seed, so a run replays bit-identically: same seed, same
+//! arrival instants, same paths, same departures.
+
+use netsim::{Event, FlowId, FlowSpec, NodeIdx, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Elastic flow ids start here so they can never collide with the
+/// framework's managed-flow ids (small integers).
+pub const ELASTIC_ID_BASE: u64 = 1 << 40;
+
+/// A population of background flows, compiled per scenario seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSpec {
+    /// Long-lived greedy flows (demand `None`), started inside the
+    /// first two epochs and never stopped.
+    pub elephants: usize,
+    /// Short demand-limited flows arriving per epoch, spread uniformly
+    /// over the epoch's milliseconds.
+    pub mice_per_epoch: usize,
+    /// Each mouse's declared demand (Mbps).
+    pub mouse_mbps: f64,
+    /// Mouse lifetime in epochs (departure is scheduled at compile
+    /// time).
+    pub mouse_lifetime_epochs: u64,
+    /// Distinct (src, dst) routes precomputed at compile time that the
+    /// flow population draws from. More routes spread the load (and the
+    /// saturated-link components the incremental water-fill re-solves)
+    /// across the graph; shortest paths are computed once per route, so
+    /// this also bounds compile cost for 100k flows.
+    pub routes: usize,
+}
+
+/// Compiles the spec into a deterministic event schedule over
+/// `horizon_epochs` (1 epoch = 1000 ms). Returns start/stop events in
+/// schedule order; flow ids count up from [`ELASTIC_ID_BASE`].
+///
+/// Paths are shortest-by-delay at compile time (the topology is
+/// healthy at epoch 0; later scripted failures kill crossing flows in
+/// the simulator, which is the point). Endpoint pairs with no path or
+/// identical src/dst are skipped deterministically.
+pub fn compile_elastic(
+    topo: &Topology,
+    spec: &ElasticSpec,
+    horizon_epochs: u64,
+    seed: u64,
+) -> Vec<(u64, Event)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xe1a5_71c0_f10b_a5e5);
+    let n = topo.node_count();
+    // Precompute the route table: `routes` distinct (src, dst) shortest
+    // paths drawn uniformly over the node set (duplicate or pathless
+    // draws are skipped deterministically, bounded attempts).
+    let mut seen: BTreeMap<(NodeIdx, NodeIdx), ()> = BTreeMap::new();
+    let mut routes: Vec<(NodeIdx, NodeIdx, Vec<NodeIdx>)> = Vec::new();
+    let max_attempts = spec.routes.max(1) * 8;
+    for _ in 0..max_attempts {
+        if routes.len() >= spec.routes.max(1) {
+            break;
+        }
+        let src = NodeIdx(rng.gen_range(0..n) as u32);
+        let dst = NodeIdx(rng.gen_range(0..n) as u32);
+        if src == dst || seen.contains_key(&(src, dst)) {
+            continue;
+        }
+        seen.insert((src, dst), ());
+        if let Some(path) = topo.shortest_path_by_delay(src, dst) {
+            routes.push((src, dst, path));
+        }
+    }
+    let mut next_id = ELASTIC_ID_BASE;
+    let mut events = Vec::new();
+    if routes.is_empty() {
+        return events;
+    }
+
+    for _ in 0..spec.elephants {
+        let at = rng.gen_range(0..2_000.min(horizon_epochs.max(1) * 1000));
+        let (src, dst, path) = routes[rng.gen_range(0..routes.len())].clone();
+        next_id += 1;
+        events.push((
+            at,
+            Event::StartFlow {
+                id: FlowId(next_id),
+                spec: FlowSpec {
+                    src,
+                    dst,
+                    demand_mbps: None,
+                    tos: 0,
+                    label: String::new(),
+                },
+                path,
+            },
+        ));
+    }
+
+    for epoch in 0..horizon_epochs {
+        for _ in 0..spec.mice_per_epoch {
+            let at = epoch * 1000 + rng.gen_range(0..1000u64);
+            let (src, dst, path) = routes[rng.gen_range(0..routes.len())].clone();
+            next_id += 1;
+            let id = FlowId(next_id);
+            events.push((
+                at,
+                Event::StartFlow {
+                    id,
+                    spec: FlowSpec {
+                        src,
+                        dst,
+                        demand_mbps: Some(spec.mouse_mbps),
+                        tos: 0,
+                        label: String::new(),
+                    },
+                    path,
+                },
+            ));
+            events.push((
+                at + spec.mouse_lifetime_epochs.max(1) * 1000,
+                Event::StopFlow(id),
+            ));
+        }
+    }
+    events.sort_by_key(|(at, _)| *at);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::TopologySpec;
+
+    fn spec() -> ElasticSpec {
+        ElasticSpec {
+            elephants: 5,
+            mice_per_epoch: 20,
+            mouse_mbps: 0.5,
+            mouse_lifetime_epochs: 2,
+            routes: 12,
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic_and_sized() {
+        let topo = TopologySpec::Waxman {
+            n: 30,
+            alpha: 0.9,
+            beta: 0.4,
+        }
+        .build(7);
+        let a = compile_elastic(&topo, &spec(), 10, 42);
+        let b = compile_elastic(&topo, &spec(), 10, 42);
+        assert_eq!(a, b, "same seed must compile identically");
+        // Every mouse has a matched stop; elephants never stop.
+        let starts = a
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::StartFlow { .. }))
+            .count();
+        let stops = a
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::StopFlow(_)))
+            .count();
+        assert!(starts > stops, "elephants outlive the horizon");
+        assert!(stops > 0, "mice depart");
+        // Schedule is sorted and ids are in the elastic range.
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (_, e) in &a {
+            if let Event::StartFlow { id, .. } = e {
+                assert!(id.0 > ELASTIC_ID_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_compile_different_schedules() {
+        let topo = TopologySpec::Waxman {
+            n: 30,
+            alpha: 0.9,
+            beta: 0.4,
+        }
+        .build(7);
+        let a = compile_elastic(&topo, &spec(), 10, 1);
+        let b = compile_elastic(&topo, &spec(), 10, 2);
+        assert_ne!(a, b);
+    }
+}

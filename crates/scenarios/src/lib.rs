@@ -14,6 +14,10 @@
 //! * [`traffic`] — traffic-matrix generators (gravity demands, diurnal
 //!   sinusoids, elephant/mice mixes, bursty on/off sources) compiled to
 //!   per-link background-load series;
+//! * [`elastic`] — elastic background *flows* (greedy elephants plus
+//!   churning demand-limited mice) compiled into real `netsim` events
+//!   that compete in the max-min water-fill alongside managed flows —
+//!   the 100k-flow workload behind the `scale-1k` scenario;
 //! * [`events`] — scripted failure timelines (link failures, flap
 //!   storms, maintenance drains) applied through the framework's
 //!   `set_link_state` / `set_link_capacity` hooks;
@@ -33,13 +37,15 @@
 //! paper's 1 Hz telemetry cadence.
 
 pub mod catalog;
+pub mod elastic;
 pub mod events;
 pub mod runner;
 pub mod scorecard;
 pub mod traffic;
 pub mod zoo;
 
-pub use catalog::{catalog, catalog_smoke};
+pub use catalog::{catalog, catalog_smoke, scale_1k, scale_1k_smoke};
+pub use elastic::ElasticSpec;
 pub use runner::{FlowPlan, PlaneMode, Policy, Scenario};
 pub use scorecard::{render_matrix, PairScore, Recovery, Scorecard};
 pub use traffic::TrafficSpec;

@@ -106,6 +106,13 @@ pub struct Scenario {
     /// A demand-declared flow meets its SLO when it delivers at least
     /// this fraction of its demand.
     pub slo_fraction: f64,
+    /// Optional elastic background: real simulator flows (greedy
+    /// elephants + churning mice) compiled from the seed and scheduled
+    /// directly on the fluid plane's event queue, competing in the
+    /// max-min water-fill with the managed flows. `None` on the classic
+    /// scenarios; the scale-out scenarios use it to load the event core
+    /// with ~100k flows. Fluid plane only.
+    pub elastic: Option<crate::elastic::ElasticSpec>,
     /// Fluid or packet plane.
     pub plane: PlaneMode,
     /// Master seed: topology randomness, traffic matrix, emulator
@@ -222,6 +229,28 @@ impl Scenario {
             .node_path
             .clone();
         let actions = compile_events(&self.events, &sdn.sim.topo, &primary)?;
+        // Elastic background rides the raw event queue: schedule every
+        // compiled arrival/departure up front and mark the flows
+        // background so per-flow telemetry stays managed-flows-only.
+        if let Some(spec) = &self.elastic {
+            if self.plane != PlaneMode::Fluid {
+                return Err(ScenarioError::Config(
+                    "elastic background flows require the fluid plane".into(),
+                ));
+            }
+            let compiled = crate::elastic::compile_elastic(
+                &sdn.sim.topo,
+                spec,
+                self.horizon_epochs,
+                self.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+            );
+            for (at_ms, ev) in compiled {
+                if let netsim::Event::StartFlow { id, .. } = &ev {
+                    sdn.sim.mark_background(*id);
+                }
+                sdn.sim.schedule(at_ms, ev)?;
+            }
+        }
         if self.plane == PlaneMode::Packet {
             sdn.attach_dataplane(DataplaneConfig {
                 epoch_ms: 1000,
@@ -429,6 +458,7 @@ impl Scenario {
             p99_flow_mbps: percentile(&flow_samples, 0.99),
             slo_violation_epochs: slo_violations,
             migrations,
+            sim_events: sdn.sim.events_processed(),
             recoveries,
             aggregate_series: aggregate,
             per_pair,
@@ -587,6 +617,7 @@ mod tests {
             k_tunnels: 3,
             slo_fraction: 0.9,
             plane: PlaneMode::Fluid,
+            elastic: None,
             seed: policy_seed,
         }
     }

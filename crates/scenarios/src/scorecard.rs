@@ -61,6 +61,11 @@ pub struct Scorecard {
     pub slo_violation_epochs: u64,
     /// Path migrations the policy performed.
     pub migrations: u64,
+    /// Simulator queue events applied during the run (external +
+    /// internal rate-convergence completions) — the numerator of the
+    /// event core's events/sec throughput reporting. Deterministic like
+    /// every other field.
+    pub sim_events: u64,
     /// Per-scripted-failure recovery times.
     pub recoveries: Vec<Recovery>,
     /// Aggregate managed goodput per epoch (Mbps) — the sparkline, and
@@ -175,6 +180,7 @@ mod tests {
             p99_flow_mbps: 9.25,
             slo_violation_epochs: 2,
             migrations: 3,
+            sim_events: 99,
             recoveries: vec![
                 Recovery {
                     failed_at_epoch: 10,

@@ -66,6 +66,7 @@ fn replayable(
         k_tunnels: if pair_count > 1 { 2 } else { 3 },
         slo_fraction: 0.8,
         plane: PlaneMode::Fluid,
+        elastic: None,
         seed,
     }
 }
@@ -227,6 +228,7 @@ fn fat_tree_single_failure_recovers_within_decision_interval() {
         k_tunnels: 3,
         slo_fraction: 0.8,
         plane: PlaneMode::Fluid,
+        elastic: None,
         seed: 42,
     };
     for policy in [Policy::Hecate, Policy::LastSample] {

@@ -64,7 +64,7 @@ fn netsim_carries_one_flow() {
         },
     )
     .expect("valid path schedules");
-    sim.run_until(2_000, 100, 500);
+    sim.run_until(2_000, 500);
     let rate = sim
         .flow_rate(polka_hecate::netsim::FlowId(1))
         .expect("flow exists");
