@@ -16,20 +16,24 @@
 //!   repro steering       # framework-in-the-loop steering extension
 //!   repro scenarios      # scenario-suite policy matrix (topology zoo)
 //!   repro sim            # event-core scale-out (scale-1k) + BENCH_sim.json
+//!   repro trace          # observability artifact: traced control loop
 //!   repro mlp            # future-work MLP extension
 //!   repro cv             # walk-forward model selection extension
 //!
 //! `SCENARIO_SMOKE=1` shrinks the scenario suite to the CI subset
 //! (same scenarios, 40% horizon; `sim` runs the 40%-horizon scale-1k
-//! cut). `sim` also writes machine-readable `BENCH_sim.json` (events/sec
-//! and wall time) to the working directory.
+//! cut). `sim` also writes machine-readable `BENCH_sim.json` (events/sec,
+//! wall time, and the water-fill vs dispatch phase split) to the working
+//! directory. `trace` validates the traced control loop in memory and,
+//! with `OBSV_TRACE=1`, writes `TRACE_loop.jsonl` plus the
+//! Perfetto-loadable `TRACE_loop_chrome.json`.
 
 use bench::figures;
 use bench::format_series;
 use hecate_ml::RegressorKind;
 
 /// The single source of truth for figure names and their runners.
-const FIGURES: [(&str, fn()); 16] = [
+const FIGURES: [(&str, fn()); 17] = [
     ("fig1", fig1),
     ("fig2", fig2),
     ("fig5", fig5),
@@ -44,6 +48,7 @@ const FIGURES: [(&str, fn()); 16] = [
     ("steering", steering),
     ("scenarios", scenario_suite),
     ("sim", sim_scale),
+    ("trace", trace_artifact),
     ("mlp", mlp),
     ("cv", cv),
 ];
@@ -312,24 +317,125 @@ fn sim_scale() {
         "{}: {} epochs, {} queue events, {:.2} s wall, {:.0} events/s, {:.2} Mbps managed aggregate",
         r.scenario, r.epochs, r.sim_events, r.wall_s, r.events_per_sec, r.mean_aggregate_mbps
     );
-    println!("replay check: two runs produced bit-identical scorecards");
+    println!("replay check: untraced and profiled runs produced bit-identical scorecards");
+    println!(
+        "phase split (profiled replay, {:.2} s wall): water-fill {:.2} s over {} solves, \
+         event dispatch {:.2} s over {} batches ({:.0} events/s dispatch-only)",
+        r.profiled_wall_s,
+        r.waterfill_wall_s,
+        r.waterfill_solves,
+        r.dispatch_wall_s,
+        r.dispatch_batches,
+        r.dispatch_events_per_sec
+    );
     // Machine-readable drop for CI trend tracking. Hand-rolled JSON —
-    // the workspace has no serde, and six fields don't need one.
+    // the workspace has no serde, and a dozen fields don't need one.
     let json = format!(
         "{{\n  \"scenario\": \"{}\",\n  \"smoke\": {},\n  \"epochs\": {},\n  \
          \"sim_events\": {},\n  \"wall_s\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
-         \"mean_aggregate_mbps\": {:.4}\n}}\n",
+         \"mean_aggregate_mbps\": {:.4},\n  \"profiled_wall_s\": {:.3},\n  \
+         \"waterfill_wall_s\": {:.3},\n  \"waterfill_solves\": {},\n  \
+         \"dispatch_wall_s\": {:.3},\n  \"dispatch_batches\": {},\n  \
+         \"dispatch_events_per_sec\": {:.0}\n}}\n",
         r.scenario,
         smoke,
         r.epochs,
         r.sim_events,
         r.wall_s,
         r.events_per_sec,
-        r.mean_aggregate_mbps
+        r.mean_aggregate_mbps,
+        r.profiled_wall_s,
+        r.waterfill_wall_s,
+        r.waterfill_solves,
+        r.dispatch_wall_s,
+        r.dispatch_batches,
+        r.dispatch_events_per_sec
     );
     match std::fs::write("BENCH_sim.json", &json) {
         Ok(()) => println!("wrote BENCH_sim.json"),
         Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
+    }
+}
+
+fn trace_artifact() {
+    let smoke = std::env::var("SCENARIO_SMOKE").is_ok_and(|v| v == "1");
+    banner(
+        "ext-trace",
+        "observability artifact: the control loop as a sim-time trace",
+    );
+    // A multi-pair catalog scenario under the full policy exercises
+    // every instrumented phase: decision ticks, water-fill solves,
+    // event dispatch, migrations.
+    let scenario = scenarios::catalog()
+        .into_iter()
+        .find(|s| s.name == "wan-multipair")
+        .expect("catalog has the multi-pair WAN");
+    let scenario = if smoke {
+        scenario.scaled(0.4)
+    } else {
+        scenario
+    };
+    // Flight recorder doubles as the panic dump for this process.
+    let flight = obsv::FlightRecorder::new(4096);
+    obsv::install_panic_dump(flight.clone());
+    let opts = scenarios::ObsvOptions {
+        trace: true,
+        snapshots: true,
+        flight_capacity: 0, // the runner's own ring is redundant here
+        extra_sink: Some(flight),
+    };
+    let (card, art) = scenario
+        .run_observed(scenarios::Policy::Hecate, &opts)
+        .expect("wan-multipair runs observed");
+    // The artifact is only worth shipping if it is complete and valid:
+    // every control-loop phase spanned, and the Chrome export parses.
+    let spans = art.span_names();
+    for phase in [
+        "decide.consult",
+        "decide.forecast",
+        "decide.place",
+        "decide.solve",
+        "scenario.consult",
+        "scenario.epoch",
+        "sim.dispatch",
+        "sim.waterfill",
+    ] {
+        assert!(
+            spans.contains(&phase),
+            "no {phase} span in trace: {spans:?}"
+        );
+    }
+    let chrome = art.chrome_trace();
+    let parsed = obsv::export::parse_json(&chrome).expect("chrome trace is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), art.records.len());
+    let metrics = card.metrics.as_ref().expect("snapshots were on");
+    println!(
+        "{}: {} trace records, {} span kinds, {} counter rows, {} SLO-violation epochs",
+        card.scenario,
+        art.records.len(),
+        spans.len(),
+        metrics.totals.len(),
+        card.slo_violation_epochs
+    );
+    println!(
+        "loop totals: {} cache hits / {} refits, {} water-fill expansions",
+        metrics.total("hecate.cache.hits"),
+        metrics.total("hecate.cache.refits"),
+        metrics.total("netsim.waterfill.expansions")
+    );
+    if std::env::var("OBSV_TRACE").is_ok_and(|v| v == "1") {
+        match std::fs::write("TRACE_loop.jsonl", art.jsonl())
+            .and_then(|()| std::fs::write("TRACE_loop_chrome.json", &chrome))
+        {
+            Ok(()) => println!("wrote TRACE_loop.jsonl and TRACE_loop_chrome.json"),
+            Err(e) => eprintln!("could not write trace artifacts: {e}"),
+        }
+    } else {
+        println!("(set OBSV_TRACE=1 to write TRACE_loop.jsonl / TRACE_loop_chrome.json)");
     }
 }
 

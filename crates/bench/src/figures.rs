@@ -523,8 +523,9 @@ pub fn scenario_suite(smoke: bool) -> Vec<ScenarioMatrix> {
         .collect()
 }
 
-/// What the event-core scale-out run measured: wall-clock throughput
-/// plus the determinism double-check.
+/// What the event-core scale-out run measured: wall-clock throughput,
+/// the determinism double-check, and the per-phase wall-clock split
+/// (water-fill solving vs event dispatch) from the profiled replay.
 #[derive(Debug, Clone)]
 pub struct SimScaleReport {
     /// Scenario name (`scale-1k`, possibly smoke-scaled).
@@ -533,20 +534,40 @@ pub struct SimScaleReport {
     pub epochs: u64,
     /// Simulator queue events applied (external + internal).
     pub sim_events: u64,
-    /// Wall-clock seconds of the first (timed) run.
+    /// Wall-clock seconds of the first (timed, untraced) run.
     pub wall_s: f64,
-    /// `sim_events / wall_s`.
+    /// `sim_events / wall_s` of the untraced run — the headline number,
+    /// measured with the trace sink fully off.
     pub events_per_sec: f64,
     /// Mean aggregate managed goodput (Mbps) — a sanity anchor that the
     /// run did real work.
     pub mean_aggregate_mbps: f64,
+    /// Wall-clock seconds of the second (profiled) replay.
+    pub profiled_wall_s: f64,
+    /// Wall seconds the profiled replay spent inside max-min water-fill
+    /// recomputes (`sim.waterfill` spans).
+    pub waterfill_wall_s: f64,
+    /// Water-fill recomputes performed (one `sim.waterfill` span each).
+    pub waterfill_solves: u64,
+    /// Wall seconds the profiled replay spent dispatching due event
+    /// batches (`sim.dispatch` spans, exclusive of the water-fill time
+    /// which is traced separately).
+    pub dispatch_wall_s: f64,
+    /// Event batches dispatched.
+    pub dispatch_batches: u64,
+    /// `sim_events / dispatch_wall_s` — throughput of the dispatch
+    /// phase alone in the profiled replay.
+    pub dispatch_events_per_sec: f64,
 }
 
 /// Extension: the `scale-1k` event-core scale-out — a 1000-node Waxman
 /// WAN carrying ~100k elastic background flows, run under the Hecate
 /// policy. Runs the scenario **twice** and asserts the two scorecards
-/// are bit-identical (the determinism contract at scale), timing the
-/// first run. `smoke` selects the 40%-horizon CI cut.
+/// are bit-identical, timing the first run untraced (the headline
+/// events/sec) and profiling the second through the obsv wall-clock
+/// sink for the water-fill vs dispatch phase split — which doubles as
+/// the proof that tracing never perturbs the simulation. `smoke`
+/// selects the 40%-horizon CI cut.
 pub fn sim_scale(smoke: bool) -> SimScaleReport {
     let s = if smoke {
         scenarios::scale_1k_smoke()
@@ -556,8 +577,22 @@ pub fn sim_scale(smoke: bool) -> SimScaleReport {
     let t0 = std::time::Instant::now();
     let a = s.run(scenarios::Policy::Hecate).expect("scale-1k runs");
     let wall_s = t0.elapsed().as_secs_f64();
-    let b = s.run(scenarios::Policy::Hecate).expect("scale-1k replays");
-    assert_eq!(a, b, "scale-1k must replay bit-identically");
+    let profiler = obsv::profile::ProfilingSink::shared();
+    let opts = scenarios::ObsvOptions {
+        extra_sink: Some(profiler.clone()),
+        ..Default::default()
+    };
+    let t1 = std::time::Instant::now();
+    let (b, _) = s
+        .run_observed(scenarios::Policy::Hecate, &opts)
+        .expect("scale-1k replays profiled");
+    let profiled_wall_s = t1.elapsed().as_secs_f64();
+    assert_eq!(a, b, "scale-1k must replay bit-identically under tracing");
+    // The two spans are siblings in the event loop (dispatch closes
+    // before the water-fill opens), so their wall times are disjoint.
+    let waterfill = profiler.total("sim.waterfill");
+    let dispatch = profiler.total("sim.dispatch");
+    let dispatch_wall_s = dispatch.wall_s();
     SimScaleReport {
         scenario: s.name.clone(),
         epochs: a.epochs,
@@ -565,6 +600,12 @@ pub fn sim_scale(smoke: bool) -> SimScaleReport {
         wall_s,
         events_per_sec: a.sim_events as f64 / wall_s.max(1e-9),
         mean_aggregate_mbps: a.mean_aggregate_mbps,
+        profiled_wall_s,
+        waterfill_wall_s: waterfill.wall_s(),
+        waterfill_solves: waterfill.calls,
+        dispatch_wall_s,
+        dispatch_batches: dispatch.calls,
+        dispatch_events_per_sec: a.sim_events as f64 / dispatch_wall_s.max(1e-9),
     }
 }
 

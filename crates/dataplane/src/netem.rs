@@ -267,6 +267,10 @@ pub struct PacketNet {
     prev_links: Vec<LinkReport>,
     /// Ingress routeID rewrites performed via [`PacketNet::set_route`].
     pub ingress_rewrites: u64,
+    /// Sim-time tracer for the packet plane (off by default). Drops
+    /// and PoT rejections are instants; queue occupancy is sampled at
+    /// window close. Stamps are the emulator's own `now_ns` clock.
+    tracer: obsv::Tracer,
 }
 
 impl PacketNet {
@@ -305,12 +309,37 @@ impl PacketNet {
             window_open_ns: 0,
             prev_links,
             ingress_rewrites: 0,
+            tracer: obsv::Tracer::off(),
         })
     }
 
     /// Current emulator time (ns).
     pub fn now_ns(&self) -> u64 {
         self.now_ns
+    }
+
+    /// Attaches (or detaches) the sim-time tracer.
+    pub fn set_tracer(&mut self, tracer: obsv::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Emits a per-packet drop instant (tracing only; counters are
+    /// already charged by the caller).
+    fn trace_drop(&self, flow: usize, reason: &'static str, link: Option<LinkId>) {
+        if self.tracer.enabled() {
+            let name = self.flows[flow].name.clone();
+            self.tracer
+                .instant("packet", "packet.drop", self.now_ns, move || {
+                    let mut args = vec![
+                        ("reason", obsv::Value::Str(reason.to_string())),
+                        ("flow", obsv::Value::Str(name)),
+                    ];
+                    if let Some(lid) = link {
+                        args.push(("link", obsv::Value::U64(lid.0 as u64)));
+                    }
+                    args
+                });
+        }
     }
 
     /// Registers a traffic source. The first packet is emitted with a
@@ -443,6 +472,7 @@ impl PacketNet {
         if !self.plane.link_up(link) {
             self.flows[flow].report.dropped_link_down += 1;
             self.dirs[dir].report.drops += 1;
+            self.trace_drop(flow, "link_down", Some(link));
         } else {
             let emitted_ns = self.now_ns;
             match self.dirs[dir].enqueue(self.now_ns, bytes) {
@@ -456,7 +486,10 @@ impl PacketNet {
                         route,
                     },
                 ),
-                None => self.flows[flow].report.dropped_queue += 1,
+                None => {
+                    self.flows[flow].report.dropped_queue += 1;
+                    self.trace_drop(flow, "queue_full", Some(link));
+                }
             }
         }
         self.push(next_emit, EvKind::Emit { flow });
@@ -480,15 +513,39 @@ impl PacketNet {
                     f.report.latency_sum_ns += self.now_ns - emitted_ns;
                 } else {
                     f.report.pot_rejected += 1;
+                    // The PoT verdict is the security-relevant event a
+                    // trace reader wants pinpointed in sim time.
+                    if self.tracer.enabled() {
+                        let name = self.flows[flow].name.clone();
+                        self.tracer.instant(
+                            "packet",
+                            "packet.pot_reject",
+                            self.now_ns,
+                            move || vec![("flow", obsv::Value::Str(name))],
+                        );
+                    }
                 }
             }
             HopOutcome::Drop { reason, link } => {
-                match reason {
-                    DropReason::NoRoute => f.report.dropped_no_route += 1,
-                    DropReason::LinkDown => f.report.dropped_link_down += 1,
-                    DropReason::TtlExpired => f.report.dropped_ttl += 1,
-                    DropReason::QueueFull => f.report.dropped_queue += 1,
-                }
+                let reason_str = match reason {
+                    DropReason::NoRoute => {
+                        f.report.dropped_no_route += 1;
+                        "no_route"
+                    }
+                    DropReason::LinkDown => {
+                        f.report.dropped_link_down += 1;
+                        "link_down"
+                    }
+                    DropReason::TtlExpired => {
+                        f.report.dropped_ttl += 1;
+                        "ttl_expired"
+                    }
+                    DropReason::QueueFull => {
+                        f.report.dropped_queue += 1;
+                        "queue_full"
+                    }
+                };
+                self.trace_drop(flow, reason_str, link);
                 // Charge the loss to the killing link's directed
                 // counters too (mid-path failures must be visible in
                 // per-link telemetry, not just per-flow).
@@ -519,7 +576,10 @@ impl PacketNet {
                             route,
                         },
                     ),
-                    None => self.flows[flow].report.dropped_queue += 1,
+                    None => {
+                        self.flows[flow].report.dropped_queue += 1;
+                        self.trace_drop(flow, "queue_full", Some(link));
+                    }
                 }
             }
         }
@@ -528,6 +588,24 @@ impl PacketNet {
     fn close_window(&mut self) -> WindowReport {
         let elapsed_ns = self.now_ns - self.window_open_ns;
         self.window_open_ns = self.now_ns;
+        // Per-link queue occupancy, sampled at the window boundary
+        // (only backlogged directions, so idle links cost nothing).
+        if self.tracer.enabled() {
+            for d in &self.dirs {
+                let backlog_ns = d.busy_until_ns.saturating_sub(self.now_ns);
+                let backlog_bytes = backlog_ns * d.rate_kbps / 8_000_000;
+                if backlog_bytes > 0 {
+                    self.tracer
+                        .instant("packet", "packet.queue", self.now_ns, || {
+                            vec![
+                                ("link", obsv::Value::U64(d.link.0 as u64)),
+                                ("from", obsv::Value::U64(d.from.0 as u64)),
+                                ("bytes", obsv::Value::U64(backlog_bytes)),
+                            ]
+                        });
+                }
+            }
+        }
         let links = self
             .dirs
             .iter()

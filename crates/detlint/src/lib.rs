@@ -74,6 +74,7 @@ const CRITICAL_CRATES: &[&str] = &[
     "crates/framework/",
     "crates/dataplane/",
     "crates/hecate-ml/",
+    "crates/obsv/",
     "crates/polka/",
 ];
 

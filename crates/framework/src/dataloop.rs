@@ -80,6 +80,11 @@ impl PacketPlane {
     pub fn stamped_tunnel(&self, label: &str) -> Option<&str> {
         self.stamped.get(label).map(String::as_str)
     }
+
+    /// Attaches (or detaches) the sim-time tracer on the packet net.
+    pub(crate) fn set_tracer(&mut self, tracer: obsv::Tracer) {
+        self.net.set_tracer(tracer);
+    }
 }
 
 /// What one packet epoch measured.
@@ -132,6 +137,8 @@ impl SelfDrivingNetwork {
                 rate_mbps: cfg.probe_rate_mbps,
             })?;
         }
+        // A bundle attached before the plane existed still reaches it.
+        net.set_tracer(self.obsv.tracer.clone());
         self.packet_plane = Some(PacketPlane {
             net,
             cfg,

@@ -30,7 +30,7 @@ use hecate_ml::pipeline::{forecast_next, TrainedForecaster};
 use hecate_ml::RegressorKind;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A per-path forecast.
@@ -95,9 +95,46 @@ struct CacheEntry {
 #[derive(Debug, Default)]
 struct CacheInner {
     entries: RwLock<BTreeMap<SeriesKey, Arc<Mutex<CacheEntry>>>>,
-    hits: AtomicU64,
-    updates: AtomicU64,
-    refits: AtomicU64,
+    // Behavior counters are `obsv` instruments: the same atomics the
+    // accessors snapshot can be adopted into a scenario's metrics
+    // registry, so per-epoch scorecard rows read live cache behavior.
+    hits: obsv::Counter,
+    updates: obsv::Counter,
+    refits: obsv::Counter,
+    /// Fast gate for per-scope attribution: one relaxed load on the
+    /// hot path when disabled (the default).
+    scoped_on: AtomicBool,
+    /// Per-pair-scope counters, keyed by the scope prefix of a series
+    /// target (`"p0/tunnel1"` → `"p0"`). Populated only by
+    /// [`HecateService::register_metrics`].
+    scoped: RwLock<BTreeMap<String, ScopeCounters>>,
+}
+
+/// Per-scope cache behavior counters (multi-pair attribution).
+#[derive(Debug, Clone, Default)]
+struct ScopeCounters {
+    hits: obsv::Counter,
+    updates: obsv::Counter,
+    refits: obsv::Counter,
+}
+
+/// The pair scope of a series target: `"p0/tunnel1"` → `"p0"`, bare
+/// single-pair targets → `""`.
+fn scope_of(target: &str) -> &str {
+    target.split_once('/').map_or("", |(scope, _)| scope)
+}
+
+impl CacheInner {
+    /// Bumps one per-scope counter when scoped attribution is on.
+    /// `pick` selects hits/updates/refits off the scope's counters.
+    fn bump_scoped(&self, target: &str, pick: impl Fn(&ScopeCounters) -> &obsv::Counter) {
+        if !self.scoped_on.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(sc) = self.scoped.read().get(scope_of(target)) {
+            pick(sc).inc();
+        }
+    }
 }
 
 /// A snapshot of the forecast cache's behavior counters.
@@ -277,18 +314,21 @@ impl HecateService {
                 });
                 if let Some(Some((total, fresh_vals))) = captured {
                     if fresh_vals.is_empty() && e.rolled_horizon == self.horizon {
-                        self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                        self.cache.hits.inc();
+                        self.cache.bump_scoped(&key.target, |sc| &sc.hits);
                         return Ok(wrap(e.rolled.clone()));
                     }
                     for &v in &fresh_vals {
                         e.forecaster.observe(v)?;
                     }
-                    let counter = if fresh_vals.is_empty() {
-                        &self.cache.hits // horizon changed: re-roll only
+                    if fresh_vals.is_empty() {
+                        // Horizon changed: re-roll only.
+                        self.cache.hits.inc();
+                        self.cache.bump_scoped(&key.target, |sc| &sc.hits);
                     } else {
-                        &self.cache.updates
-                    };
-                    counter.fetch_add(1, Ordering::Relaxed);
+                        self.cache.updates.inc();
+                        self.cache.bump_scoped(&key.target, |sc| &sc.updates);
+                    }
                     e.observed = total;
                     e.rolled = e.forecaster.roll(self.horizon)?;
                     e.rolled_horizon = self.horizon;
@@ -302,7 +342,8 @@ impl HecateService {
         // both fits are deterministic, so last-write-wins is harmless.
         let entry = self.fit_entry(telemetry, &key)?;
         let values = entry.rolled.clone();
-        self.cache.refits.fetch_add(1, Ordering::Relaxed);
+        self.cache.refits.inc();
+        self.cache.bump_scoped(&key.target, |sc| &sc.refits);
         self.cache
             .entries
             .write()
@@ -380,9 +421,12 @@ impl HecateService {
             })
             .collect();
         if let Some(forecasts) = hits {
-            self.cache
-                .hits
-                .fetch_add(paths.len() as u64, Ordering::Relaxed);
+            self.cache.hits.add(paths.len() as u64);
+            if self.cache.scoped_on.load(Ordering::Relaxed) {
+                for p in paths {
+                    self.cache.bump_scoped(p, |sc| &sc.hits);
+                }
+            }
             return forecasts;
         }
         linalg::par::par_map(paths, |p| self.forecast_path(telemetry, p, metric).ok())
@@ -407,13 +451,44 @@ impl HecateService {
         .collect()
     }
 
-    /// Behavior counters plus the live entry count.
+    /// Behavior counters plus the live entry count (a snapshot; the
+    /// live instruments can be exposed via
+    /// [`HecateService::register_metrics`]).
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.cache.hits.load(Ordering::Relaxed),
-            updates: self.cache.updates.load(Ordering::Relaxed),
-            refits: self.cache.refits.load(Ordering::Relaxed),
+            hits: self.cache.hits.get(),
+            updates: self.cache.updates.get(),
+            refits: self.cache.refits.get(),
             entries: self.cache.entries.read().len(),
+        }
+    }
+
+    /// Exposes the cache's live counters in `registry` under
+    /// `{prefix}.hits` / `.updates` / `.refits`, and — for every scope
+    /// in `scopes` (pair names, multi-pair deployments) — per-scope
+    /// counters `{prefix}.{scope}.hits` etc., attributed by the scope
+    /// prefix of each series target. The per-scope path costs one
+    /// relaxed load until scopes are registered.
+    pub fn register_metrics(&self, registry: &obsv::Registry, prefix: &str, scopes: &[String]) {
+        registry.adopt_counter(&format!("{prefix}.hits"), &self.cache.hits);
+        registry.adopt_counter(&format!("{prefix}.updates"), &self.cache.updates);
+        registry.adopt_counter(&format!("{prefix}.refits"), &self.cache.refits);
+        let mut scoped = self.cache.scoped.write();
+        for scope in scopes {
+            if scope.is_empty() {
+                // The legacy single-pair scope has no prefix; the
+                // global counters already are its attribution.
+                continue;
+            }
+            let sc = ScopeCounters {
+                hits: registry.counter(&format!("{prefix}.{scope}.hits")),
+                updates: registry.counter(&format!("{prefix}.{scope}.updates")),
+                refits: registry.counter(&format!("{prefix}.{scope}.refits")),
+            };
+            scoped.insert(scope.clone(), sc);
+        }
+        if !scoped.is_empty() {
+            self.cache.scoped_on.store(true, Ordering::Relaxed);
         }
     }
 

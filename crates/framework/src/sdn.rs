@@ -84,6 +84,11 @@ pub struct SelfDrivingNetwork {
     /// The attached packet-level data plane, once
     /// [`SelfDrivingNetwork::attach_dataplane`] has been called.
     pub(crate) packet_plane: Option<crate::dataloop::PacketPlane>,
+    /// Observability bundle (off by default): a sim-time tracer over
+    /// the decision tick plus the metrics registry the sim's
+    /// water-fill and Hecate's cache counters are exposed through. Set
+    /// via [`SelfDrivingNetwork::set_obsv`].
+    pub(crate) obsv: obsv::Obsv,
 }
 
 impl SelfDrivingNetwork {
@@ -130,6 +135,7 @@ impl SelfDrivingNetwork {
             next_flow: 1,
             sample_ms: 1000,
             packet_plane: None,
+            obsv: obsv::Obsv::off(),
         })
     }
 
@@ -249,6 +255,7 @@ impl SelfDrivingNetwork {
             next_flow: 1,
             sample_ms: 1000,
             packet_plane: None,
+            obsv: obsv::Obsv::off(),
         })
     }
 
@@ -332,6 +339,30 @@ impl SelfDrivingNetwork {
             path.push(p.dst_node);
         }
         Ok(path)
+    }
+
+    /// Attaches an observability bundle to the whole stack: the sim
+    /// core and any attached packet plane get the tracer; the
+    /// water-fill audit counters and Hecate's cache counters (global +
+    /// per-pair-scope) are exposed in the bundle's registry. Call with
+    /// [`obsv::Obsv::off`] to detach tracing (metrics stay live — they
+    /// are the same atomics the accessors snapshot).
+    pub fn set_obsv(&mut self, bundle: obsv::Obsv) {
+        self.sim.set_tracer(bundle.tracer.clone());
+        self.sim.register_metrics(&bundle.metrics);
+        let scopes: Vec<String> = self.pairs.iter().map(|p| p.scope.clone()).collect();
+        self.hecate
+            .register_metrics(&bundle.metrics, "hecate.cache", &scopes);
+        if let Some(pp) = &mut self.packet_plane {
+            pp.set_tracer(bundle.tracer.clone());
+        }
+        self.obsv = bundle;
+    }
+
+    /// The attached observability bundle (off/default unless
+    /// [`SelfDrivingNetwork::set_obsv`] was called).
+    pub fn obsv(&self) -> &obsv::Obsv {
+        &self.obsv
     }
 
     /// Advances the simulation to `until_ms`, sampling per-tunnel
@@ -455,6 +486,19 @@ impl SelfDrivingNetwork {
         if reqs.iter().any(|r| r.pair.index() >= self.pairs.len()) {
             return Err(FrameworkError::NoFeasiblePath);
         }
+        // The consultation span covers forecast fetch + assignment;
+        // its args attribute the batch to cache hits vs refits, diffed
+        // around the call (only when tracing).
+        let tracing = self.obsv.tracer.enabled();
+        let cache_before = if tracing {
+            self.hecate.cache_stats()
+        } else {
+            Default::default()
+        };
+        let consult = self
+            .obsv
+            .tracer
+            .span("decide", "decide.consult", self.sim.now_ns());
         let decisions = if self.pairs.len() == 1 {
             let candidates = self.tunnel_names();
             decide_flows(
@@ -480,9 +524,34 @@ impl SelfDrivingNetwork {
                 &mut self.log,
             )?
         };
+        let now_ns = self.sim.now_ns();
+        if tracing {
+            let after = self.hecate.cache_stats();
+            let (batch, hits, updates, refits) = (
+                reqs.len() as u64,
+                after.hits - cache_before.hits,
+                after.updates - cache_before.updates,
+                after.refits - cache_before.refits,
+            );
+            consult.end(now_ns, move || {
+                vec![
+                    ("batch", obsv::Value::U64(batch)),
+                    ("cache_hits", obsv::Value::U64(hits)),
+                    ("cache_updates", obsv::Value::U64(updates)),
+                    ("cache_refits", obsv::Value::U64(refits)),
+                ]
+            });
+        } else {
+            consult.end(now_ns, Vec::new);
+        }
+        let place = self.obsv.tracer.span("decide", "decide.place", now_ns);
         for (req, decision) in reqs.iter().zip(&decisions) {
             self.install_flow(req, decision)?;
         }
+        let placed = decisions.len() as u64;
+        place.end(self.sim.now_ns(), move || {
+            vec![("flows", obsv::Value::U64(placed))]
+        });
         Ok(decisions)
     }
 
@@ -565,7 +634,16 @@ impl SelfDrivingNetwork {
         edge.set_pbr(label, tunnel)?;
         let now = self.sim.now_ms();
         self.sim.schedule(now, Event::SetFlowPath(flow.id, path))?;
-        flow.tunnel = tunnel.to_string();
+        let from = std::mem::replace(&mut flow.tunnel, tunnel.to_string());
+        self.obsv
+            .tracer
+            .instant("decide", "decide.migrate", self.sim.now_ns(), || {
+                vec![
+                    ("flow", obsv::Value::Str(label.to_string())),
+                    ("from", obsv::Value::Str(from)),
+                    ("to", obsv::Value::Str(tunnel.to_string())),
+                ]
+            });
         self.log.record("configureTunnel");
         Ok(())
     }
@@ -587,12 +665,41 @@ impl SelfDrivingNetwork {
         }
         self.log.record("askHecatePath");
         let names = self.tunnel_names();
+        let tracing = self.obsv.tracer.enabled();
+        let cache_before = if tracing {
+            self.hecate.cache_stats()
+        } else {
+            Default::default()
+        };
+        let forecast_span = self
+            .obsv
+            .tracer
+            .span("decide", "decide.forecast", self.sim.now_ns());
         let forecasts =
             self.hecate
                 .forecast_all(&self.telemetry, &names, Metric::AvailableBandwidth);
+        let now_ns = self.sim.now_ns();
+        if tracing {
+            let after = self.hecate.cache_stats();
+            let (paths, hits, refits) = (
+                names.len() as u64,
+                after.hits - cache_before.hits,
+                after.refits - cache_before.refits,
+            );
+            forecast_span.end(now_ns, move || {
+                vec![
+                    ("paths", obsv::Value::U64(paths)),
+                    ("cache_hits", obsv::Value::U64(hits)),
+                    ("cache_refits", obsv::Value::U64(refits)),
+                ]
+            });
+        } else {
+            forecast_span.end(now_ns, Vec::new);
+        }
         if forecasts.is_empty() {
             return Err(FrameworkError::NoFeasiblePath);
         }
+        let solve = self.obsv.tracer.span("decide", "decide.solve", now_ns);
         // Tunnels without a forecast (cold series) fall back to their
         // last observed capacity, or zero if never measured. A tunnel
         // whose path is physically broken is worth zero regardless of
@@ -645,6 +752,10 @@ impl SelfDrivingNetwork {
             .zip(&tunnel_of_flow)
             .map(|(f, &t)| (f.label.clone(), names[t].clone()))
             .collect();
+        let assigned = moves.len() as u64;
+        solve.end(self.sim.now_ns(), move || {
+            vec![("flows", obsv::Value::U64(assigned))]
+        });
         self.log.record("optimizerReturn");
         for (label, tunnel) in &moves {
             let current = self

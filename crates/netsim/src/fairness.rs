@@ -146,6 +146,10 @@ const MAX_EXPANSIONS: usize = 8;
 
 /// Audit counters for the incremental allocator: how often the
 /// restricted solve sufficed versus escalating to a full water-fill.
+///
+/// This is a point-in-time *snapshot* of [`WaterfillMetrics`] — the
+/// live storage is `obsv` counters, shared with any attached metrics
+/// registry; this plain struct remains the stable accessor type.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WaterfillStats {
     /// Restricted (component-local) solves that converged.
@@ -157,6 +161,48 @@ pub struct WaterfillStats {
     /// Events absorbed with no water-fill at all (e.g. a demand-limited
     /// arrival onto links with spare capacity).
     pub fast_path_events: u64,
+}
+
+/// The live audit instruments behind [`WaterfillStats`]: `obsv`
+/// counters, so a scenario's metrics registry can watch the allocator
+/// without the engine knowing about snapshots or epochs.
+#[derive(Debug, Clone, Default)]
+pub struct WaterfillMetrics {
+    /// Restricted solves that converged.
+    pub incremental_solves: obsv::Counter,
+    /// Escalations to the full flow set.
+    pub full_solves: obsv::Counter,
+    /// Component-expansion iterations.
+    pub expansions: obsv::Counter,
+    /// Events absorbed with no water-fill.
+    pub fast_path_events: obsv::Counter,
+}
+
+impl WaterfillMetrics {
+    /// Current values as a plain struct.
+    pub fn snapshot(&self) -> WaterfillStats {
+        WaterfillStats {
+            incremental_solves: self.incremental_solves.get(),
+            full_solves: self.full_solves.get(),
+            expansions: self.expansions.get(),
+            fast_path_events: self.fast_path_events.get(),
+        }
+    }
+
+    /// Exposes the live counters in `registry` under
+    /// `{prefix}.{field}` (e.g. `netsim.waterfill.expansions`).
+    pub fn register(&self, registry: &obsv::Registry, prefix: &str) {
+        registry.adopt_counter(
+            &format!("{prefix}.incremental_solves"),
+            &self.incremental_solves,
+        );
+        registry.adopt_counter(&format!("{prefix}.full_solves"), &self.full_solves);
+        registry.adopt_counter(&format!("{prefix}.expansions"), &self.expansions);
+        registry.adopt_counter(
+            &format!("{prefix}.fast_path_events"),
+            &self.fast_path_events,
+        );
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -201,7 +247,7 @@ pub struct FairShareEngine {
     live: usize,
     seeds: BTreeSet<FlowId>,
     changed: BTreeMap<FlowId, f64>,
-    stats: WaterfillStats,
+    stats: WaterfillMetrics,
 }
 
 impl FairShareEngine {
@@ -261,7 +307,7 @@ impl FairShareEngine {
         );
         self.live += 1;
         if fast {
-            self.stats.fast_path_events += 1;
+            self.stats.fast_path_events.inc();
             self.changed.insert(id, rate);
         } else {
             self.seeds.insert(id);
@@ -374,9 +420,15 @@ impl FairShareEngine {
         self.live
     }
 
-    /// Audit counters.
+    /// Audit counters (a snapshot; the live instruments are
+    /// [`FairShareEngine::metrics`]).
     pub fn stats(&self) -> WaterfillStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The live `obsv` instruments behind [`FairShareEngine::stats`].
+    pub fn metrics(&self) -> &WaterfillMetrics {
+        &self.stats
     }
 
     fn drop_membership(&mut self, links: &[(LinkId, Direction)], id: FlowId) {
@@ -482,7 +534,7 @@ impl FairShareEngine {
             }
             let (new_rates, picked_lambda) = self.waterfill_component(&order, &cap_eff);
             if full {
-                self.stats.full_solves += 1;
+                self.stats.full_solves.inc();
                 self.commit(&new_rates);
                 return;
             }
@@ -521,11 +573,11 @@ impl FairShareEngine {
                 }
             }
             if joins.is_empty() {
-                self.stats.incremental_solves += 1;
+                self.stats.incremental_solves.inc();
                 self.commit(&new_rates);
                 return;
             }
-            self.stats.expansions += 1;
+            self.stats.expansions.inc();
             comp.extend(joins);
             iterations += 1;
         }

@@ -29,7 +29,7 @@ pub mod flow;
 pub mod sim;
 pub mod topo;
 
-pub use fairness::{FairShareEngine, WaterfillStats};
+pub use fairness::{FairShareEngine, WaterfillMetrics, WaterfillStats};
 pub use flow::{Flow, FlowId, FlowSpec};
 pub use sim::{Event, Simulation, TelemetryRecord};
 pub use topo::{LinkId, NodeIdx, Topology};

@@ -158,7 +158,14 @@ pub struct Simulation {
     /// Memoized `link_utilization` for the current `(now, version)` —
     /// probes and telemetry at one instant share one computation.
     util_cache: RefCell<Option<UtilCacheEntry>>,
+    /// Sim-time trace facade (off by default; every record is stamped
+    /// with the event clock, so traces replay bit-identically).
+    tracer: obsv::Tracer,
 }
+
+/// Nanoseconds per simulation millisecond — the sim core keeps time in
+/// ms; traces are stamped in ns to share a clock with the packet plane.
+pub const NS_PER_MS: u64 = 1_000_000;
 
 /// `(now, state_version, per-link utilization)` memo entry.
 type UtilCacheEntry = (SimTimeMs, u64, BTreeMap<(LinkId, Direction), f64>);
@@ -185,12 +192,30 @@ impl Simulation {
             events_processed: 0,
             state_version: 0,
             util_cache: RefCell::new(None),
+            tracer: obsv::Tracer::off(),
         }
     }
 
     /// Current simulation time (ms).
     pub fn now_ms(&self) -> SimTimeMs {
         self.now_ms
+    }
+
+    /// Current simulation time (ns) — the trace clock.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ms * NS_PER_MS
+    }
+
+    /// Attaches (or detaches, with [`obsv::Tracer::off`]) the sim-time
+    /// tracer instrumenting the event loop and the water-fill.
+    pub fn set_tracer(&mut self, tracer: obsv::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Exposes the water-fill audit counters in `registry` under
+    /// `netsim.waterfill.*`.
+    pub fn register_metrics(&self, registry: &obsv::Registry) {
+        self.engine.metrics().register(registry, "netsim.waterfill");
     }
 
     /// Schedules an event at an absolute time.
@@ -244,9 +269,22 @@ impl Simulation {
         };
         loop {
             let mut external = false;
+            // The dispatch span covers every event due at this instant;
+            // queue depth is sampled before the batch drains. All of it
+            // is behind the tracer's inline `None` check.
+            let depth = self.events.len() as u64;
+            let dispatch = if self.tracer.enabled()
+                && self.events.peek().is_some_and(|top| top.at <= self.now_ms)
+            {
+                Some(self.tracer.span("sim", "sim.dispatch", self.now_ns()))
+            } else {
+                None
+            };
+            let mut batch: u64 = 0;
             while self.events.peek().is_some_and(|top| top.at <= self.now_ms) {
                 let Some(due) = self.events.pop() else { break };
                 self.events_processed += 1;
+                batch += 1;
                 match due.event {
                     SimEvent::External(e) => {
                         self.apply_external(e);
@@ -255,10 +293,59 @@ impl Simulation {
                     SimEvent::RateConverged { id, gen } => self.apply_converged(id, gen),
                 }
             }
+            if let Some(span) = dispatch {
+                span.end(self.now_ns(), || {
+                    vec![
+                        ("events", obsv::Value::U64(batch)),
+                        ("queue_depth", obsv::Value::U64(depth)),
+                    ]
+                });
+            }
             if external {
-                self.resolve_shares();
+                if self.tracer.enabled() {
+                    let before = self.engine.stats();
+                    let span = self.tracer.span("sim", "sim.waterfill", self.now_ns());
+                    self.resolve_shares();
+                    let after = self.engine.stats();
+                    if after.full_solves > before.full_solves {
+                        // Escalation to the audited full recompute is
+                        // exactly the event a trace reader hunts for.
+                        self.tracer.instant(
+                            "sim",
+                            "sim.waterfill.full_recompute",
+                            self.now_ns(),
+                            Vec::new,
+                        );
+                    }
+                    span.end(self.now_ns(), || {
+                        vec![
+                            (
+                                "incremental",
+                                obsv::Value::U64(
+                                    after.incremental_solves - before.incremental_solves,
+                                ),
+                            ),
+                            (
+                                "full",
+                                obsv::Value::U64(after.full_solves - before.full_solves),
+                            ),
+                            (
+                                "expansions",
+                                obsv::Value::U64(after.expansions - before.expansions),
+                            ),
+                        ]
+                    });
+                } else {
+                    self.resolve_shares();
+                }
             }
             if self.now_ms >= next_sample {
+                self.tracer.counter(
+                    "sim",
+                    "sim.queue_depth",
+                    self.now_ns(),
+                    self.events.len() as u64,
+                );
                 self.sample_telemetry();
                 next_sample += sample_ms;
             }

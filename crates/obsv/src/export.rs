@@ -1,0 +1,459 @@
+//! Trace exporters: JSONL and Chrome trace-event JSON, plus a tiny
+//! JSON parser used to validate emitted artifacts in CI.
+//!
+//! All formatting is deterministic: args render in emission order,
+//! floats via Rust's shortest-roundtrip `Display`, names escaped with
+//! a fixed table. Byte-identical records ⇒ byte-identical output.
+
+use crate::trace::{RecordKind, TraceRecord, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_into(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            // JSON has no NaN/Infinity; stringify the rare oddball.
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                let _ = write!(out, "\"{x}\"");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn args_into(out: &mut String, args: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        value_into(out, v);
+    }
+    out.push('}');
+}
+
+/// Renders records as JSONL: one deterministic JSON object per line.
+///
+/// ```text
+/// {"at_ns":1000000,"ph":"B","cat":"sim","name":"sim.dispatch","args":{}}
+/// ```
+pub fn jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 80);
+    for r in records {
+        let _ = write!(
+            out,
+            "{{\"at_ns\":{},\"ph\":\"{}\",\"cat\":\"{}\",\"name\":\"",
+            r.at_ns,
+            r.kind.phase(),
+            r.cat
+        );
+        escape_into(&mut out, r.name);
+        out.push_str("\",\"args\":");
+        args_into(&mut out, &r.args);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders records as Chrome trace-event JSON (the object form, with a
+/// `traceEvents` array), loadable in Perfetto / `chrome://tracing`.
+/// `ts` is microseconds with ns precision kept as a fraction.
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 120 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":1,\"cat\":\"{}\",\"name\":\"",
+            r.kind.phase(),
+            r.at_ns / 1_000,
+            r.at_ns % 1_000,
+            r.cat
+        );
+        escape_into(&mut out, r.name);
+        out.push('"');
+        // Instant events need a scope; counters carry their value in
+        // args like everything else.
+        if r.kind == RecordKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":");
+        args_into(&mut out, &r.args);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A parsed JSON value — just enough structure for artifact
+/// validation (no numbers-as-anything-but-f64, no serde).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (sorted by key; duplicate keys keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage. Errors
+/// carry a byte offset. This exists so `repro trace` / CI can assert
+/// "the Chrome trace is valid trace-event JSON" without serde.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogates are not expected in our own
+                            // output; map them to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?}", other as char));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RecordingSink, TraceSink, Tracer};
+    use std::sync::Arc;
+
+    fn sample() -> Vec<TraceRecord> {
+        let sink = RecordingSink::shared();
+        let t = Tracer::to(sink.clone() as Arc<dyn TraceSink>);
+        let s = t.span("decide", "decide.forecast", 1_000_000);
+        s.end(1_000_000, || {
+            vec![
+                ("paths", Value::U64(8)),
+                ("hit_rate", Value::F64(0.75)),
+                ("pair", Value::Str("p0\"x".into())),
+            ]
+        });
+        t.instant("packet", "packet.drop", 2_500_500, || {
+            vec![("reason", Value::Str("queue_full".into()))]
+        });
+        t.counter("sim", "sim.queue_depth", 3_000_000, 42);
+        sink.take()
+    }
+
+    #[test]
+    fn jsonl_lines_are_parseable_and_stable() {
+        let recs = sample();
+        let text = jsonl(&recs);
+        assert_eq!(text, jsonl(&recs), "formatting is a pure function");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v = parse_json(line).expect("every JSONL line parses");
+            assert!(v.get("at_ns").is_some());
+            assert!(v.get("ph").is_some());
+        }
+        assert!(lines[0].contains("\"name\":\"decide.forecast\""));
+        assert!(lines[1].contains("\\\"x"), "quotes are escaped");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let recs = sample();
+        let text = chrome_trace(&recs);
+        let v = parse_json(&text).expect("chrome trace parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, ["B", "E", "i", "C"]);
+        // ts is µs: 1_000_000 ns -> 1000.000 µs.
+        assert_eq!(events[0].get("ts"), Some(&Json::Num(1000.0)));
+        assert_eq!(
+            events[2].get("s").and_then(Json::as_str),
+            Some("t"),
+            "instants carry a scope"
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json("{\"a\"}").is_err());
+        assert!(parse_json("nul").is_err());
+        assert_eq!(parse_json(" null ").unwrap(), Json::Null);
+        assert_eq!(
+            parse_json("{\"k\":[1,-2.5e1,\"s\\u0041\"]}")
+                .unwrap()
+                .get("k"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Str("sA".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_stringified() {
+        let recs = vec![TraceRecord {
+            at_ns: 0,
+            kind: RecordKind::Instant,
+            cat: "t",
+            name: "x",
+            args: vec![("v", Value::F64(f64::NAN))],
+        }];
+        let line = jsonl(&recs);
+        parse_json(line.trim()).expect("NaN must not break JSON");
+    }
+}

@@ -1,0 +1,120 @@
+//! The flight recorder: a bounded ring of the most recent trace
+//! records, dumped on SLO-violation epochs or panics. The ring is the
+//! black box — always cheap enough to leave on, holding just enough
+//! history to explain "what was the loop doing right before this".
+
+use crate::export;
+use crate::trace::{TraceRecord, TraceSink};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+struct Ring {
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+/// A bounded-ring [`TraceSink`]. Usually one arm of a
+/// [`crate::Fanout`] next to a full [`crate::RecordingSink`], or the
+/// sole sink when only post-mortems matter.
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` records (min 1).
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(FlightRecorder {
+            cap: cap.max(1),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                dropped: 0,
+            }),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records evicted so far (how much history scrolled off).
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// The retained records, oldest first. The ring keeps recording.
+    pub fn dump(&self) -> Vec<TraceRecord> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// The retained records as JSONL, ready to write or print.
+    pub fn dump_jsonl(&self) -> String {
+        export::jsonl(&self.dump())
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn emit(&self, rec: TraceRecord) {
+        let mut ring = self.lock();
+        if ring.buf.len() == self.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(rec);
+    }
+}
+
+/// Installs a panic hook that dumps the flight recorder to stderr
+/// (JSONL, prefixed with a marker line) before delegating to the
+/// previous hook. Call once, from a binary (`repro`), not a library.
+pub fn install_panic_dump(recorder: Arc<FlightRecorder>) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let dump = recorder.dump_jsonl();
+        eprintln!(
+            "--- obsv flight recorder ({} records, {} evicted) ---",
+            dump.lines().count(),
+            recorder.dropped()
+        );
+        eprint!("{dump}");
+        eprintln!("--- end flight recorder ---");
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Tracer, Value};
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_records() {
+        let fr = FlightRecorder::new(3);
+        let t = Tracer::to(fr.clone());
+        for i in 0..5u64 {
+            t.instant("c", "tick", i, || vec![("i", Value::U64(i))]);
+        }
+        let dump = fr.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let stamps: Vec<u64> = dump.iter().map(|r| r.at_ns).collect();
+        assert_eq!(stamps, [2, 3, 4], "oldest records are evicted first");
+        assert_eq!(fr.dump_jsonl().lines().count(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let fr = FlightRecorder::new(0);
+        let t = Tracer::to(fr.clone());
+        t.instant("c", "tick", 1, Vec::new);
+        assert_eq!(fr.capacity(), 1);
+        assert_eq!(fr.dump().len(), 1);
+    }
+}

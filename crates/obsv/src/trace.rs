@@ -1,0 +1,342 @@
+//! The tracing facade: sim-time spans and instant events.
+//!
+//! Design constraints, in priority order:
+//!
+//! - **Determinism.** Records carry a caller-supplied simulation-time
+//!   stamp (`at_ns`); this module never reads a clock. Given the same
+//!   seed and config, the record stream is byte-identical.
+//! - **Zero cost when off.** [`Tracer`] is an `Option<Arc<dyn
+//!   TraceSink>>`; every entry point is `#[inline]` and returns before
+//!   touching its lazily-evaluated argument closure when the sink is
+//!   `None`. No allocation, no atomic, no branch beyond the `Option`
+//!   check.
+//! - **No allocation for names.** Span/event names and categories are
+//!   `&'static str`; dynamic detail goes in args, built only when a
+//!   sink is attached.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Simulation-time nanoseconds. The sim core runs in ms (×1e6 to get
+/// here); the packet plane is already ns-native.
+pub type SimNs = u64;
+
+/// A dynamic argument value on a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned counter-like value.
+    U64(u64),
+    /// Signed value.
+    I64(i64),
+    /// Floating-point value (formatted via Rust's shortest-roundtrip
+    /// `Display`, which is deterministic).
+    F64(f64),
+    /// Owned string detail (flow names, tunnel labels).
+    Str(String),
+}
+
+/// What a record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Span open.
+    Begin,
+    /// Span close (matches the most recent unclosed `Begin` of the
+    /// same name — spans are emitted from structured code, so pairing
+    /// is lexical).
+    End,
+    /// A point event.
+    Instant,
+    /// A sampled counter value (renders as a counter track in
+    /// Perfetto).
+    Counter,
+}
+
+impl RecordKind {
+    /// The Chrome trace-event phase letter.
+    pub fn phase(self) -> char {
+        match self {
+            RecordKind::Begin => 'B',
+            RecordKind::End => 'E',
+            RecordKind::Instant => 'i',
+            RecordKind::Counter => 'C',
+        }
+    }
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time stamp.
+    pub at_ns: SimNs,
+    /// Record kind.
+    pub kind: RecordKind,
+    /// Category (e.g. `"decide"`, `"sim"`, `"packet"`, `"runner"`).
+    pub cat: &'static str,
+    /// Event name (e.g. `"decide.forecast"`).
+    pub name: &'static str,
+    /// Dynamic arguments, in caller order.
+    pub args: Vec<(&'static str, Value)>,
+}
+
+/// Where records go. Sinks must tolerate being called from the hot
+/// path: implementations buffer; exporting happens after the run.
+pub trait TraceSink: Send + Sync {
+    /// Accept one record.
+    fn emit(&self, rec: TraceRecord);
+}
+
+/// The tracing facade handed to instrumented components. `Tracer::off`
+/// (also `Default`) is the no-op: a `None` sink, checked inline.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The disabled tracer. All calls are inlined no-ops.
+    pub fn off() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer feeding `sink`.
+    pub fn to(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached. Use to gate arg computation that
+    /// cannot be expressed as a closure (e.g. diffing counters around
+    /// a call).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an instant event. `args` runs only when enabled.
+    #[inline]
+    pub fn instant(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        at_ns: SimNs,
+        args: impl FnOnce() -> Vec<(&'static str, Value)>,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TraceRecord {
+                at_ns,
+                kind: RecordKind::Instant,
+                cat,
+                name,
+                args: args(),
+            });
+        }
+    }
+
+    /// Emits a counter sample (a value track in Perfetto).
+    #[inline]
+    pub fn counter(&self, cat: &'static str, name: &'static str, at_ns: SimNs, value: u64) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TraceRecord {
+                at_ns,
+                kind: RecordKind::Counter,
+                cat,
+                name,
+                args: vec![("value", Value::U64(value))],
+            });
+        }
+    }
+
+    /// Opens a span at `at_ns`. Close it with [`Span::end`], passing
+    /// the (possibly later) sim time; sim time often does not advance
+    /// while the controller thinks, so zero-length spans are normal
+    /// and valid trace-event JSON.
+    #[inline]
+    pub fn span(&self, cat: &'static str, name: &'static str, at_ns: SimNs) -> Span {
+        if let Some(sink) = &self.sink {
+            sink.emit(TraceRecord {
+                at_ns,
+                kind: RecordKind::Begin,
+                cat,
+                name,
+                args: Vec::new(),
+            });
+            Span {
+                sink: Some(Arc::clone(sink)),
+                cat,
+                name,
+            }
+        } else {
+            Span {
+                sink: None,
+                cat,
+                name,
+            }
+        }
+    }
+}
+
+/// An open span. Explicitly ended (an end needs a sim-time stamp, so
+/// `Drop` cannot supply one); dropping without `end` leaks the open
+/// `Begin`, which exporters tolerate.
+#[must_use = "end the span with `.end(at_ns, ..)` so the trace pairs up"]
+pub struct Span {
+    sink: Option<Arc<dyn TraceSink>>,
+    cat: &'static str,
+    name: &'static str,
+}
+
+impl Span {
+    /// Closes the span at `at_ns`. `args` runs only when enabled and
+    /// lands on the `End` record.
+    #[inline]
+    pub fn end(self, at_ns: SimNs, args: impl FnOnce() -> Vec<(&'static str, Value)>) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TraceRecord {
+                at_ns,
+                kind: RecordKind::End,
+                cat: self.cat,
+                name: self.name,
+                args: args(),
+            });
+        }
+    }
+}
+
+/// A sink that buffers every record in memory, in emission order.
+#[derive(Default)]
+pub struct RecordingSink {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl RecordingSink {
+    /// A fresh, shareable recorder.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(RecordingSink::default())
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A copy of the buffered records.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.lock().clone()
+    }
+
+    /// Drains the buffer.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceRecord>> {
+        // A poisoned buffer is still a valid buffer: recover it.
+        self.records
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn emit(&self, rec: TraceRecord) {
+        self.lock().push(rec);
+    }
+}
+
+/// Duplicates records to several sinks (e.g. full recording + flight
+/// recorder).
+pub struct Fanout(pub Vec<Arc<dyn TraceSink>>);
+
+impl TraceSink for Fanout {
+    fn emit(&self, rec: TraceRecord) {
+        if let Some((last, rest)) = self.0.split_last() {
+            for s in rest {
+                s.emit(rec.clone());
+            }
+            last.emit(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(recs: &[TraceRecord], i: usize) -> &TraceRecord {
+        &recs[i]
+    }
+
+    #[test]
+    fn off_tracer_emits_nothing_and_skips_arg_closures() {
+        let t = Tracer::off();
+        assert!(!t.enabled());
+        let mut ran = false;
+        t.instant("c", "n", 1, || {
+            ran = true;
+            vec![]
+        });
+        let span = t.span("c", "s", 2);
+        span.end(3, || {
+            ran = true;
+            vec![]
+        });
+        assert!(!ran, "arg closures must not run when disabled");
+    }
+
+    #[test]
+    fn records_arrive_in_order_with_stamps() {
+        let sink = RecordingSink::shared();
+        let t = Tracer::to(sink.clone());
+        assert!(t.enabled());
+        let s = t.span("sim", "sim.dispatch", 1_000);
+        t.instant("sim", "sim.full_recompute", 1_000, || {
+            vec![("why", Value::Str("audit".into()))]
+        });
+        s.end(1_000, || vec![("events", Value::U64(3))]);
+        t.counter("sim", "sim.queue_depth", 2_000, 7);
+
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(
+            (at(&recs, 0).kind, at(&recs, 0).name, at(&recs, 0).at_ns),
+            (RecordKind::Begin, "sim.dispatch", 1_000)
+        );
+        assert_eq!(at(&recs, 1).kind, RecordKind::Instant);
+        assert_eq!(at(&recs, 2).args, vec![("events", Value::U64(3))]);
+        assert_eq!(
+            (at(&recs, 3).kind, at(&recs, 3).at_ns),
+            (RecordKind::Counter, 2_000)
+        );
+    }
+
+    #[test]
+    fn fanout_duplicates_to_every_sink() {
+        let a = RecordingSink::shared();
+        let b = RecordingSink::shared();
+        let t = Tracer::to(Arc::new(Fanout(vec![a.clone(), b.clone()])));
+        t.instant("c", "n", 5, Vec::new);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn record_kind_phases_match_trace_event_spec() {
+        assert_eq!(RecordKind::Begin.phase(), 'B');
+        assert_eq!(RecordKind::End.phase(), 'E');
+        assert_eq!(RecordKind::Instant.phase(), 'i');
+        assert_eq!(RecordKind::Counter.phase(), 'C');
+    }
+}

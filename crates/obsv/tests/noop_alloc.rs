@@ -1,0 +1,80 @@
+//! Pins the disabled-path contract: a `Tracer::off()` facade emits
+//! nothing and allocates nothing, no matter how hot the call site.
+//!
+//! This is its own integration-test binary so it can install a
+//! counting global allocator without affecting any other test. The
+//! counter is thread-local (const-init TLS, so counting itself never
+//! allocates): harness threads allocating concurrently must not bleed
+//! into the measurement.
+
+use obsv::{Tracer, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // try_with: TLS is unavailable during thread teardown; those
+    // allocations are not ours to count.
+    let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn my_allocs() -> u64 {
+    TL_ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracer_emits_nothing_and_allocates_nothing() {
+    // Emission check first (this part allocates its sink freely).
+    let sink = obsv::RecordingSink::shared();
+    let on = Tracer::to(sink.clone());
+    let off = Tracer::off();
+    off.instant("c", "n", 1, Vec::new);
+    let s = off.span("c", "s", 2);
+    s.end(3, Vec::new);
+    off.counter("c", "k", 4, 5);
+    assert!(sink.is_empty(), "the off tracer fed no sink");
+    on.instant("c", "n", 1, Vec::new);
+    assert_eq!(sink.len(), 1);
+
+    // Now the allocation-free contract on this thread only.
+    let t = Tracer::off();
+    assert!(!t.enabled());
+
+    let before = my_allocs();
+    for i in 0..10_000u64 {
+        t.instant("sim", "sim.event", i, || {
+            vec![("i", Value::U64(i)), ("tag", Value::Str(i.to_string()))]
+        });
+        let span = t.span("decide", "decide.forecast", i);
+        span.end(i + 1, || vec![("paths", Value::U64(8))]);
+        t.counter("sim", "sim.queue_depth", i, i);
+    }
+    let after = my_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing must not allocate (arg closures must not run)"
+    );
+}

@@ -24,6 +24,11 @@
 //! * [`runner`] — executes a [`runner::Scenario`] end-to-end through
 //!   `framework::SelfDrivingNetwork` (fluid, or packet-level via
 //!   `attach_dataplane`) under a routing [`runner::Policy`];
+//! * [`observe`] — opt-in sim-time observability for a run
+//!   ([`runner::Scenario::run_observed`]): structured traces of the
+//!   whole control loop (exportable as JSONL or a Perfetto-loadable
+//!   Chrome trace), per-epoch metric snapshots folded into the
+//!   scorecard, and flight-recorder dumps on SLO-violation epochs;
 //! * [`scorecard`] — the resulting [`scorecard::Scorecard`] (aggregate
 //!   goodput, p50/p99 per-flow throughput, SLO-violation epochs,
 //!   migrations, post-failure recovery times) and the policy-matrix
@@ -39,6 +44,7 @@
 pub mod catalog;
 pub mod elastic;
 pub mod events;
+pub mod observe;
 pub mod runner;
 pub mod scorecard;
 pub mod traffic;
@@ -46,8 +52,9 @@ pub mod zoo;
 
 pub use catalog::{catalog, catalog_smoke, scale_1k, scale_1k_smoke};
 pub use elastic::ElasticSpec;
+pub use observe::{ObsvArtifacts, ObsvOptions};
 pub use runner::{FlowPlan, PlaneMode, Policy, Scenario};
-pub use scorecard::{render_matrix, PairScore, Recovery, Scorecard};
+pub use scorecard::{render_matrix, MetricsSection, PairScore, Recovery, Scorecard};
 pub use traffic::TrafficSpec;
 pub use zoo::TopologySpec;
 

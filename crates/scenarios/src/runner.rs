@@ -12,7 +12,8 @@
 //! `u64` seed is deterministic.
 
 use crate::events::{compile_events, EventSpec, LinkAction};
-use crate::scorecard::{percentile, PairScore, Recovery, Scorecard};
+use crate::observe::{ObsvArtifacts, ObsvOptions, MAX_SLO_DUMPS};
+use crate::scorecard::{percentile, MetricsSection, PairScore, Recovery, Scorecard};
 use crate::traffic::{headroom_scale, link_load, TrafficSpec};
 use crate::zoo::{endpoint_pairs, endpoints, TopologySpec};
 use crate::ScenarioError;
@@ -167,8 +168,25 @@ impl Scenario {
     }
 
     /// Runs the scenario under one policy. See the module docs for the
-    /// per-epoch sequence.
+    /// per-epoch sequence. Observability stays fully off: the tracer
+    /// is a no-op and the scorecard carries no metrics section.
     pub fn run(&self, policy: Policy) -> Result<Scorecard, ScenarioError> {
+        self.run_observed(policy, &ObsvOptions::off())
+            .map(|(card, _)| card)
+    }
+
+    /// Runs the scenario under one policy with observability attached
+    /// per `opts`: sim-time trace records (exportable as JSONL or a
+    /// Chrome trace), per-epoch metric snapshots folded into the
+    /// scorecard, and flight-recorder dumps captured on SLO-violation
+    /// epochs. Observation never perturbs the run: every measured
+    /// field matches the un-observed scorecard bit-for-bit — the
+    /// metrics section is the only addition.
+    pub fn run_observed(
+        &self,
+        policy: Policy,
+        opts: &ObsvOptions,
+    ) -> Result<(Scorecard, ObsvArtifacts), ScenarioError> {
         if self.horizon_epochs == 0 || self.flows.is_empty() {
             return Err(ScenarioError::Config(
                 "scenario needs a horizon and at least one managed flow".into(),
@@ -261,6 +279,38 @@ impl Scenario {
             })?;
         }
 
+        // Observability: build the sink stack and hand the bundle to
+        // every layer. With nothing to observe the tracer stays off and
+        // the run is exactly the un-observed one.
+        let recording = opts.trace.then(obsv::RecordingSink::shared);
+        let flight =
+            (opts.flight_capacity > 0).then(|| obsv::FlightRecorder::new(opts.flight_capacity));
+        let mut sinks: Vec<std::sync::Arc<dyn obsv::TraceSink>> = Vec::new();
+        if let Some(r) = &recording {
+            sinks.push(r.clone());
+        }
+        if let Some(fr) = &flight {
+            sinks.push(fr.clone());
+        }
+        if let Some(x) = &opts.extra_sink {
+            sinks.push(x.clone());
+        }
+        let tracer = match sinks.len() {
+            0 => obsv::Tracer::off(),
+            1 => obsv::Tracer::to(sinks.pop().expect("one sink")),
+            _ => obsv::Tracer::to(std::sync::Arc::new(obsv::Fanout(sinks))),
+        };
+        let bundle = obsv::Obsv {
+            tracer,
+            metrics: obsv::Registry::default(),
+        };
+        sdn.set_obsv(bundle.clone());
+        // Per-epoch snapshot base: taken after registration so the
+        // first epoch's delta covers exactly that epoch's increments.
+        let mut last_snap = opts.snapshots.then(|| bundle.metrics.snapshot());
+        let mut per_epoch: Vec<Vec<(String, u64)>> = Vec::new();
+        let mut slo_dumps: Vec<(u64, String)> = Vec::new();
+
         // Per-link capacity state, applied only on change.
         let mut drain: BTreeMap<usize, f64> = BTreeMap::new();
         let mut applied: BTreeMap<usize, f64> = BTreeMap::new();
@@ -279,6 +329,9 @@ impl Scenario {
         let mut pair_migrations: Vec<u64> = vec![0; npairs];
 
         for e in 0..self.horizon_epochs {
+            let epoch_span = bundle
+                .tracer
+                .span("scenario", "scenario.epoch", sdn.sim.now_ns());
             // (1) scripted link events due this epoch.
             while cursor < actions.len() && actions[cursor].epoch <= e {
                 let act = &actions[cursor];
@@ -385,17 +438,55 @@ impl Scenario {
             }
             if violated {
                 slo_violations += 1;
+                // Post-mortem material: mark the epoch in the trace and
+                // capture the flight-recorder tail (bounded — a
+                // persistently-violating run keeps only the first few).
+                bundle.tracer.instant(
+                    "scenario",
+                    "scenario.slo_violation",
+                    sdn.sim.now_ns(),
+                    || vec![("epoch", obsv::Value::U64(e))],
+                );
+                if let Some(fr) = &flight {
+                    if slo_dumps.len() < MAX_SLO_DUMPS {
+                        slo_dumps.push((e, fr.dump_jsonl()));
+                    }
+                }
             }
             // (6) policy consultation at the decision interval.
             let decision_due = self.decision_every > 0
                 && (e + 1) % self.decision_every == 0
                 && e + 1 < self.horizon_epochs;
             if decision_due {
+                let consult_span =
+                    bundle
+                        .tracer
+                        .span("scenario", "scenario.consult", sdn.sim.now_ns());
                 let per_pair = self.consult(policy, &mut sdn, &labels, npairs);
+                let mut moved = 0u64;
                 for (p, m) in per_pair.into_iter().enumerate() {
                     migrations += m;
                     pair_migrations[p] += m;
+                    moved += m;
                 }
+                consult_span.end(sdn.sim.now_ns(), || {
+                    vec![("migrations", obsv::Value::U64(moved))]
+                });
+            }
+            epoch_span.end(sdn.sim.now_ns(), || vec![("epoch", obsv::Value::U64(e))]);
+            if let Some(prev) = &mut last_snap {
+                let now = bundle.metrics.snapshot();
+                let delta = now.delta(prev);
+                per_epoch.push(
+                    delta
+                        .entries
+                        .iter()
+                        .filter_map(|(n, v)| {
+                            v.as_counter().filter(|&c| c > 0).map(|c| (n.clone(), c))
+                        })
+                        .collect(),
+                );
+                *prev = now;
             }
         }
 
@@ -448,21 +539,39 @@ impl Scenario {
                 }
             })
             .collect();
-        Ok(Scorecard {
-            scenario: self.name.clone(),
-            policy: policy.name().to_string(),
-            seed: self.seed,
-            epochs: self.horizon_epochs,
-            mean_aggregate_mbps: active.iter().sum::<f64>() / active.len().max(1) as f64,
-            p50_flow_mbps: percentile(&flow_samples, 0.50),
-            p99_flow_mbps: percentile(&flow_samples, 0.99),
-            slo_violation_epochs: slo_violations,
-            migrations,
-            sim_events: sdn.sim.events_processed(),
-            recoveries,
-            aggregate_series: aggregate,
-            per_pair,
-        })
+        let final_snap = opts.snapshots.then(|| bundle.metrics.snapshot());
+        let metrics = final_snap.as_ref().map(|snap| MetricsSection {
+            totals: snap
+                .entries
+                .iter()
+                .filter_map(|(n, v)| v.as_counter().map(|c| (n.clone(), c)))
+                .collect(),
+            per_epoch,
+        });
+        let artifacts = ObsvArtifacts {
+            records: recording.map(|r| r.take()).unwrap_or_default(),
+            metrics: final_snap,
+            slo_dumps,
+        };
+        Ok((
+            Scorecard {
+                scenario: self.name.clone(),
+                policy: policy.name().to_string(),
+                seed: self.seed,
+                epochs: self.horizon_epochs,
+                mean_aggregate_mbps: active.iter().sum::<f64>() / active.len().max(1) as f64,
+                p50_flow_mbps: percentile(&flow_samples, 0.50),
+                p99_flow_mbps: percentile(&flow_samples, 0.99),
+                slo_violation_epochs: slo_violations,
+                migrations,
+                sim_events: sdn.sim.events_processed(),
+                recoveries,
+                aggregate_series: aggregate,
+                per_pair,
+                metrics,
+            },
+            artifacts,
+        ))
     }
 
     /// Runs the scenario under every policy, in [`Policy::all`] order.
@@ -744,6 +853,76 @@ mod tests {
         assert!(sum >= card.mean_aggregate_mbps - 1e-9, "{card:?}");
         let migration_sum: u64 = card.per_pair.iter().map(|p| p.migrations).sum();
         assert_eq!(migration_sum, card.migrations);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_traces_every_phase() {
+        let s = tiny(7);
+        let plain = s.run(Policy::Hecate).unwrap();
+        let (card, art) = s
+            .run_observed(Policy::Hecate, &crate::observe::ObsvOptions::full())
+            .unwrap();
+        // Observation adds the metrics section and changes nothing else.
+        let mut stripped = card.clone();
+        stripped.metrics = None;
+        assert_eq!(stripped, plain);
+        // Every control-loop phase shows up as a span at least once.
+        let names = art.span_names();
+        for expect in [
+            "decide.consult",
+            "decide.forecast",
+            "decide.place",
+            "decide.solve",
+            "scenario.consult",
+            "scenario.epoch",
+            "sim.dispatch",
+            "sim.waterfill",
+        ] {
+            assert!(names.contains(&expect), "missing span {expect}: {names:?}");
+        }
+        let m = card.metrics.as_ref().unwrap();
+        assert_eq!(m.per_epoch.len() as u64, card.epochs);
+        assert!(
+            m.total("netsim.waterfill.incremental_solves")
+                + m.total("netsim.waterfill.full_solves")
+                > 0
+        );
+        assert!(m.total("hecate.cache.hits") + m.total("hecate.cache.refits") > 0);
+        assert!(!art.records.is_empty());
+        assert!(art.metrics.is_some());
+    }
+
+    #[test]
+    fn unobserved_run_carries_no_metrics_section() {
+        let card = tiny(7).run(Policy::Hecate).unwrap();
+        assert!(card.metrics.is_none());
+    }
+
+    #[test]
+    fn multi_pair_observed_run_attributes_cache_per_pair() {
+        let opts = crate::observe::ObsvOptions {
+            snapshots: true,
+            ..Default::default()
+        };
+        let (card, art) = tiny_multipair(7)
+            .run_observed(Policy::Hecate, &opts)
+            .unwrap();
+        // No sink requested: nothing traced, but metrics folded.
+        assert!(art.records.is_empty());
+        let m = card.metrics.as_ref().unwrap();
+        // Scoped counters exist for every declared pair and sum to the
+        // global ones.
+        for stat in ["hits", "updates", "refits"] {
+            let scoped: u64 = (0..3)
+                .map(|p| m.total(&format!("hecate.cache.p{p}.{stat}")))
+                .sum();
+            assert_eq!(
+                scoped,
+                m.total(&format!("hecate.cache.{stat}")),
+                "per-pair {stat} must sum to the global counter"
+            );
+        }
+        assert!(m.total("hecate.cache.hits") + m.total("hecate.cache.refits") > 0);
     }
 
     #[test]

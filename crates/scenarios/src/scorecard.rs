@@ -37,6 +37,33 @@ pub struct PairScore {
     pub migrations: u64,
 }
 
+/// Metrics folded from the run's obsv registry — per-epoch counter
+/// deltas plus final totals, both in ascending name order so the
+/// section compares bitwise like every other scorecard field.
+///
+/// Present only on observed runs with snapshots enabled
+/// (`Scenario::run_observed`); plain `run()` scorecards carry `None`
+/// and stay byte-for-byte what they always were.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSection {
+    /// Final counter totals (`netsim.waterfill.*`, `hecate.cache.*`,
+    /// and the per-pair `hecate.cache.p<N>.*` scopes).
+    pub totals: Vec<(String, u64)>,
+    /// Counter increments during each epoch (entry `e` covers epoch
+    /// `e`), zero rows suppressed.
+    pub per_epoch: Vec<Vec<(String, u64)>>,
+}
+
+impl MetricsSection {
+    /// Final total of one counter; absent counters read 0.
+    pub fn total(&self, name: &str) -> u64 {
+        self.totals
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.totals[i].1)
+            .unwrap_or(0)
+    }
+}
+
 /// What one scenario run measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scorecard {
@@ -74,6 +101,10 @@ pub struct Scorecard {
     /// Per-managed-pair attribution (one entry per pair; single-pair
     /// scenarios have exactly one, mirroring the aggregate).
     pub per_pair: Vec<PairScore>,
+    /// Control-loop metrics (water-fill solve counters, Hecate cache
+    /// hits/refits globally and per pair) — `None` unless the run was
+    /// observed with snapshots on.
+    pub metrics: Option<MetricsSection>,
 }
 
 /// Column headers matching [`Scorecard::row`].
@@ -130,6 +161,45 @@ impl Scorecard {
             })
             .collect()
     }
+
+    /// Control-loop metric lines for the matrix rendering: one summary
+    /// line (water-fill solve counters + global cache behavior), then
+    /// one cache-attribution line per pair on multi-pair runs. Empty
+    /// when the run was not observed with snapshots.
+    pub fn metrics_lines(&self) -> Vec<String> {
+        let Some(m) = &self.metrics else {
+            return Vec::new();
+        };
+        let mut out = vec![format!(
+            "  {:<16} waterfill {} incr / {} full / {} expansions; cache {} hits / {} refits",
+            self.policy,
+            m.total("netsim.waterfill.incremental_solves"),
+            m.total("netsim.waterfill.full_solves"),
+            m.total("netsim.waterfill.expansions"),
+            m.total("hecate.cache.hits"),
+            m.total("hecate.cache.refits"),
+        )];
+        if self.per_pair.len() > 1 {
+            for p in &self.per_pair {
+                let hits = m.total(&format!("hecate.cache.{}.hits", p.pair));
+                let updates = m.total(&format!("hecate.cache.{}.updates", p.pair));
+                let refits = m.total(&format!("hecate.cache.{}.refits", p.pair));
+                let consults = hits + updates + refits;
+                if consults == 0 {
+                    continue;
+                }
+                out.push(format!(
+                    "    {:<14} cache {} hits / {} updates / {} refits ({:.0}% hit)",
+                    p.pair,
+                    hits,
+                    updates,
+                    refits,
+                    100.0 * hits as f64 / consults as f64,
+                ));
+            }
+        }
+        out
+    }
 }
 
 /// Deterministic nearest-rank percentile (q in 0..=1) over a copy of
@@ -161,6 +231,12 @@ pub fn render_matrix(title: &str, cards: &[Scorecard]) -> String {
             c.policy,
             sparkline(&c.aggregate_series)
         ));
+    }
+    for c in cards {
+        for line in c.metrics_lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
     }
     out
 }
@@ -210,6 +286,7 @@ mod tests {
                     migrations: 1,
                 },
             ],
+            metrics: None,
         }
     }
 
@@ -250,6 +327,36 @@ mod tests {
         assert!(single.pair_rows().is_empty());
         let lines = render_matrix("s", &[single]).lines().count();
         assert!(lines < frame.lines().count());
+    }
+
+    #[test]
+    fn metrics_section_renders_waterfill_and_per_pair_cache_lines() {
+        let mut c = card("hecate");
+        c.metrics = Some(MetricsSection {
+            totals: vec![
+                ("hecate.cache.hits".into(), 9),
+                ("hecate.cache.p0.hits".into(), 6),
+                ("hecate.cache.p0.refits".into(), 2),
+                ("hecate.cache.p0.updates".into(), 0),
+                ("hecate.cache.refits".into(), 3),
+                ("netsim.waterfill.expansions".into(), 40),
+                ("netsim.waterfill.full_solves".into(), 3),
+                ("netsim.waterfill.incremental_solves".into(), 12),
+            ],
+            per_epoch: vec![vec![("hecate.cache.hits".into(), 9)]],
+        });
+        let m = c.metrics.as_ref().unwrap();
+        assert_eq!(m.total("netsim.waterfill.expansions"), 40);
+        assert_eq!(m.total("no.such.counter"), 0);
+        let frame = render_matrix("t", &[c]);
+        assert!(frame.contains("waterfill 12 incr / 3 full / 40 expansions"));
+        assert!(frame.contains("cache 9 hits / 3 refits"));
+        // p0 attributes 6 hits out of 8 consultations; p1 has no scoped
+        // counters and renders no line.
+        assert!(frame.contains("cache 6 hits / 0 updates / 2 refits (75% hit)"));
+        assert!(!frame.contains("p1             cache"));
+        // A card without metrics renders no metric lines at all.
+        assert!(card("hecate").metrics_lines().is_empty());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use proptest::prelude::*;
 use scenarios::events::{EventKind, EventSpec, LinkPick};
-use scenarios::{catalog_smoke, FlowPlan, PlaneMode, Policy, Scenario, TopologySpec, TrafficSpec};
+use scenarios::{
+    catalog_smoke, FlowPlan, ObsvOptions, PlaneMode, Policy, Scenario, TopologySpec, TrafficSpec,
+};
 
 fn replayable(
     seed: u64,
@@ -113,6 +115,39 @@ proptest! {
             first.aggregate_series.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             second.aggregate_series.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    /// The trace contract: two fully observed runs of the same
+    /// (seed, config, policy) serialize to **byte-identical** JSONL and
+    /// Chrome traces — observability artifacts replay exactly like
+    /// scorecards do, because records are stamped in sim time, never
+    /// wall clock.
+    #[test]
+    fn traced_runs_serialize_byte_identically(
+        seed in 0u64..10_000,
+        policy_pick in 0usize..3,
+        pair_count in 1usize..=3,
+    ) {
+        let scenario = replayable(
+            seed,
+            12,
+            TopologySpec::FatTree { k: 4 },
+            TrafficSpec::Gravity { pairs: 6, total_mbps: 30.0 },
+            pair_count,
+        );
+        let policy = Policy::all()[policy_pick];
+        let opts = ObsvOptions::full();
+        let (card_a, art_a) = scenario.run_observed(policy, &opts).unwrap();
+        let (card_b, art_b) = scenario.run_observed(policy, &opts).unwrap();
+        prop_assert_eq!(&card_a, &card_b, "observed scorecards must replay bit-identically");
+        prop_assert!(!art_a.records.is_empty(), "a traced run must emit records");
+        prop_assert_eq!(art_a.jsonl(), art_b.jsonl(), "JSONL must be byte-identical");
+        let chrome = art_a.chrome_trace();
+        prop_assert_eq!(&chrome, &art_b.chrome_trace(), "Chrome traces must be byte-identical");
+        // ... and the Chrome export is valid JSON with one event per record.
+        let parsed = obsv::export::parse_json(&chrome).unwrap();
+        let events = parsed.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        prop_assert_eq!(events.len(), art_a.records.len());
     }
 }
 
