@@ -19,18 +19,29 @@
 //!   repro trace          # observability artifact: traced control loop
 //!   repro mlp            # future-work MLP extension
 //!   repro cv             # walk-forward model selection extension
+//!   repro bench-diff OLD NEW [--accept]       # perf-regression gate
 //!
 //! `SCENARIO_SMOKE=1` shrinks the scenario suite to the CI subset
 //! (same scenarios, 40% horizon; `sim` runs the 40%-horizon scale-1k
 //! cut). `sim` also writes machine-readable `BENCH_sim.json` (events/sec,
 //! wall time, and the water-fill vs dispatch phase split) to the working
-//! directory. `trace` validates the traced control loop in memory and,
-//! with `OBSV_TRACE=1`, writes `TRACE_loop.jsonl` plus the
+//! directory. `trace` validates the traced control loop in memory,
+//! prints the analyzer's phase-budget table plus the SLO blame lines,
+//! and, with `OBSV_TRACE=1`, writes `TRACE_loop.jsonl` plus the
 //! Perfetto-loadable `TRACE_loop_chrome.json`.
+//!
+//! `sim`, `throughput` and `scenarios` additionally upsert their
+//! sections into the unified `bench/v1` report (`BENCH_report.json`, or
+//! `$BENCH_REPORT`); `bench-diff` compares two such reports under the
+//! baseline's per-metric tolerance policy, exits non-zero on
+//! regressions, and with `--accept` rewrites the baseline from the new
+//! report instead.
 
 use bench::figures;
 use bench::format_series;
+use bench::report::write_section;
 use hecate_ml::RegressorKind;
+use obsv_analyze::Metric;
 
 /// The single source of truth for figure names and their runners.
 const FIGURES: [(&str, fn()); 17] = [
@@ -56,6 +67,9 @@ const FIGURES: [(&str, fn()); 17] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+    if which == "bench-diff" {
+        std::process::exit(bench_diff(&args[1..]));
+    }
     let all = which == "all";
     if !all && !FIGURES.iter().any(|(name, _)| *name == which) {
         let names: Vec<&str> = FIGURES.iter().map(|(name, _)| *name).collect();
@@ -74,6 +88,53 @@ fn main() {
 
 fn banner(name: &str, caption: &str) {
     println!("\n=== {name}: {caption} ===");
+}
+
+/// `repro bench-diff <old> <new> [--accept]`: the perf-regression gate.
+/// Compares `new` against the `old` baseline under the baseline's
+/// per-metric policy (exact / tolerance band / wall floor). Returns the
+/// process exit code: `0` clean, `1` regressions, `2` usage or I/O
+/// error. `--accept` rewrites `old` from `new` after printing the diff
+/// (the local workflow for intentionally moving the baseline).
+fn bench_diff(args: &[String]) -> i32 {
+    let accept = args.iter().any(|a| a == "--accept");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [old_path, new_path] = paths[..] else {
+        eprintln!("usage: repro bench-diff <old.json> <new.json> [--accept]");
+        return 2;
+    };
+    let load = |path: &str| -> Result<obsv_analyze::BenchReport, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        obsv_analyze::BenchReport::parse(&src).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (o, n) => {
+            for r in [o, n] {
+                if let Err(e) = r {
+                    eprintln!("bench-diff: {e}");
+                }
+            }
+            return 2;
+        }
+    };
+    let d = obsv_analyze::diff(&old, &new);
+    print!("{}", d.render());
+    if accept {
+        // Re-serialize (rather than copying the file) so the accepted
+        // baseline is canonical bench/v1 JSON whatever produced `new`.
+        match std::fs::write(old_path, new.to_json()) {
+            Ok(()) => {
+                println!("accepted: {new_path} -> {old_path}");
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("bench-diff: could not accept into {old_path}: {e}");
+                return 2;
+            }
+        }
+    }
+    i32::from(d.has_regressions())
 }
 
 fn fig1() {
@@ -234,6 +295,32 @@ fn throughput() {
         "  speedup {:.0}x, recommendations matched: {}, cache {:?}",
         r.speedup, r.matched, r.cache
     );
+    let consults = r.cache.hits + r.cache.updates + r.cache.refits;
+    let hit_rate = r.cache.hits as f64 / consults.max(1) as f64;
+    write_section(
+        "throughput",
+        false,
+        vec![
+            ("paths", Metric::exact(r.paths as f64)),
+            ("cold_flows", Metric::exact(r.cold_flows as f64)),
+            ("warm_flows", Metric::exact(r.warm_flows as f64)),
+            ("matched", Metric::exact(f64::from(r.matched))),
+            // libm exp() ULP drift can flip a handful of cache
+            // decisions across toolchains; the rate still must not
+            // collapse (that is the warm path's whole point).
+            (
+                "cache_hit_rate",
+                Metric::band(hit_rate, 0.0, 0.05).with_floor(0.5),
+            ),
+            ("cold_dps", Metric::wall(r.cold_dps)),
+            ("warm_dps", Metric::wall(r.warm_dps).with_floor(2_000.0)),
+            (
+                "warm_batch_dps",
+                Metric::wall(r.warm_batch_dps).with_floor(20_000.0),
+            ),
+            ("speedup", Metric::wall(r.speedup)),
+        ],
+    );
 }
 
 fn forwarding() {
@@ -293,13 +380,51 @@ fn scenario_suite() {
             if smoke { " (smoke subset)" } else { "" }
         ),
     );
-    for m in figures::scenario_suite(smoke) {
+    let matrices = figures::scenario_suite(smoke);
+    for m in &matrices {
         println!("\n{}", m.describe);
         print!("{}", scenarios::render_matrix(&m.name, &m.cards));
     }
     println!(
         "\n(goodput = mean aggregate Mbps; p50/p99 over per-flow per-epoch samples; \
          recovery = epochs back to 80% of pre-failure aggregate; deterministic per seed)"
+    );
+    // Suite-level aggregates over the Hecate cards: structural counts
+    // exact, workload counters banded (cross-toolchain float drift can
+    // move individual decisions), nothing wall-clocked here — the
+    // section diffs clean between two same-seed runs by construction.
+    let hecate: Vec<&scenarios::Scorecard> = matrices
+        .iter()
+        .flat_map(|m| m.cards.iter().filter(|c| c.policy == "hecate"))
+        .collect();
+    let sum_u = |f: fn(&scenarios::Scorecard) -> u64| hecate.iter().map(|c| f(c)).sum::<u64>();
+    let goodput: f64 = hecate.iter().map(|c| c.mean_aggregate_mbps).sum();
+    let blames_match = hecate
+        .iter()
+        .all(|c| c.blames.len() as u64 == c.slo_violation_epochs);
+    write_section(
+        "scenarios",
+        smoke,
+        vec![
+            ("scenario_count", Metric::exact(matrices.len() as f64)),
+            (
+                "hecate_blames_match_violations",
+                Metric::exact(f64::from(blames_match)),
+            ),
+            ("hecate_goodput_mbps", Metric::band(goodput, 0.02, 0.0)),
+            (
+                "hecate_slo_violation_epochs",
+                Metric::band(sum_u(|c| c.slo_violation_epochs) as f64, 0.0, 2.0),
+            ),
+            (
+                "hecate_migrations",
+                Metric::band(sum_u(|c| c.migrations) as f64, 0.0, 3.0),
+            ),
+            (
+                "hecate_sim_events",
+                Metric::band(sum_u(|c| c.sim_events) as f64, 0.05, 0.0),
+            ),
+        ],
     );
 }
 
@@ -355,6 +480,35 @@ fn sim_scale() {
         Ok(()) => println!("wrote BENCH_sim.json"),
         Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
     }
+    write_section(
+        "sim",
+        smoke,
+        vec![
+            ("epochs", Metric::exact(r.epochs as f64)),
+            ("sim_events", Metric::band(r.sim_events as f64, 0.05, 0.0)),
+            (
+                "mean_aggregate_mbps",
+                Metric::band(r.mean_aggregate_mbps, 0.02, 0.0),
+            ),
+            (
+                "waterfill_solves",
+                Metric::band(r.waterfill_solves as f64, 0.05, 10.0),
+            ),
+            (
+                "dispatch_batches",
+                Metric::band(r.dispatch_batches as f64, 0.05, 10.0),
+            ),
+            ("wall_s", Metric::wall(r.wall_s)),
+            (
+                "events_per_sec",
+                Metric::wall(r.events_per_sec).with_floor(10_000.0),
+            ),
+            (
+                "dispatch_events_per_sec",
+                Metric::wall(r.dispatch_events_per_sec),
+            ),
+        ],
+    );
 }
 
 fn trace_artifact() {
@@ -383,6 +537,7 @@ fn trace_artifact() {
         snapshots: true,
         flight_capacity: 0, // the runner's own ring is redundant here
         extra_sink: Some(flight),
+        ..Default::default()
     };
     let (card, art) = scenario
         .run_observed(scenarios::Policy::Hecate, &opts)
@@ -390,16 +545,19 @@ fn trace_artifact() {
     // The artifact is only worth shipping if it is complete and valid:
     // every control-loop phase spanned, and the Chrome export parses.
     let spans = art.span_names();
-    for phase in [
+    const PHASES: [&str; 10] = [
+        "scenario.epoch",
+        "scenario.consult",
         "decide.consult",
         "decide.forecast",
+        "ml.fit",
+        "ml.roll",
         "decide.place",
         "decide.solve",
-        "scenario.consult",
-        "scenario.epoch",
         "sim.dispatch",
         "sim.waterfill",
-    ] {
+    ];
+    for phase in PHASES {
         assert!(
             spans.contains(&phase),
             "no {phase} span in trace: {spans:?}"
@@ -427,6 +585,25 @@ fn trace_artifact() {
         metrics.total("hecate.cache.refits"),
         metrics.total("netsim.waterfill.expansions")
     );
+    // Phase budget: the streaming analyzer over the full trace. Stamps
+    // are sim-time, so the table is deterministic per seed.
+    let mut analyzer = obsv_analyze::TraceAnalyzer::default();
+    analyzer.push_records(&art.records);
+    assert_eq!(analyzer.dangling_ends(), 0, "trace has unmatched Ends");
+    assert_eq!(analyzer.open_spans(), 0, "trace has unclosed spans");
+    println!("\nphase budget (sim-time):");
+    print!("{}", analyzer.render_phase_table(&PHASES));
+    println!("{}", analyzer.render_critical_path());
+    // Root-cause attribution: one blame line per violation epoch, by
+    // construction.
+    assert_eq!(
+        card.blames.len() as u64,
+        card.slo_violation_epochs,
+        "every SLO-violation epoch must carry a blame"
+    );
+    for line in card.blame_lines() {
+        println!("{line}");
+    }
     if std::env::var("OBSV_TRACE").is_ok_and(|v| v == "1") {
         match std::fs::write("TRACE_loop.jsonl", art.jsonl())
             .and_then(|()| std::fs::write("TRACE_loop_chrome.json", &chrome))

@@ -11,6 +11,7 @@
 #![allow(clippy::disallowed_methods)]
 
 pub mod figures;
+pub mod report;
 
 /// Formats a `(time, value)` series as aligned rows, one every `step`.
 pub fn format_series(header: &str, series: &[(f64, f64)], step: usize) -> String {

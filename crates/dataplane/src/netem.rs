@@ -271,6 +271,13 @@ pub struct PacketNet {
     /// and PoT rejections are instants; queue occupancy is sampled at
     /// window close. Stamps are the emulator's own `now_ns` clock.
     tracer: obsv::Tracer,
+    /// Live total-drop counter (always on — one atomic add per drop).
+    /// Adoptable into a metrics registry via
+    /// [`PacketNet::register_metrics`], where per-epoch deltas feed
+    /// SLO blame attribution.
+    drops: obsv::Counter,
+    /// Live PoT-rejection counter, same lifecycle as `drops`.
+    pot_rejects: obsv::Counter,
 }
 
 impl PacketNet {
@@ -310,6 +317,8 @@ impl PacketNet {
             prev_links,
             ingress_rewrites: 0,
             tracer: obsv::Tracer::off(),
+            drops: obsv::Counter::default(),
+            pot_rejects: obsv::Counter::default(),
         })
     }
 
@@ -323,9 +332,19 @@ impl PacketNet {
         self.tracer = tracer;
     }
 
-    /// Emits a per-packet drop instant (tracing only; counters are
-    /// already charged by the caller).
+    /// Exposes the packet plane's live loss counters in `registry`
+    /// (`dataplane.packet.drops`, `dataplane.packet.pot_rejects`).
+    /// The counters are the same atomics the per-flow reports already
+    /// charge, so adopting them costs nothing on the hot path.
+    pub fn register_metrics(&self, registry: &obsv::Registry) {
+        registry.adopt_counter("dataplane.packet.drops", &self.drops);
+        registry.adopt_counter("dataplane.packet.pot_rejects", &self.pot_rejects);
+    }
+
+    /// Charges the aggregate drop counter and emits a per-packet drop
+    /// instant (the instant only when tracing).
     fn trace_drop(&self, flow: usize, reason: &'static str, link: Option<LinkId>) {
+        self.drops.inc();
         if self.tracer.enabled() {
             let name = self.flows[flow].name.clone();
             self.tracer
@@ -513,6 +532,7 @@ impl PacketNet {
                     f.report.latency_sum_ns += self.now_ns - emitted_ns;
                 } else {
                     f.report.pot_rejected += 1;
+                    self.pot_rejects.inc();
                     // The PoT verdict is the security-relevant event a
                     // trace reader wants pinpointed in sim time.
                     if self.tracer.enabled() {

@@ -54,11 +54,25 @@ pub struct ShardReport {
 pub struct ShardedForwarder {
     txs: Vec<Sender<WorkItem>>,
     handles: Vec<JoinHandle<ShardReport>>,
+    tracer: obsv::Tracer,
 }
 
 impl ShardedForwarder {
     /// Spawns `shards` workers, each owning a clone of `plane`.
     pub fn spawn(plane: &ForwardingPlane, shards: usize) -> Self {
+        Self::spawn_traced(plane, shards, obsv::Tracer::off())
+    }
+
+    /// [`ShardedForwarder::spawn`] with a tracer: [`finish`] emits one
+    /// `shard.forward` span per shard, laid end-to-end at cumulative
+    /// busy-time offsets. Spans are emitted *after* the join, in shard
+    /// order, so the record stream never depends on worker
+    /// interleaving. Stamps are wall-derived busy nanoseconds — this
+    /// forwarder is a bench harness (the measured quantity IS wall
+    /// time); nothing here feeds a bit-replayed scorecard.
+    ///
+    /// [`finish`]: ShardedForwarder::finish
+    pub fn spawn_traced(plane: &ForwardingPlane, shards: usize, tracer: obsv::Tracer) -> Self {
         let shards = shards.max(1);
         let mut txs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
@@ -82,7 +96,11 @@ impl ShardedForwarder {
             }));
             txs.push(tx);
         }
-        ShardedForwarder { txs, handles }
+        ShardedForwarder {
+            txs,
+            handles,
+            tracer,
+        }
     }
 
     /// Number of shards.
@@ -116,6 +134,26 @@ impl ShardedForwarder {
             let r = h.join().expect("shard worker panicked");
             merged.merge(&r.report);
             shards.push(r);
+        }
+        if self.tracer.enabled() {
+            // One span per shard at cumulative busy-time offsets: the
+            // trace reads as the shards' busy work laid end-to-end,
+            // and emission order (shard index) is deterministic.
+            let mut offset = 0u64;
+            for (i, s) in shards.iter().enumerate() {
+                let span = self.tracer.span("shard", "shard.forward", offset);
+                offset += s.busy_ns;
+                let (shard, batches, delivered, busy_ns) =
+                    (i as u64, s.batches, s.report.delivered, s.busy_ns);
+                span.end(offset, move || {
+                    vec![
+                        ("shard", obsv::Value::U64(shard)),
+                        ("batches", obsv::Value::U64(batches)),
+                        ("delivered", obsv::Value::U64(delivered)),
+                        ("busy_ns", obsv::Value::U64(busy_ns)),
+                    ]
+                });
+            }
         }
         (merged, shards)
     }
@@ -201,6 +239,43 @@ mod tests {
         }
         assert_eq!(reference.delivered, 8 * 50);
         assert_eq!(reference.pot_rejected, 0);
+    }
+
+    #[test]
+    fn traced_forwarder_emits_one_span_per_shard_in_order() {
+        let (plane, items) = workload(10);
+        let sink = obsv::RecordingSink::shared();
+        let fwd = ShardedForwarder::spawn_traced(&plane, 4, obsv::Tracer::to(sink.clone()));
+        for item in &items {
+            fwd.submit(item.clone());
+        }
+        let (merged, shards) = fwd.finish();
+        assert_eq!(merged.delivered, 8 * 10);
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 8, "4 shards x (Begin + End)");
+        for i in 0..4usize {
+            let b = &recs[i * 2];
+            let e = &recs[i * 2 + 1];
+            assert_eq!((b.name, b.kind), ("shard.forward", obsv::RecordKind::Begin));
+            assert_eq!(e.kind, obsv::RecordKind::End);
+            assert!(
+                e.args
+                    .iter()
+                    .any(|(k, v)| *k == "shard" && *v == obsv::Value::U64(i as u64)),
+                "{e:?}"
+            );
+        }
+        // Spans are laid end-to-end: the last End sits at the summed
+        // busy time.
+        let total: u64 = shards.iter().map(|s| s.busy_ns).sum();
+        assert_eq!(recs[7].at_ns, total);
+        // The untraced spawn emits nothing extra and still counts.
+        let fwd = ShardedForwarder::spawn(&plane, 2);
+        for item in &items {
+            fwd.submit(item.clone());
+        }
+        let (merged, _) = fwd.finish();
+        assert_eq!(merged.delivered, 8 * 10);
     }
 
     #[test]

@@ -75,6 +75,7 @@ const CRITICAL_CRATES: &[&str] = &[
     "crates/dataplane/",
     "crates/hecate-ml/",
     "crates/obsv/",
+    "crates/obsv-analyze/",
     "crates/polka/",
 ];
 

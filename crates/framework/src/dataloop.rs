@@ -85,6 +85,11 @@ impl PacketPlane {
     pub(crate) fn set_tracer(&mut self, tracer: obsv::Tracer) {
         self.net.set_tracer(tracer);
     }
+
+    /// Exposes the packet net's live loss counters in `registry`.
+    pub(crate) fn register_metrics(&self, registry: &obsv::Registry) {
+        self.net.register_metrics(registry);
+    }
 }
 
 /// What one packet epoch measured.
@@ -139,6 +144,7 @@ impl SelfDrivingNetwork {
         }
         // A bundle attached before the plane existed still reaches it.
         net.set_tracer(self.obsv.tracer.clone());
+        net.register_metrics(&self.obsv.metrics);
         self.packet_plane = Some(PacketPlane {
             net,
             cfg,

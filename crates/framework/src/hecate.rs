@@ -108,6 +108,13 @@ struct CacheInner {
     /// target (`"p0/tunnel1"` → `"p0"`). Populated only by
     /// [`HecateService::register_metrics`].
     scoped: RwLock<BTreeMap<String, ScopeCounters>>,
+    /// Fast gate for `ml.fit`/`ml.roll` span emission: one relaxed
+    /// load on the hot path when tracing is off (the default).
+    trace_on: AtomicBool,
+    /// Tracer plus the shared sim-time cell the controller keeps
+    /// current — the ML pipeline has no clock of its own. Installed by
+    /// [`HecateService::set_trace`].
+    trace: RwLock<(obsv::Tracer, obsv::SimClock)>,
 }
 
 /// Per-scope cache behavior counters (multi-pair attribution).
@@ -226,6 +233,31 @@ impl HecateService {
             && e.forecaster.seed() == self.seed
     }
 
+    /// Installs a tracer and the shared sim-time clock so the ML
+    /// pipeline emits `ml.fit` (model fit + initial roll) and
+    /// `ml.roll` (lag-window slide + re-roll) spans. The caller keeps
+    /// the clock current (sim time does not advance while the
+    /// controller thinks, so both endpoints of a span carry the
+    /// decision instant — the analyzer leans on the spans' work args).
+    /// Passing `Tracer::off()` disarms the gate again.
+    pub fn set_trace(&self, tracer: obsv::Tracer, clock: obsv::SimClock) {
+        let on = tracer.enabled();
+        *self.cache.trace.write() = (tracer, clock);
+        self.cache.trace_on.store(on, Ordering::Relaxed);
+    }
+
+    /// The installed tracer and the current sim time, when armed.
+    fn ml_trace(&self) -> Option<(obsv::Tracer, u64)> {
+        if !self.cache.trace_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        let guard = self.cache.trace.read();
+        if !guard.0.enabled() {
+            return None;
+        }
+        Some((guard.0.clone(), guard.1.get()))
+    }
+
     /// Fits a fresh cache entry for `key`. The history window and the
     /// series total are captured in one consistent telemetry read, then
     /// copied out (<= 120 values, refits only) so the expensive model
@@ -250,8 +282,26 @@ impl HecateService {
         if history.len() < self.min_history() {
             return Err(insufficient(history.len()));
         }
-        let forecaster = TrainedForecaster::fit(self.model, &history, self.lags, self.seed)?;
-        let rolled = forecaster.roll(self.horizon)?;
+        let trace = self.ml_trace();
+        let span = trace.as_ref().map(|(t, at)| t.span("ml", "ml.fit", *at));
+        let fitted: Result<(TrainedForecaster, Vec<f64>), FrameworkError> = (|| {
+            let forecaster = TrainedForecaster::fit(self.model, &history, self.lags, self.seed)?;
+            let rolled = forecaster.roll(self.horizon)?;
+            Ok((forecaster, rolled))
+        })();
+        if let (Some(span), Some((_, at))) = (span, &trace) {
+            let samples = history.len() as u64;
+            let ok = fitted.is_ok() as u64;
+            let lags = self.lags as u64;
+            span.end(*at, || {
+                vec![
+                    ("samples", obsv::Value::U64(samples)),
+                    ("lags", obsv::Value::U64(lags)),
+                    ("ok", obsv::Value::U64(ok)),
+                ]
+            });
+        }
+        let (forecaster, rolled) = fitted?;
         Ok(CacheEntry {
             forecaster,
             fitted_at: total,
@@ -318,6 +368,9 @@ impl HecateService {
                         self.cache.bump_scoped(&key.target, |sc| &sc.hits);
                         return Ok(wrap(e.rolled.clone()));
                     }
+                    let trace = self.ml_trace();
+                    let span = trace.as_ref().map(|(t, at)| t.span("ml", "ml.roll", *at));
+                    let fresh = fresh_vals.len() as u64;
                     for &v in &fresh_vals {
                         e.forecaster.observe(v)?;
                     }
@@ -332,6 +385,15 @@ impl HecateService {
                     e.observed = total;
                     e.rolled = e.forecaster.roll(self.horizon)?;
                     e.rolled_horizon = self.horizon;
+                    if let (Some(span), Some((_, at))) = (span, &trace) {
+                        let horizon = self.horizon as u64;
+                        span.end(*at, || {
+                            vec![
+                                ("fresh", obsv::Value::U64(fresh)),
+                                ("horizon", obsv::Value::U64(horizon)),
+                            ]
+                        });
+                    }
                     return Ok(wrap(e.rolled.clone()));
                 }
             }
@@ -428,6 +490,17 @@ impl HecateService {
                 }
             }
             return forecasts;
+        }
+        // A traced run fans out sequentially: `ml.fit`/`ml.roll` span
+        // emission order must be deterministic, and worker
+        // interleaving is not. Results are bitwise identical either
+        // way — forecasts are independent and `par_map` preserves
+        // candidate order — so only the trace artifact cares.
+        if self.cache.trace_on.load(Ordering::Relaxed) {
+            return paths
+                .iter()
+                .filter_map(|p| self.forecast_path(telemetry, p, metric).ok())
+                .collect();
         }
         linalg::par::par_map(paths, |p| self.forecast_path(telemetry, p, metric).ok())
             .into_iter()
@@ -712,6 +785,85 @@ mod tests {
         assert_eq!((stats.refits, stats.hits), (1, 1), "{stats:?}");
         h.clear_cache();
         assert_eq!(clone.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn traced_cache_emits_fit_and_roll_spans_stamped_from_the_clock() {
+        let ts = seeded_store(&[("t1", 20.0)]);
+        let mut h = HecateService::new();
+        h.refit_after = 10;
+        let sink = obsv::RecordingSink::shared();
+        let clock = obsv::SimClock::new();
+        clock.set(7_000);
+        h.set_trace(obsv::Tracer::to(sink.clone()), clock.clone());
+
+        // Cold call: refit -> one ml.fit span at the clock's time.
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        // Fresh samples below the refit threshold: update -> ml.roll.
+        for t in 60..63u64 {
+            ts.insert(
+                &SeriesKey::new("t1", Metric::AvailableBandwidth),
+                t * 1000,
+                20.0,
+            );
+        }
+        clock.set(9_500);
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        // Pure hit: no model work, no span.
+        clock.set(11_000);
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+
+        let recs = sink.snapshot();
+        let spans: Vec<(&str, obsv::RecordKind, u64)> =
+            recs.iter().map(|r| (r.name, r.kind, r.at_ns)).collect();
+        assert_eq!(
+            spans,
+            vec![
+                ("ml.fit", obsv::RecordKind::Begin, 7_000),
+                ("ml.fit", obsv::RecordKind::End, 7_000),
+                ("ml.roll", obsv::RecordKind::Begin, 9_500),
+                ("ml.roll", obsv::RecordKind::End, 9_500),
+            ],
+            "{recs:?}"
+        );
+        let fit_end = &recs[1];
+        assert!(fit_end
+            .args
+            .iter()
+            .any(|(k, v)| *k == "samples" && *v == obsv::Value::U64(60)));
+        let roll_end = &recs[3];
+        assert!(roll_end
+            .args
+            .iter()
+            .any(|(k, v)| *k == "fresh" && *v == obsv::Value::U64(3)));
+
+        // Disarming stops emission.
+        h.set_trace(obsv::Tracer::off(), obsv::SimClock::new());
+        h.clear_cache();
+        h.forecast_path(&ts, "t1", Metric::AvailableBandwidth)
+            .unwrap();
+        assert_eq!(sink.len(), 4, "disarmed cache emitted a span");
+    }
+
+    #[test]
+    fn traced_forecast_all_matches_untraced_bits() {
+        let ts = seeded_store(&[("t1", 20.0), ("t2", 10.0)]);
+        let paths = vec!["t1".to_string(), "t2".to_string()];
+        let plain = HecateService::new();
+        let traced = HecateService::new();
+        let sink = obsv::RecordingSink::shared();
+        traced.set_trace(obsv::Tracer::to(sink.clone()), obsv::SimClock::new());
+        let a = plain.forecast_all(&ts, &paths, Metric::AvailableBandwidth);
+        let b = traced.forecast_all(&ts, &paths, Metric::AvailableBandwidth);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.path, y.path);
+            assert_eq!(x.values, y.values, "tracing changed forecast bits");
+        }
+        assert!(sink.len() >= 2, "fit spans expected on the cold fan-out");
     }
 
     #[test]

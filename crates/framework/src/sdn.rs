@@ -89,6 +89,10 @@ pub struct SelfDrivingNetwork {
     /// water-fill and Hecate's cache counters are exposed through. Set
     /// via [`SelfDrivingNetwork::set_obsv`].
     pub(crate) obsv: obsv::Obsv,
+    /// Shared sim-time cell handed to Hecate so `ml.fit`/`ml.roll`
+    /// spans carry decision-time stamps (the ML pipeline has no clock
+    /// of its own); refreshed at every decision entry point.
+    pub(crate) ml_clock: obsv::SimClock,
 }
 
 impl SelfDrivingNetwork {
@@ -136,6 +140,7 @@ impl SelfDrivingNetwork {
             sample_ms: 1000,
             packet_plane: None,
             obsv: obsv::Obsv::off(),
+            ml_clock: obsv::SimClock::new(),
         })
     }
 
@@ -256,6 +261,7 @@ impl SelfDrivingNetwork {
             sample_ms: 1000,
             packet_plane: None,
             obsv: obsv::Obsv::off(),
+            ml_clock: obsv::SimClock::new(),
         })
     }
 
@@ -353,8 +359,11 @@ impl SelfDrivingNetwork {
         let scopes: Vec<String> = self.pairs.iter().map(|p| p.scope.clone()).collect();
         self.hecate
             .register_metrics(&bundle.metrics, "hecate.cache", &scopes);
+        self.hecate
+            .set_trace(bundle.tracer.clone(), self.ml_clock.clone());
         if let Some(pp) = &mut self.packet_plane {
             pp.set_tracer(bundle.tracer.clone());
+            pp.register_metrics(&bundle.metrics);
         }
         self.obsv = bundle;
     }
@@ -495,6 +504,7 @@ impl SelfDrivingNetwork {
         } else {
             Default::default()
         };
+        self.ml_clock.set(self.sim.now_ns());
         let consult = self
             .obsv
             .tracer
@@ -671,6 +681,7 @@ impl SelfDrivingNetwork {
         } else {
             Default::default()
         };
+        self.ml_clock.set(self.sim.now_ns());
         let forecast_span = self
             .obsv
             .tracer

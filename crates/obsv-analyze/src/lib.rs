@@ -1,0 +1,30 @@
+//! Analysis layer over the `obsv` artifacts — the piece that makes
+//! traces and metrics *readable* instead of write-only:
+//!
+//! 1. [`analyze`] — a **streaming trace analyzer** over the JSONL span
+//!    format (or in-memory [`obsv::TraceRecord`]s): per-span-name
+//!    aggregates with parent/child self-time attribution, deterministic
+//!    p50/p95/p99 via fixed-bucket histograms, and critical-path
+//!    extraction through the control-loop phases. `repro trace` uses it
+//!    to print a phase-budget table.
+//! 2. [`slo`] — an **SLO root-cause attributor**: joins the scenario
+//!    event timeline, metrics `delta()`s and flight-recorder evidence
+//!    into one [`slo::Blame`] per violation epoch (link failure vs
+//!    forecast miss vs water-fill saturation vs packet-plane drops).
+//!    The scenario `Scorecard` renders one blame line per violation.
+//! 3. [`mod@bench`] — the **`bench/v1` report schema** every `repro`
+//!    subcommand writes into, plus the tolerance-banded diff behind
+//!    `repro bench-diff` and the CI perf gate.
+//!
+//! Everything here is deterministic: `BTreeMap` keying, fixed bucket
+//! bounds, nearest-rank quantiles, hand-rolled JSON with
+//! shortest-roundtrip float formatting. Same input bytes ⇒ same output
+//! bytes, on any host.
+
+pub mod analyze;
+pub mod bench;
+pub mod slo;
+
+pub use analyze::{CriticalHop, DurationHistogram, SpanAgg, TraceAnalyzer};
+pub use bench::{diff, BenchReport, DiffKind, DiffLine, DiffReport, Metric, MetricClass, Section};
+pub use slo::{attribute, Blame, BlameCause, EpochEvidence};

@@ -1,0 +1,242 @@
+//! SLO root-cause attribution.
+//!
+//! The scenario runner detects *that* an SLO was violated; this module
+//! decides *why*. For each violation epoch the runner assembles an
+//! [`EpochEvidence`] by joining three deterministic sources — the
+//! scripted event timeline (link failures, drains), metrics `delta()`s
+//! over the epoch window (packet drops, water-fill solves, forecast
+//! refits), and the current routing state (does any violated flow's
+//! tunnel cross a link whose effective capacity no longer covers its
+//! SLO floor?) — and [`attribute`] folds that evidence into a single
+//! [`Blame`].
+//!
+//! Classification is a fixed priority ladder, most-specific cause
+//! first:
+//!
+//! 1. **Link failure** — a scripted `LinkDown` is in effect. The most
+//!    recent failure is named; everything downstream (drops, squeezed
+//!    tunnels) is a symptom, not a cause.
+//! 2. **Packet-plane drops** — the packet plane dropped or
+//!    PoT-rejected traffic this epoch with no link down.
+//! 3. **Water-fill saturation** — some violated flow's tunnel crosses
+//!    a link whose effective capacity (after scripted drains) is below
+//!    the flow's SLO floor: the fair-share allocator cannot award
+//!    enough even with perfect forecasts.
+//! 4. **Forecast miss** — none of the above: capacity existed but the
+//!    controller placed or sized flows off stale/incorrect forecasts.
+//!
+//! Every violation classifies — there is no "unknown" arm — so the
+//! scorecard invariant `blames.len() == slo_violation_epochs` holds by
+//! construction. Blames are computed from always-on metrics and the
+//! scripted timeline, never from optional tracing, so plain and
+//! observed runs produce identical blame lists (the bit-replay
+//! contract).
+
+use std::fmt;
+
+/// Why an SLO violation happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlameCause {
+    /// A scripted link failure is in effect.
+    LinkFailure,
+    /// The packet plane dropped or PoT-rejected traffic.
+    PacketDrops,
+    /// A violated flow's tunnel lacks the capacity for its SLO floor.
+    WaterfillSaturation,
+    /// Capacity existed; the forecasts steered placement wrong.
+    ForecastMiss,
+}
+
+impl BlameCause {
+    /// Stable kebab-case label, used in scorecard rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlameCause::LinkFailure => "link-failure",
+            BlameCause::PacketDrops => "packet-drops",
+            BlameCause::WaterfillSaturation => "waterfill-saturation",
+            BlameCause::ForecastMiss => "forecast-miss",
+        }
+    }
+}
+
+impl fmt::Display for BlameCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One attributed violation epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blame {
+    /// Epoch index (0-based, matching the scorecard timeline).
+    pub epoch: u64,
+    /// The classified cause.
+    pub cause: BlameCause,
+    /// Deterministic human-readable evidence summary.
+    pub detail: String,
+    /// Labels of the flows below their SLO floor this epoch.
+    pub flows: Vec<String>,
+}
+
+impl Blame {
+    /// Renders the scorecard line for this blame.
+    pub fn line(&self) -> String {
+        format!(
+            "epoch {:>3}  {:<22} {:<28} {}",
+            self.epoch,
+            self.cause.label(),
+            self.flows.join(","),
+            self.detail
+        )
+    }
+}
+
+/// The deterministic evidence the runner gathers for one violation
+/// epoch. All counts are deltas over the epoch window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochEvidence {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Flows below their SLO floor (label order = flow admission
+    /// order, deterministic).
+    pub violated_flows: Vec<String>,
+    /// Links scripted down, as `(\"a->b\", epochs_since_down)`, in
+    /// timeline order.
+    pub down_links: Vec<(String, u64)>,
+    /// Links scripted to a reduced scale, as `(\"a->b\", scale)`.
+    pub drained_links: Vec<(String, f64)>,
+    /// Packet-plane drops this epoch.
+    pub packet_drops: u64,
+    /// PoT verification rejects this epoch.
+    pub pot_rejects: u64,
+    /// Water-fill solves (incremental + full) this epoch.
+    pub waterfill_solves: u64,
+    /// Forecast cache refits this epoch.
+    pub cache_refits: u64,
+    /// Violated flows whose tunnel crosses a link with effective
+    /// capacity below the flow's SLO floor, as
+    /// `(flow_label, \"a->b\", capacity_mbps)`.
+    pub squeezed: Vec<(String, String, f64)>,
+}
+
+/// Folds one epoch's evidence into a [`Blame`]. Pure and total: the
+/// same evidence always yields the same blame, and every evidence
+/// classifies.
+pub fn attribute(ev: &EpochEvidence) -> Blame {
+    let (cause, detail) = if let Some((link, since)) = ev.down_links.last() {
+        let mut d = format!("link {link} down {since} epoch(s)");
+        if ev.packet_drops > 0 {
+            let _ = fmt::Write::write_fmt(&mut d, format_args!(", {} drops", ev.packet_drops));
+        }
+        if ev.down_links.len() > 1 {
+            let _ = fmt::Write::write_fmt(
+                &mut d,
+                format_args!(", {} links down total", ev.down_links.len()),
+            );
+        }
+        (BlameCause::LinkFailure, d)
+    } else if ev.packet_drops > 0 || ev.pot_rejects > 0 {
+        (
+            BlameCause::PacketDrops,
+            format!(
+                "{} drops, {} pot rejects this epoch",
+                ev.packet_drops, ev.pot_rejects
+            ),
+        )
+    } else if !ev.squeezed.is_empty() {
+        let (flow, link, cap) = &ev.squeezed[0];
+        let mut d = format!("{flow} needs more than {cap} Mb/s on {link}");
+        if !ev.drained_links.is_empty() {
+            let (dl, scale) = &ev.drained_links[0];
+            let _ = fmt::Write::write_fmt(&mut d, format_args!(" (drain {dl} x{scale})"));
+        }
+        (BlameCause::WaterfillSaturation, d)
+    } else {
+        (
+            BlameCause::ForecastMiss,
+            format!(
+                "capacity ok; {} refits, {} waterfill solves this epoch",
+                ev.cache_refits, ev.waterfill_solves
+            ),
+        )
+    };
+    Blame {
+        epoch: ev.epoch,
+        cause,
+        detail,
+        flows: ev.violated_flows.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EpochEvidence {
+        EpochEvidence {
+            epoch: 30,
+            violated_flows: vec!["m1".into()],
+            ..EpochEvidence::default()
+        }
+    }
+
+    #[test]
+    fn link_failure_outranks_everything() {
+        let ev = EpochEvidence {
+            down_links: vec![("c1->p1".into(), 4)],
+            packet_drops: 12,
+            squeezed: vec![("m1".into(), "c1->p1".into(), 0.0)],
+            ..base()
+        };
+        let b = attribute(&ev);
+        assert_eq!(b.cause, BlameCause::LinkFailure);
+        assert!(b.detail.contains("c1->p1 down 4 epoch(s)"));
+        assert!(b.detail.contains("12 drops"));
+        assert_eq!(b.flows, vec!["m1".to_string()]);
+    }
+
+    #[test]
+    fn drops_outrank_saturation() {
+        let ev = EpochEvidence {
+            packet_drops: 3,
+            squeezed: vec![("m1".into(), "a->b".into(), 5.0)],
+            ..base()
+        };
+        assert_eq!(attribute(&ev).cause, BlameCause::PacketDrops);
+    }
+
+    #[test]
+    fn saturation_names_the_squeezed_link() {
+        let ev = EpochEvidence {
+            squeezed: vec![("m1".into(), "a->b".into(), 5.0)],
+            drained_links: vec![("a->b".into(), 0.25)],
+            ..base()
+        };
+        let b = attribute(&ev);
+        assert_eq!(b.cause, BlameCause::WaterfillSaturation);
+        assert!(b.detail.contains("a->b"));
+        assert!(b.detail.contains("drain"));
+    }
+
+    #[test]
+    fn forecast_miss_is_the_total_fallback() {
+        let ev = EpochEvidence {
+            cache_refits: 2,
+            waterfill_solves: 9,
+            ..base()
+        };
+        let b = attribute(&ev);
+        assert_eq!(b.cause, BlameCause::ForecastMiss);
+        assert!(b.detail.contains("2 refits"));
+    }
+
+    #[test]
+    fn attribution_is_pure() {
+        let ev = EpochEvidence {
+            down_links: vec![("x->y".into(), 0)],
+            ..base()
+        };
+        assert_eq!(attribute(&ev), attribute(&ev));
+        assert_eq!(attribute(&ev).line(), attribute(&ev).line());
+    }
+}

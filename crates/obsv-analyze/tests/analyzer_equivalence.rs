@@ -1,0 +1,271 @@
+//! Pins the analyzer's determinism contract with properties:
+//!
+//! 1. **Streaming == from-full-trace.** Feeding records one at a time
+//!    (with aggregate reads interleaved, proving reads don't perturb
+//!    state) produces byte-identical rendered output to feeding the
+//!    whole JSONL document at once, and the per-name count/total/self
+//!    aggregates match an independent tree-fold reference computation.
+//! 2. **Histogram merge order is irrelevant.** Partitioning a sample
+//!    set into per-chunk histograms and merging them in any order
+//!    yields the same quantiles as one histogram over all samples.
+//!
+//! Record streams are adversarial on purpose: unbalanced Begin/End
+//! pairs, dangling Ends, repeated names at several nesting depths,
+//! instants and counters mixed in.
+
+use obsv::{RecordKind, TraceRecord, Value};
+use obsv_analyze::{DurationHistogram, TraceAnalyzer};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const NAMES: [&str; 5] = [
+    "decide.solve",
+    "sim.dispatch",
+    "ml.fit",
+    "scenario.epoch",
+    "shard.fw",
+];
+
+/// SplitMix64 — local so the generator is independent of every crate
+/// under test.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A random, possibly ill-formed record stream with nondecreasing
+/// stamps.
+fn gen_records(seed: u64, len: usize) -> Vec<TraceRecord> {
+    let mut s = seed;
+    let mut at: u64 = 0;
+    let mut open: Vec<&'static str> = Vec::new();
+    let mut recs = Vec::with_capacity(len);
+    for _ in 0..len {
+        at += mix(&mut s) % 1_000;
+        let name = NAMES[(mix(&mut s) % NAMES.len() as u64) as usize];
+        match mix(&mut s) % 10 {
+            0..=3 => {
+                open.push(name);
+                recs.push(TraceRecord {
+                    at_ns: at,
+                    kind: RecordKind::Begin,
+                    cat: "t",
+                    name,
+                    args: vec![],
+                });
+            }
+            4..=7 => {
+                // Close a random open span, or (sometimes) emit a
+                // dangling End for a name that isn't open.
+                let end_name = if !open.is_empty() && !mix(&mut s).is_multiple_of(8) {
+                    let i = (mix(&mut s) % open.len() as u64) as usize;
+                    let n = open[i];
+                    if let Some(pos) = open.iter().rposition(|o| *o == n) {
+                        open.remove(pos);
+                    }
+                    n
+                } else {
+                    name
+                };
+                recs.push(TraceRecord {
+                    at_ns: at,
+                    kind: RecordKind::End,
+                    cat: "t",
+                    name: end_name,
+                    args: vec![
+                        ("events", Value::U64(mix(&mut s) % 50)),
+                        ("neg", Value::I64(-3)),
+                        ("frac", Value::F64(0.5)),
+                    ],
+                });
+            }
+            8 => recs.push(TraceRecord {
+                at_ns: at,
+                kind: RecordKind::Instant,
+                cat: "t",
+                name,
+                args: vec![],
+            }),
+            _ => recs.push(TraceRecord {
+                at_ns: at,
+                kind: RecordKind::Counter,
+                cat: "t",
+                name,
+                args: vec![("value", Value::U64(mix(&mut s) % 100))],
+            }),
+        }
+    }
+    recs
+}
+
+/// Independent reference: replay the lexical pairing rule into an
+/// explicit span tree, then fold totals/self-times recursively —
+/// a different computation path from the analyzer's incremental
+/// `child_ns` accounting.
+#[derive(Default)]
+struct RefAgg {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+fn reference(recs: &[TraceRecord]) -> BTreeMap<String, RefAgg> {
+    struct Node {
+        name: String,
+        dur: u64,
+        children: Vec<usize>,
+    }
+    let mut arena: Vec<Node> = Vec::new();
+    let mut roots: Vec<usize> = Vec::new();
+    // Stack of (name, begin_ns, arena slot). A slot is allocated on
+    // Begin and filled on End; unclosed slots stay dur-less and are
+    // dropped from the fold.
+    let mut stack: Vec<(String, u64, usize)> = Vec::new();
+    let mut closed: Vec<bool> = Vec::new();
+    for r in recs {
+        match r.kind {
+            RecordKind::Begin => {
+                arena.push(Node {
+                    name: r.name.to_string(),
+                    dur: 0,
+                    children: Vec::new(),
+                });
+                closed.push(false);
+                stack.push((r.name.to_string(), r.at_ns, arena.len() - 1));
+            }
+            RecordKind::End => {
+                if let Some(pos) = stack.iter().rposition(|(n, _, _)| n == r.name) {
+                    let (_, begin, slot) = stack.remove(pos);
+                    arena[slot].dur = r.at_ns.saturating_sub(begin);
+                    closed[slot] = true;
+                    if pos > 0 {
+                        let parent_slot = stack[pos - 1].2;
+                        arena[parent_slot].children.push(slot);
+                    } else {
+                        roots.push(slot);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out: BTreeMap<String, RefAgg> = BTreeMap::new();
+    // Fold every closed node: total is its duration, self is duration
+    // minus the sum of closed children durations.
+    for (slot, node) in arena.iter().enumerate() {
+        if !closed[slot] {
+            continue;
+        }
+        let child_sum: u64 = node
+            .children
+            .iter()
+            .filter(|c| closed[**c])
+            .map(|c| arena[*c].dur)
+            .sum();
+        let agg = out.entry(node.name.clone()).or_default();
+        agg.count += 1;
+        agg.total_ns += node.dur;
+        agg.self_ns += node.dur.saturating_sub(child_sum);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_matches_full_trace_reference(seed in 1u64..100_000, len in 1usize..300) {
+        let recs = gen_records(seed, len);
+
+        // (a) streaming: one record at a time, with reads interleaved.
+        let mut streaming = TraceAnalyzer::new();
+        for (i, r) in recs.iter().enumerate() {
+            streaming.push_record(r);
+            if i % 17 == 0 {
+                let _ = streaming.render_phase_table(&NAMES);
+                let _ = streaming.critical_path();
+            }
+        }
+
+        // (b) from the full JSONL artifact in one call.
+        let mut full = TraceAnalyzer::new();
+        full.push_jsonl(&obsv::export::jsonl(&recs)).unwrap();
+
+        prop_assert_eq!(
+            streaming.render_phase_table(&NAMES),
+            full.render_phase_table(&NAMES)
+        );
+        prop_assert_eq!(streaming.render_critical_path(), full.render_critical_path());
+        prop_assert_eq!(streaming.records(), full.records());
+        prop_assert_eq!(streaming.dangling_ends(), full.dangling_ends());
+        prop_assert_eq!(streaming.open_spans(), full.open_spans());
+
+        // (c) independent tree-fold reference for the core aggregates.
+        let reference = reference(&recs);
+        for name in NAMES {
+            let r = reference.get(name);
+            let a = streaming.span(name);
+            let (rc, rt, rs) = r.map(|x| (x.count, x.total_ns, x.self_ns)).unwrap_or((0, 0, 0));
+            let (ac, at, as_) = a.map(|x| (x.count, x.total_ns, x.self_ns)).unwrap_or((0, 0, 0));
+            prop_assert_eq!((name, ac, at, as_), (name, rc, rt, rs));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_order_does_not_change_quantiles(
+        seed in 1u64..100_000,
+        len in 1usize..400,
+        chunks in 1usize..8,
+    ) {
+        let mut s = seed;
+        // Mix of zeros (the common sim-time case), small and huge.
+        let samples: Vec<u64> = (0..len)
+            .map(|_| match mix(&mut s) % 4 {
+                0 => 0,
+                1 => mix(&mut s) % 1_000,
+                2 => mix(&mut s) % 1_000_000,
+                _ => mix(&mut s) % 10_000_000_000_000,
+            })
+            .collect();
+
+        let mut single = DurationHistogram::new();
+        for &v in &samples {
+            single.record(v);
+        }
+
+        let mut parts: Vec<DurationHistogram> = (0..chunks).map(|_| DurationHistogram::new()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            parts[i % chunks].record(v);
+        }
+
+        let mut fwd = DurationHistogram::new();
+        for p in parts.iter() {
+            fwd.merge(p);
+        }
+        let mut rev = DurationHistogram::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        // Interleaved: odd chunks first, then even.
+        let mut odd_even = DurationHistogram::new();
+        for (i, p) in parts.iter().enumerate().filter(|(i, _)| i % 2 == 1) {
+            let _ = i;
+            odd_even.merge(p);
+        }
+        for (i, p) in parts.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+            let _ = i;
+            odd_even.merge(p);
+        }
+
+        prop_assert_eq!(&fwd, &rev);
+        prop_assert_eq!(&fwd, &odd_even);
+        prop_assert_eq!(&fwd, &single);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(fwd.quantile(q), single.quantile(q));
+        }
+        prop_assert_eq!(fwd.count(), samples.len() as u64);
+    }
+}

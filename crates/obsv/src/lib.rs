@@ -35,7 +35,7 @@ mod trace;
 pub use flight::{install_panic_dump, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, SnapshotValue};
 pub use trace::{
-    Fanout, RecordKind, RecordingSink, SimNs, Span, TraceRecord, TraceSink, Tracer, Value,
+    Fanout, RecordKind, RecordingSink, SimClock, SimNs, Span, TraceRecord, TraceSink, Tracer, Value,
 };
 
 /// The observability bundle a component is handed: a tracer plus a

@@ -209,6 +209,35 @@ impl Span {
     }
 }
 
+/// A shared simulation-time cell for instrumenting components that do
+/// not own a clock (the ML pipeline, the forecast cache): the layer
+/// that *does* know sim time stores it here before handing control
+/// down, and the instrumented callee stamps its spans from the cell.
+/// Reads and writes are relaxed atomics — the value only ever moves
+/// between deterministic points of a single logical control flow, so
+/// stamped records stay bit-replayable.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock(Arc<std::sync::atomic::AtomicU64>);
+
+impl SimClock {
+    /// A clock reading 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Stores the current simulation time.
+    #[inline]
+    pub fn set(&self, at_ns: SimNs) {
+        self.0.store(at_ns, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The last stored simulation time.
+    #[inline]
+    pub fn get(&self) -> SimNs {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// A sink that buffers every record in memory, in emission order.
 #[derive(Default)]
 pub struct RecordingSink {

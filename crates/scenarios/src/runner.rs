@@ -12,7 +12,7 @@
 //! `u64` seed is deterministic.
 
 use crate::events::{compile_events, EventSpec, LinkAction};
-use crate::observe::{ObsvArtifacts, ObsvOptions, MAX_SLO_DUMPS};
+use crate::observe::{ObsvArtifacts, ObsvOptions};
 use crate::scorecard::{percentile, MetricsSection, PairScore, Recovery, Scorecard};
 use crate::traffic::{headroom_scale, link_load, TrafficSpec};
 use crate::zoo::{endpoint_pairs, endpoints, TopologySpec};
@@ -310,6 +310,13 @@ impl Scenario {
         let mut last_snap = opts.snapshots.then(|| bundle.metrics.snapshot());
         let mut per_epoch: Vec<Vec<(String, u64)>> = Vec::new();
         let mut slo_dumps: Vec<(u64, String)> = Vec::new();
+        // Blame bookkeeping: the registry is always live (plain runs
+        // get a fresh one through `set_obsv` too), so attribution is
+        // computed identically whether or not tracing is on — blames
+        // are scorecard data and must honor the bit-replay contract.
+        let mut blames: Vec<obsv_analyze::Blame> = Vec::new();
+        let mut blame_prev = bundle.metrics.snapshot();
+        let mut down_since: BTreeMap<usize, u64> = BTreeMap::new();
 
         // Per-link capacity state, applied only on change.
         let mut drain: BTreeMap<usize, f64> = BTreeMap::new();
@@ -339,6 +346,12 @@ impl Scenario {
                 match act.action {
                     LinkAction::SetUp(up) => {
                         sdn.set_link_state(&act.a, &act.b, up)?;
+                        let lid = link_index(&link_names, &act.a, &act.b)?;
+                        if up {
+                            down_since.remove(&lid);
+                        } else {
+                            down_since.entry(lid).or_insert(e);
+                        }
                         if act.starts_failure {
                             failures.push(e);
                         }
@@ -412,7 +425,7 @@ impl Scenario {
             // (5) record per-flow rates + SLO, attributed per pair.
             let mut total = 0.0;
             let mut pair_total = vec![0.0f64; npairs];
-            let mut violated = false;
+            let mut violated_flows: Vec<usize> = Vec::new();
             for (i, plan) in self.flows.iter().enumerate() {
                 if !started[i] {
                     continue;
@@ -428,7 +441,7 @@ impl Scenario {
                 if let Some(demand) = plan.demand_mbps {
                     // Two epochs of TCP-ramp grace after start.
                     if e >= plan.start_epoch + 2 && rate < self.slo_fraction * demand {
-                        violated = true;
+                        violated_flows.push(i);
                     }
                 }
             }
@@ -436,8 +449,65 @@ impl Scenario {
             for (p, t) in pair_total.into_iter().enumerate() {
                 pair_series[p].push(t);
             }
-            if violated {
+            if !violated_flows.is_empty() {
                 slo_violations += 1;
+                // Root-cause attribution: join the scripted timeline
+                // (links down / drained), the metric deltas since the
+                // last epoch boundary, and the violated flows' current
+                // tunnel capacities into one classified blame line.
+                let window = bundle.metrics.snapshot().delta(&blame_prev);
+                let link_name = |lid: usize| {
+                    let (a, b) = &link_names[lid];
+                    format!("{a}-{b}")
+                };
+                let mut squeezed: Vec<(String, String, f64)> = Vec::new();
+                for &i in &violated_flows {
+                    let plan = &self.flows[i];
+                    let (Some(demand), Some(tname)) = (
+                        plan.demand_mbps,
+                        sdn.flow_tunnel(&plan.label).map(str::to_string),
+                    ) else {
+                        continue;
+                    };
+                    let Some(tunnel) = sdn.tunnel(&tname) else {
+                        continue;
+                    };
+                    // Tightest hop on the flow's current tunnel.
+                    let worst = tunnel
+                        .node_path
+                        .windows(2)
+                        .filter_map(|hop| {
+                            let a = sdn.sim.topo.node_name(hop[0]);
+                            let b = sdn.sim.topo.node_name(hop[1]);
+                            link_index(&link_names, a, b).ok()
+                        })
+                        .map(|lid| (lid, applied.get(&lid).copied().unwrap_or(raw_caps[lid])))
+                        .min_by(|(_, x), (_, y)| x.total_cmp(y));
+                    if let Some((lid, cap)) = worst {
+                        if cap < self.slo_fraction * demand {
+                            squeezed.push((plan.label.clone(), link_name(lid), cap));
+                        }
+                    }
+                }
+                let evidence = obsv_analyze::EpochEvidence {
+                    epoch: e,
+                    violated_flows: violated_flows
+                        .iter()
+                        .map(|&i| self.flows[i].label.clone())
+                        .collect(),
+                    down_links: down_since
+                        .iter()
+                        .map(|(&lid, &since)| (link_name(lid), e.saturating_sub(since)))
+                        .collect(),
+                    drained_links: drain.iter().map(|(&lid, &f)| (link_name(lid), f)).collect(),
+                    packet_drops: window.counter("dataplane.packet.drops"),
+                    pot_rejects: window.counter("dataplane.packet.pot_rejects"),
+                    waterfill_solves: window.counter("netsim.waterfill.incremental_solves")
+                        + window.counter("netsim.waterfill.full_solves"),
+                    cache_refits: window.counter("hecate.cache.refits"),
+                    squeezed,
+                };
+                blames.push(obsv_analyze::attribute(&evidence));
                 // Post-mortem material: mark the epoch in the trace and
                 // capture the flight-recorder tail (bounded — a
                 // persistently-violating run keeps only the first few).
@@ -448,7 +518,7 @@ impl Scenario {
                     || vec![("epoch", obsv::Value::U64(e))],
                 );
                 if let Some(fr) = &flight {
-                    if slo_dumps.len() < MAX_SLO_DUMPS {
+                    if slo_dumps.len() < opts.max_slo_dumps {
                         slo_dumps.push((e, fr.dump_jsonl()));
                     }
                 }
@@ -474,6 +544,10 @@ impl Scenario {
                 });
             }
             epoch_span.end(sdn.sim.now_ns(), || vec![("epoch", obsv::Value::U64(e))]);
+            // Next epoch's blame window starts here — after the
+            // consult, so refit/solve activity from the freshest
+            // decision lands in the epoch it affects.
+            blame_prev = bundle.metrics.snapshot();
             if let Some(prev) = &mut last_snap {
                 let now = bundle.metrics.snapshot();
                 let delta = now.delta(prev);
@@ -563,6 +637,7 @@ impl Scenario {
                 p50_flow_mbps: percentile(&flow_samples, 0.50),
                 p99_flow_mbps: percentile(&flow_samples, 0.99),
                 slo_violation_epochs: slo_violations,
+                blames,
                 migrations,
                 sim_events: sdn.sim.events_processed(),
                 recoveries,
@@ -873,6 +948,7 @@ mod tests {
             "decide.forecast",
             "decide.place",
             "decide.solve",
+            "ml.fit",
             "scenario.consult",
             "scenario.epoch",
             "sim.dispatch",
@@ -923,6 +999,69 @@ mod tests {
             );
         }
         assert!(m.total("hecate.cache.hits") + m.total("hecate.cache.refits") > 0);
+    }
+
+    #[test]
+    fn every_slo_violation_epoch_carries_a_blame() {
+        // Permanent primary failure under the static policy: the demand
+        // flow parks on the dead path and violates every epoch after.
+        let mut s = tiny(11);
+        s.events = vec![EventSpec {
+            at_epoch: 12,
+            kind: EventKind::LinkDown {
+                link: LinkPick::PrimaryHop(1),
+                restore_after: None,
+            },
+        }];
+        s.horizon_epochs = 30;
+        let card = s.run(Policy::StaticShortest).unwrap();
+        assert!(card.slo_violation_epochs > 0, "{card:?}");
+        assert_eq!(card.blames.len() as u64, card.slo_violation_epochs);
+        // Violations after the failure blame the scripted link-down.
+        let post = card
+            .blames
+            .iter()
+            .filter(|b| b.epoch >= 12)
+            .collect::<Vec<_>>();
+        assert!(!post.is_empty());
+        for b in post {
+            assert_eq!(b.cause, obsv_analyze::BlameCause::LinkFailure, "{b:?}");
+            assert!(b.flows.contains(&"f2".to_string()), "{b:?}");
+            assert!(b.detail.contains("down"), "{b:?}");
+        }
+        // Blames are scorecard data: plain and observed runs agree.
+        let (observed, _) = s
+            .run_observed(Policy::StaticShortest, &crate::observe::ObsvOptions::full())
+            .unwrap();
+        assert_eq!(observed.blames, card.blames);
+    }
+
+    #[test]
+    fn slo_dump_cap_is_honored() {
+        // Same persistently-violating scenario; cap the dumps at 2.
+        let mut s = tiny(11);
+        s.events = vec![EventSpec {
+            at_epoch: 12,
+            kind: EventKind::LinkDown {
+                link: LinkPick::PrimaryHop(1),
+                restore_after: None,
+            },
+        }];
+        s.horizon_epochs = 30;
+        let opts = |cap: usize| crate::observe::ObsvOptions {
+            flight_capacity: 512,
+            max_slo_dumps: cap,
+            ..Default::default()
+        };
+        let (card, art) = s.run_observed(Policy::StaticShortest, &opts(2)).unwrap();
+        assert!(card.slo_violation_epochs > 2);
+        assert_eq!(art.slo_dumps.len(), 2, "cap must bound the dumps");
+        // First violations win, and each dump names its epoch.
+        assert_eq!(art.slo_dumps[0].0, card.blames[0].epoch);
+        assert!(art.slo_dumps[0].0 < art.slo_dumps[1].0);
+        // A zero cap keeps the recorder attached but drops every dump.
+        let (_, none) = s.run_observed(Policy::StaticShortest, &opts(0)).unwrap();
+        assert!(none.slo_dumps.is_empty());
     }
 
     #[test]

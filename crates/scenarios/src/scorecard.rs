@@ -86,6 +86,11 @@ pub struct Scorecard {
     /// Epochs in which at least one demand-declared flow delivered less
     /// than the scenario's SLO fraction of its demand.
     pub slo_violation_epochs: u64,
+    /// One classified root-cause blame per violation epoch
+    /// (`blames.len() == slo_violation_epochs` by construction) —
+    /// computed from the scripted timeline and always-on metrics, so
+    /// plain and observed runs carry identical lists.
+    pub blames: Vec<obsv_analyze::Blame>,
     /// Path migrations the policy performed.
     pub migrations: u64,
     /// Simulator queue events applied during the run (external +
@@ -111,6 +116,10 @@ pub struct Scorecard {
 pub const HEADERS: [&str; 7] = [
     "policy", "goodput", "p50", "p99", "slo-viol", "migr", "recovery",
 ];
+
+/// Cap on rendered blame lines per policy (see
+/// [`Scorecard::blame_lines`]).
+pub const MAX_BLAME_LINES: usize = 6;
 
 impl Scorecard {
     /// One table row (policy-matrix format; see [`HEADERS`]).
@@ -160,6 +169,27 @@ impl Scorecard {
                 ]
             })
             .collect()
+    }
+
+    /// Blame lines for the matrix rendering: one root-cause line per
+    /// violation epoch, capped at [`MAX_BLAME_LINES`] with a `+N more`
+    /// tail so a persistently-violating run stays one screen. Empty
+    /// when the run never violated.
+    pub fn blame_lines(&self) -> Vec<String> {
+        if self.blames.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![format!("  {:<16} slo blame:", self.policy)];
+        for b in self.blames.iter().take(MAX_BLAME_LINES) {
+            out.push(format!("    {}", b.line()));
+        }
+        if self.blames.len() > MAX_BLAME_LINES {
+            out.push(format!(
+                "    ... +{} more violation epoch(s)",
+                self.blames.len() - MAX_BLAME_LINES
+            ));
+        }
+        out
     }
 
     /// Control-loop metric lines for the matrix rendering: one summary
@@ -233,6 +263,12 @@ pub fn render_matrix(title: &str, cards: &[Scorecard]) -> String {
         ));
     }
     for c in cards {
+        for line in c.blame_lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    for c in cards {
         for line in c.metrics_lines() {
             out.push_str(&line);
             out.push('\n');
@@ -255,6 +291,7 @@ mod tests {
             p50_flow_mbps: 4.0,
             p99_flow_mbps: 9.25,
             slo_violation_epochs: 2,
+            blames: vec![],
             migrations: 3,
             sim_events: 99,
             recoveries: vec![
@@ -357,6 +394,29 @@ mod tests {
         assert!(!frame.contains("p1             cache"));
         // A card without metrics renders no metric lines at all.
         assert!(card("hecate").metrics_lines().is_empty());
+    }
+
+    #[test]
+    fn blame_lines_render_capped_with_a_more_tail() {
+        let mut c = card("hecate");
+        assert!(c.blame_lines().is_empty());
+        c.blames = (0..9)
+            .map(|e| obsv_analyze::Blame {
+                epoch: 20 + e,
+                cause: obsv_analyze::BlameCause::LinkFailure,
+                detail: format!("link a-b down {e} epoch(s)"),
+                flows: vec!["f2".into()],
+            })
+            .collect();
+        let lines = c.blame_lines();
+        // Header + MAX_BLAME_LINES blames + the overflow tail.
+        assert_eq!(lines.len(), 1 + MAX_BLAME_LINES + 1);
+        assert!(lines[1].contains("link-failure"));
+        assert!(lines[1].contains("f2"));
+        assert!(lines.last().unwrap().contains("+3 more"));
+        let frame = render_matrix("t", &[c]);
+        assert!(frame.contains("slo blame:"));
+        assert!(frame.contains("epoch  20"));
     }
 
     #[test]
