@@ -609,6 +609,296 @@ pub fn sim_scale(smoke: bool) -> SimScaleReport {
     }
 }
 
+/// Deterministic xorshift for the million-flow tick's event stream
+/// (same idiom as the waterfill proptests) — the workload replays
+/// bit-identically from one seed, so the solve counters it reports can
+/// gate exactly in CI.
+struct TickRng(u64);
+
+impl TickRng {
+    fn new(seed: u64) -> Self {
+        TickRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Every mouse flow offers this much (Mb/s); arrivals at this demand
+/// are the candidate fast-path events of the tick workload.
+const TICK_MOUSE_MBPS: f64 = 0.05;
+
+/// Synthetic access-bottleneck WAN for the million-flow tick: one
+/// 40 Mb/s access link per pair, trunk groups of 2 pairs sharing two
+/// 100 Mb/s backbone trunks, and two candidate tunnels per pair that
+/// differ only in which trunk they ride. Two greedy elephants per pair
+/// keep every access link saturated, so the interesting (non-fast-path)
+/// incremental machinery is exercised on most events, while the trunks
+/// keep slack so components stay local to the touched pairs — the
+/// access-bottleneck shape of a real multi-site WAN.
+pub fn tick_model(pairs: usize) -> framework::optimizer::SharedLinkModel {
+    let groups = pairs.div_ceil(2);
+    let mut headroom = vec![40.0; pairs];
+    headroom.extend(std::iter::repeat_n(100.0, 2 * groups));
+    let mut tunnel_links = Vec::with_capacity(2 * pairs);
+    let mut candidates = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        let trunk_a = pairs + 2 * (p / 2);
+        tunnel_links.push(vec![p, trunk_a]);
+        tunnel_links.push(vec![p, trunk_a + 1]);
+        candidates.push(vec![2 * p, 2 * p + 1]);
+    }
+    framework::optimizer::SharedLinkModel::new(headroom, tunnel_links, candidates)
+}
+
+/// What the million-flow control-plane tick measured: per-tick patch
+/// latency percentiles for the standing incremental water-fill, the
+/// full-recompute contrast, and the (deterministic) solve counters.
+#[derive(Debug, Clone)]
+pub struct TickLatencyReport {
+    /// Managed flows standing in the engine when ticking started.
+    pub flows: usize,
+    /// Endpoint pairs (two candidate tunnels each).
+    pub pairs: usize,
+    /// Directed links in the model (access + trunks).
+    pub links: usize,
+    /// Scheduler ticks measured.
+    pub ticks: usize,
+    /// Flow events (arrive/depart/ramp/reroute) patched per tick.
+    pub events_per_tick: usize,
+    /// Wall microseconds to build the engine and solve the initial
+    /// 100k-flow allocation (one bulk resolve).
+    pub setup_us: f64,
+    /// Median tick latency (patch batch + resolve), microseconds.
+    pub tick_p50_us: f64,
+    /// 99th-percentile tick latency, microseconds — the headline gate.
+    pub tick_p99_us: f64,
+    /// Worst tick, microseconds.
+    pub tick_max_us: f64,
+    /// One audited from-scratch recompute over all flows, microseconds
+    /// — what every tick would cost without the incremental engine.
+    pub full_recompute_us: f64,
+    /// Restricted (component-local) solves over the ticked phase.
+    pub incremental_solves: u64,
+    /// Escalations to the full flow set over the ticked phase.
+    pub full_solves: u64,
+    /// Component-expansion iterations over the ticked phase.
+    pub expansions: u64,
+    /// Events absorbed with no solve at all over the ticked phase.
+    pub fast_path_events: u64,
+    /// Final bitwise audit: standing solution == full recompute.
+    pub audited: bool,
+}
+
+/// The million-flow control-plane tick (the perf tentpole's headline
+/// artifact): a standing [`framework::SharedWaterfill`] over
+/// [`tick_model`]`(pairs)` seeded with two greedy elephants per pair
+/// plus demand-limited mice up to `flows` total, then driven through
+/// `ticks` scheduler ticks of `events_per_tick` mixed flow events
+/// (arrival / departure / demand ramp / reroute, xorshift-drawn from
+/// `seed`) each followed by one `resolve()`. Ticks are wall-timed;
+/// the event stream and therefore the solve counters and final rates
+/// are deterministic, and the run ends with a bitwise
+/// incremental-vs-recompute audit.
+pub fn million_flow_tick(
+    flows: usize,
+    pairs: usize,
+    ticks: usize,
+    events_per_tick: usize,
+    seed: u64,
+) -> TickLatencyReport {
+    use framework::SharedWaterfill;
+    let model = tick_model(pairs);
+    let links = model.headroom.len();
+    let t0 = std::time::Instant::now();
+    let mut wf = SharedWaterfill::new(&model);
+    let mut next_id: u64 = 0;
+    // Two greedy elephants per pair, one per candidate tunnel: every
+    // access link stays saturated, so mouse churn genuinely patches a
+    // contended max-min solution instead of coasting on slack.
+    for p in 0..pairs {
+        wf.insert(next_id, 2 * p, None);
+        wf.insert(next_id + 1, 2 * p + 1, None);
+        next_id += 2;
+    }
+    // Mice fill pair-major: one pair's flows get contiguous ids and
+    // therefore contiguous arena slots, the locality a per-site flow
+    // table would have in a real controller.
+    let mice_per_pair = (flows - 2 * pairs).div_ceil(pairs);
+    let mut mice: Vec<u64> = Vec::with_capacity(flows);
+    while (next_id as usize) < flows {
+        let m = next_id as usize - 2 * pairs;
+        let p = (m / mice_per_pair).min(pairs - 1);
+        let tunnel = 2 * p + (m & 1);
+        wf.insert(next_id, tunnel, Some(TICK_MOUSE_MBPS));
+        mice.push(next_id);
+        next_id += 1;
+    }
+    wf.resolve();
+    let setup_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    let base = wf.stats();
+    let mut rng = TickRng::new(seed);
+    let mut tick_us = Vec::with_capacity(ticks);
+    for _ in 0..ticks {
+        let t = std::time::Instant::now();
+        for _ in 0..events_per_tick {
+            match rng.below(4) {
+                0 => {
+                    // Arrival: a new mouse on a random candidate tunnel.
+                    let p = rng.below(pairs as u64) as usize;
+                    let tunnel = 2 * p + rng.below(2) as usize;
+                    wf.insert(next_id, tunnel, Some(TICK_MOUSE_MBPS));
+                    mice.push(next_id);
+                    next_id += 1;
+                }
+                1 if !mice.is_empty() => {
+                    // Departure of a random standing mouse.
+                    let idx = rng.below(mice.len() as u64) as usize;
+                    wf.remove(mice.swap_remove(idx));
+                }
+                2 if !mice.is_empty() => {
+                    // Time-varying demand: ramp a mouse to 0.02..0.10.
+                    let id = mice[rng.below(mice.len() as u64) as usize];
+                    let demand = 0.02 + 0.01 * rng.below(9) as f64;
+                    wf.set_demand(id, Some(demand));
+                }
+                _ if !mice.is_empty() => {
+                    // Reroute onto the pair's sibling tunnel (2p <-> 2p+1).
+                    let id = mice[rng.below(mice.len() as u64) as usize];
+                    let tunnel = wf.tunnel_of(id).expect("standing mouse");
+                    wf.set_tunnel(id, tunnel ^ 1);
+                }
+                _ => {}
+            }
+        }
+        wf.resolve();
+        tick_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let end = wf.stats();
+
+    let t1 = std::time::Instant::now();
+    let full = wf.full_rates();
+    let full_recompute_us = t1.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(full.len(), wf.flow_count());
+
+    tick_us.sort_by(f64::total_cmp);
+    let pct = |q: usize| tick_us[((tick_us.len() * q) / 100).min(tick_us.len() - 1)];
+    TickLatencyReport {
+        flows,
+        pairs,
+        links,
+        ticks,
+        events_per_tick,
+        setup_us,
+        tick_p50_us: pct(50),
+        tick_p99_us: pct(99),
+        tick_max_us: *tick_us.last().expect("ticks > 0"),
+        full_recompute_us,
+        incremental_solves: end.incremental_solves - base.incremental_solves,
+        full_solves: end.full_solves - base.full_solves,
+        expansions: end.expansions - base.expansions,
+        fast_path_events: end.fast_path_events - base.fast_path_events,
+        audited: wf.audit(),
+    }
+}
+
+/// One shard count's timing of the sharded multi-pair consultation.
+#[derive(Debug, Clone)]
+pub struct ShardTimingRow {
+    /// Worker threads the forecast fan-out was partitioned across.
+    pub shards: usize,
+    /// Busy microseconds per shard, in shard order (forecast work only,
+    /// excludes merge and solve).
+    pub shard_busy_us: Vec<f64>,
+    /// `max(shard_busy_us)` — the critical path, i.e. what the tick
+    /// would cost with one core per shard. Meaningful on 1-core CI,
+    /// where wall clock serializes the workers but each shard's busy
+    /// time is still measured in isolation.
+    pub critical_us: f64,
+    /// Wall microseconds for the whole sharded call on this host.
+    pub wall_us: f64,
+    /// Decisions are bit-identical to the sequential engine.
+    pub matched: bool,
+}
+
+/// Per-shard critical-path timing for the sharded controller tick: one
+/// warm scheduler tick (one flow per managed pair) over the multipair
+/// testbed, decided by [`framework::controller::decide_flows_pairs_sharded`]
+/// at each requested shard count and checked bit-identical against the
+/// sequential engine. Reported as critical path (max per-shard busy
+/// time) alongside wall clock, so the scaling story survives 1-core CI
+/// runners the same way `forwarding_scaling` does.
+pub fn sharded_decision_timing(pairs: usize, shard_counts: &[usize]) -> Vec<ShardTimingRow> {
+    use framework::controller::{decide_flows_pairs, decide_flows_pairs_sharded, SequenceLog};
+    use framework::scheduler::FlowRequest;
+    use framework::{HecateService, OptimizerConfig, PairId};
+    let (telemetry, names, model) = multipair_testbed(pairs);
+    let hecate = HecateService::new();
+    let tick: Vec<FlowRequest> = (0..pairs)
+        .map(|p| FlowRequest {
+            label: format!("f{p}"),
+            tos: 0,
+            demand_mbps: None,
+            start_ms: 0,
+            pair: PairId(p),
+        })
+        .collect();
+    // Prime the trained-model cache once, like a running network, and
+    // take the sequential decisions as the reference.
+    let mut log = SequenceLog::default();
+    let sequential = decide_flows_pairs(
+        &hecate,
+        &telemetry,
+        &tick,
+        &names,
+        &model,
+        framework::Objective::MaxBandwidth,
+        &mut log,
+    )
+    .expect("sequential reference decision");
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let config = OptimizerConfig {
+                decision_shards: shards,
+                ..Default::default()
+            };
+            let t = std::time::Instant::now();
+            let mut log = SequenceLog::default();
+            let d = decide_flows_pairs_sharded(
+                &hecate,
+                &telemetry,
+                &tick,
+                &names,
+                &model,
+                framework::Objective::MaxBandwidth,
+                &config,
+                &mut log,
+            )
+            .expect("sharded decision");
+            let wall_us = t.elapsed().as_secs_f64() * 1e6;
+            let shard_busy_us: Vec<f64> = d.shards.iter().map(|r| r.busy_ns as f64 / 1e3).collect();
+            let critical_us = shard_busy_us.iter().fold(0.0, |a: f64, &b| a.max(b));
+            ShardTimingRow {
+                shards,
+                shard_busy_us,
+                critical_us,
+                wall_us,
+                matched: d.decisions == sequential,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,6 +1078,66 @@ mod tests {
             "only {differentiated}/{} scenarios differentiate hecate from static",
             suite.len()
         );
+    }
+
+    #[test]
+    fn million_flow_tick_small_params_audit_and_counters() {
+        // Small-parameter cut of the 100k/256 headline run: the same
+        // access-bottleneck shape, so every structural claim is
+        // exercised — deterministic event stream, incremental solves
+        // engaged (the elephants keep access links saturated), and the
+        // final bitwise incremental-vs-recompute audit.
+        let r = million_flow_tick(2_000, 32, 20, 8, 7);
+        assert_eq!(r.flows, 2_000);
+        assert_eq!(r.pairs, 32);
+        assert_eq!(r.links, 32 + 2 * 16, "32 access + 16 trunk groups x 2");
+        assert_eq!(r.ticks, 20);
+        assert!(r.audited, "incremental diverged from full recompute");
+        assert!(
+            r.incremental_solves > 0,
+            "saturated access links must force restricted solves: {r:?}"
+        );
+        assert_eq!(r.full_solves, 0, "nothing should escalate: {r:?}");
+        assert!(r.tick_p50_us <= r.tick_p99_us && r.tick_p99_us <= r.tick_max_us);
+        // Counter determinism: same seed, same stream, same counters.
+        let again = million_flow_tick(2_000, 32, 20, 8, 7);
+        assert_eq!(r.incremental_solves, again.incremental_solves);
+        assert_eq!(r.fast_path_events, again.fast_path_events);
+        assert_eq!(r.expansions, again.expansions);
+    }
+
+    #[test]
+    fn tick_model_has_two_disjoint_trunk_tunnels_per_pair() {
+        let m = tick_model(256);
+        assert_eq!(m.candidates.len(), 256);
+        assert_eq!(m.tunnel_links.len(), 512);
+        assert_eq!(m.headroom.len(), 256 + 2 * 128);
+        for (p, cands) in m.candidates.iter().enumerate() {
+            assert_eq!(cands, &vec![2 * p, 2 * p + 1]);
+            let a = &m.tunnel_links[2 * p];
+            let b = &m.tunnel_links[2 * p + 1];
+            assert_eq!(a[0], p, "both tunnels share the access link");
+            assert_eq!(b[0], p);
+            assert_ne!(a[1], b[1], "trunk hops are disjoint");
+            assert_eq!(a[1] / 2, b[1] / 2, "same trunk group");
+        }
+    }
+
+    #[test]
+    fn sharded_decision_timing_matches_sequential_at_every_shard_count() {
+        let rows = sharded_decision_timing(8, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.matched, "shards={} diverged", row.shards);
+            assert_eq!(row.shard_busy_us.len(), row.shards);
+            assert!(row.critical_us > 0.0 && row.wall_us > 0.0);
+            assert!(
+                row.critical_us <= row.wall_us,
+                "critical path {} cannot exceed wall {}",
+                row.critical_us,
+                row.wall_us
+            );
+        }
     }
 
     #[test]

@@ -33,12 +33,14 @@ pub mod policies;
 pub mod scheduler;
 pub mod sdn;
 pub mod telemetry;
+pub mod waterfill;
 
 pub use hecate::HecateService;
-pub use optimizer::Objective;
+pub use optimizer::{Objective, OptimizerConfig, SolveMode};
 pub use scheduler::{FlowRequest, Scheduler};
 pub use sdn::SelfDrivingNetwork;
 pub use telemetry::{Metric, TelemetryService};
+pub use waterfill::{SharedWaterfill, StripedResidual};
 
 /// Index of a **managed ingress/egress pair** — the unit the multi-pair
 /// control plane keys everything on: candidate tunnel sets, telemetry

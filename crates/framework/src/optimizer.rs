@@ -289,6 +289,79 @@ pub struct SharedAssignment {
 /// 2 candidates each, 2^16 assignments, goes greedy).
 const SHARED_EXHAUSTIVE_BOUND: u64 = 10_000;
 
+/// How the shared-link solver computes standing rates across decision
+/// ticks (see [`crate::waterfill::SharedWaterfill`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// Patch the standing max-min solution: arrivals, departures,
+    /// reroutes and demand changes re-water-fill only the affected
+    /// links' saturation sets. The default.
+    #[default]
+    Incremental,
+    /// Recompute the whole matrix every tick — the audited baseline the
+    /// incremental path must match bit for bit.
+    FullRecompute,
+}
+
+impl SolveMode {
+    /// Stable label, recorded as the `decide.solve` span's `mode` arg.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveMode::Incremental => "incremental",
+            SolveMode::FullRecompute => "full",
+        }
+    }
+}
+
+/// Which placement search [`assign_flows_shared_with`] ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Mixed-radix enumeration of every assignment.
+    Exhaustive,
+    /// Online greedy water-fill placement.
+    Greedy,
+}
+
+impl SolverKind {
+    /// Stable label, recorded as the `decide.solve` span's `solver` arg.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Exhaustive => "exhaustive",
+            SolverKind::Greedy => "greedy",
+        }
+    }
+}
+
+/// Tuning knobs for the shared-link optimizer and the multi-pair
+/// decision tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Assignment-space ceiling for the exhaustive placement search:
+    /// batches with `∏ |candidates(pair)|` at or below this run
+    /// [`SolverKind::Exhaustive`], larger batches fall back to
+    /// [`SolverKind::Greedy`]. The default (10 000) keeps a 13-pair /
+    /// 2-candidate tick exhaustive and sends anything bigger greedy;
+    /// raise it to buy placement quality with CPU, or drop it to 0 to
+    /// force greedy everywhere.
+    pub exhaustive_bound: u64,
+    /// Standing-rate strategy across decision ticks.
+    pub mode: SolveMode,
+    /// Worker threads for the multi-pair decision tick
+    /// ([`crate::controller::decide_flows_pairs_sharded`]); `1` runs
+    /// the sequential path. Results are bit-identical at any count.
+    pub decision_shards: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            exhaustive_bound: SHARED_EXHAUSTIVE_BOUND,
+            mode: SolveMode::default(),
+            decision_shards: 1,
+        }
+    }
+}
+
 /// Assigns every flow to one of its pair's candidate tunnels so that
 /// the **sum of predicted rates never exceeds any directed link's
 /// headroom** — the invariant the bottleneck-per-tunnel model cannot
@@ -305,6 +378,17 @@ pub fn assign_flows_shared(
     model: &SharedLinkModel,
     flows: &[FlowDemand],
 ) -> Result<SharedAssignment, FrameworkError> {
+    assign_flows_shared_with(model, flows, &OptimizerConfig::default()).map(|(a, _)| a)
+}
+
+/// [`assign_flows_shared`] with explicit [`OptimizerConfig`] knobs,
+/// also reporting which placement search ran (the `decide.solve` span
+/// records it).
+pub fn assign_flows_shared_with(
+    model: &SharedLinkModel,
+    flows: &[FlowDemand],
+    config: &OptimizerConfig,
+) -> Result<(SharedAssignment, SolverKind), FrameworkError> {
     if flows.is_empty() || model.tunnel_links.is_empty() {
         return Err(FrameworkError::NoFeasiblePath);
     }
@@ -320,17 +404,22 @@ pub fn assign_flows_shared(
     let space = flows.iter().try_fold(1u64, |acc, f| {
         acc.checked_mul(model.candidates[f.pair.index()].len() as u64)
     });
-    let choice = match space {
-        Some(s) if s <= SHARED_EXHAUSTIVE_BOUND => exhaustive_shared(model, flows),
-        _ => greedy_shared(model, flows),
+    let (choice, solver) = match space {
+        Some(s) if s <= config.exhaustive_bound => {
+            (exhaustive_shared(model, flows), SolverKind::Exhaustive)
+        }
+        _ => (greedy_shared(model, flows), SolverKind::Greedy),
     };
     let (rate_of_flow, predicted_total, predicted_min_rate) = water_fill(model, flows, &choice);
-    Ok(SharedAssignment {
-        tunnel_of_flow: choice,
-        rate_of_flow,
-        predicted_total,
-        predicted_min_rate,
-    })
+    Ok((
+        SharedAssignment {
+            tunnel_of_flow: choice,
+            rate_of_flow,
+            predicted_total,
+            predicted_min_rate,
+        },
+        solver,
+    ))
 }
 
 /// Exhaustive placement: mixed-radix enumeration over each flow's

@@ -6,11 +6,17 @@
 //! [`SelfDrivingNetwork::run_flow_aggregation`] (Fig 12) and
 //! [`SelfDrivingNetwork::run_trace_driven_steering`] (extension).
 
-use crate::controller::{decide_flows, decide_flows_pairs, decide_path, PathDecision, SequenceLog};
+use crate::controller::{
+    decide_flows, decide_flows_pairs_sharded, decide_path, PathDecision, SequenceLog,
+};
 use crate::hecate::HecateService;
-use crate::optimizer::{assign_flows, assign_flows_shared, FlowDemand, Objective, SharedLinkModel};
+use crate::optimizer::{
+    assign_flows, assign_flows_shared_with, FlowDemand, Objective, OptimizerConfig,
+    SharedLinkModel, SolveMode,
+};
 use crate::scheduler::{FlowRequest, Scheduler};
 use crate::telemetry::{scoped_target, Metric, SeriesKey, TelemetryService};
+use crate::waterfill::SharedWaterfill;
 use crate::{FrameworkError, PairId};
 use freertr::agent::{MessageQueue, RouterHandle};
 use freertr::config::fig10_mia_config;
@@ -93,6 +99,17 @@ pub struct SelfDrivingNetwork {
     /// spans carry decision-time stamps (the ML pipeline has no clock
     /// of its own); refreshed at every decision entry point.
     pub(crate) ml_clock: obsv::SimClock,
+    /// Optimizer knobs: exhaustive-vs-greedy cutoff, incremental vs
+    /// full-recompute water-fill, decision sharding. Set via
+    /// [`SelfDrivingNetwork::set_optimizer_config`].
+    pub(crate) opt: OptimizerConfig,
+    /// The standing incremental water-fill engine
+    /// ([`SolveMode::Incremental`] only): patched with headroom and
+    /// flow diffs at every re-optimization instead of being rebuilt.
+    /// Its counters are the `framework.waterfill.incremental.*`
+    /// metrics. `None` until the first multi-pair re-optimization (and
+    /// always under [`SolveMode::FullRecompute`]).
+    pub(crate) waterfill: Option<SharedWaterfill>,
 }
 
 impl SelfDrivingNetwork {
@@ -141,6 +158,8 @@ impl SelfDrivingNetwork {
             packet_plane: None,
             obsv: obsv::Obsv::off(),
             ml_clock: obsv::SimClock::new(),
+            opt: OptimizerConfig::default(),
+            waterfill: None,
         })
     }
 
@@ -262,6 +281,8 @@ impl SelfDrivingNetwork {
             packet_plane: None,
             obsv: obsv::Obsv::off(),
             ml_clock: obsv::SimClock::new(),
+            opt: OptimizerConfig::default(),
+            waterfill: None,
         })
     }
 
@@ -364,6 +385,10 @@ impl SelfDrivingNetwork {
         if let Some(pp) = &mut self.packet_plane {
             pp.set_tracer(bundle.tracer.clone());
             pp.register_metrics(&bundle.metrics);
+        }
+        if let Some(wf) = &self.waterfill {
+            wf.metrics()
+                .register(&bundle.metrics, "framework.waterfill.incremental");
         }
         self.obsv = bundle;
     }
@@ -478,7 +503,8 @@ impl SelfDrivingNetwork {
     ///
     /// A single-pair network decides via [`decide_flows`] (the legacy
     /// bottleneck-per-tunnel engine, bit-for-bit unchanged); a
-    /// multi-pair network decides via [`decide_flows_pairs`] against
+    /// multi-pair network decides via [`decide_flows_pairs_sharded`]
+    /// (one shard unless configured otherwise) against
     /// the shared-link capacity model, so a batch spanning pairs never
     /// oversubscribes a link two candidate tunnels have in common.
     pub fn admit_flows(
@@ -509,6 +535,7 @@ impl SelfDrivingNetwork {
             .obsv
             .tracer
             .span("decide", "decide.consult", self.sim.now_ns());
+        let mut sharded = None;
         let decisions = if self.pairs.len() == 1 {
             let candidates = self.tunnel_names();
             decide_flows(
@@ -524,15 +551,18 @@ impl SelfDrivingNetwork {
             // New flows are placed on top of the running assignment:
             // headroom is what the current flows leave behind.
             let model = self.link_model(false);
-            decide_flows_pairs(
+            let out = decide_flows_pairs_sharded(
                 &self.hecate,
                 &self.telemetry,
                 reqs,
                 &names,
                 &model,
                 objective,
+                &self.opt,
                 &mut self.log,
-            )?
+            )?;
+            sharded = Some((out.solver, out.shards));
+            out.decisions
         };
         let now_ns = self.sim.now_ns();
         if tracing {
@@ -553,6 +583,32 @@ impl SelfDrivingNetwork {
             });
         } else {
             consult.end(now_ns, Vec::new);
+        }
+        if tracing {
+            if let Some((solver, shards)) = &sharded {
+                // One decide.solve span per decision shard, emitted
+                // after the join in shard order — the record stream
+                // never depends on worker interleaving. Stamps are pure
+                // sim time (zero width): traces are part of the
+                // bit-replay contract, so the workers' wall-derived
+                // busy time never reaches a record — it stays on
+                // [`ShardedDecision`] for the bench harness.
+                let solver = *solver;
+                for r in shards {
+                    let span = self.obsv.tracer.span("decide", "decide.solve", now_ns);
+                    let (shard, series) = (r.shard as u64, r.series as u64);
+                    span.end(now_ns, move || {
+                        let mut args = vec![
+                            ("shard", obsv::Value::U64(shard)),
+                            ("series", obsv::Value::U64(series)),
+                        ];
+                        if let Some(kind) = solver {
+                            args.push(("solver", obsv::Value::Str(kind.label().to_string())));
+                        }
+                        args
+                    });
+                }
+            }
         }
         let place = self.obsv.tracer.span("decide", "decide.place", now_ns);
         for (req, decision) in reqs.iter().zip(&decisions) {
@@ -666,7 +722,7 @@ impl SelfDrivingNetwork {
     ///
     /// Single-pair networks run the legacy bottleneck-per-tunnel search
     /// ([`assign_flows`]) exactly as before; multi-pair networks run the
-    /// shared-link engine ([`assign_flows_shared`]) so the joint
+    /// shared-link engine ([`assign_flows_shared_with`]) so the joint
     /// reassignment never oversubscribes a link that candidate tunnels
     /// of different pairs have in common.
     pub fn reoptimize_bandwidth(&mut self) -> Result<Vec<(String, String)>, FrameworkError> {
@@ -738,6 +794,7 @@ impl SelfDrivingNetwork {
                     .max(0.0)
             })
             .collect();
+        let mut solver = None;
         let tunnel_of_flow: Vec<usize> = if self.pairs.len() == 1 {
             let demands: Vec<Option<f64>> = self.flows.iter().map(|f| f.demand).collect();
             assign_flows(&caps, &demands)?.tunnel_of_flow
@@ -755,7 +812,12 @@ impl SelfDrivingNetwork {
                     demand: f.demand,
                 })
                 .collect();
-            assign_flows_shared(&model, &flows)?.tunnel_of_flow
+            let (assignment, kind) = assign_flows_shared_with(&model, &flows, &self.opt)?;
+            solver = Some(kind);
+            if self.opt.mode == SolveMode::Incremental {
+                self.patch_waterfill(&model, &assignment.tunnel_of_flow);
+            }
+            assignment.tunnel_of_flow
         };
         let moves: Vec<(String, String)> = self
             .flows
@@ -764,8 +826,14 @@ impl SelfDrivingNetwork {
             .map(|(f, &t)| (f.label.clone(), names[t].clone()))
             .collect();
         let assigned = moves.len() as u64;
+        let mode = self.opt.mode;
         solve.end(self.sim.now_ns(), move || {
-            vec![("flows", obsv::Value::U64(assigned))]
+            let mut args = vec![("flows", obsv::Value::U64(assigned))];
+            if let Some(kind) = solver {
+                args.push(("solver", obsv::Value::Str(kind.label().to_string())));
+                args.push(("mode", obsv::Value::Str(mode.label().to_string())));
+            }
+            args
         });
         self.log.record("optimizerReturn");
         for (label, tunnel) in &moves {
@@ -779,6 +847,82 @@ impl SelfDrivingNetwork {
             }
         }
         Ok(moves)
+    }
+
+    /// The optimizer configuration in force (solver cutoff, solve
+    /// mode, decision shards).
+    pub fn optimizer_config(&self) -> &OptimizerConfig {
+        &self.opt
+    }
+
+    /// Replaces the optimizer configuration. Dropping back to
+    /// [`SolveMode::FullRecompute`] discards the standing incremental
+    /// engine; re-enabling [`SolveMode::Incremental`] rebuilds it at
+    /// the next re-optimization.
+    pub fn set_optimizer_config(&mut self, config: OptimizerConfig) {
+        if config.mode == SolveMode::FullRecompute {
+            self.waterfill = None;
+        }
+        self.opt = config;
+    }
+
+    /// The standing incremental water-fill engine, if one is live
+    /// (multi-pair, [`SolveMode::Incremental`], at least one
+    /// re-optimization behind it).
+    pub fn waterfill(&self) -> Option<&SharedWaterfill> {
+        self.waterfill.as_ref()
+    }
+
+    /// Patches the standing incremental engine to the just-decided
+    /// placement: headroom diffs (bitwise no-op per unchanged link),
+    /// then flow arrivals / departures / reroutes / demand changes,
+    /// then one batched resolve. The engine is rebuilt from scratch
+    /// only when the link universe itself changed (tunnel discovery
+    /// added links). Counters land in
+    /// `framework.waterfill.incremental.*`; the debug audit pins the
+    /// standing solution to the from-scratch recompute bit for bit.
+    fn patch_waterfill(&mut self, model: &SharedLinkModel, placement: &[usize]) {
+        let stale = self.waterfill.as_ref().is_none_or(|wf| {
+            wf.link_count() != model.headroom.len() || wf.tunnel_count() != model.tunnel_links.len()
+        });
+        if stale {
+            let wf = SharedWaterfill::new(model);
+            wf.metrics()
+                .register(&self.obsv.metrics, "framework.waterfill.incremental");
+            self.waterfill = Some(wf);
+        }
+        // detlint: allow(bare-panic) — ensured two lines up.
+        let wf = self.waterfill.as_mut().expect("just ensured");
+        for (l, &h) in model.headroom.iter().enumerate() {
+            wf.set_headroom(l, h);
+        }
+        let mut keep = std::collections::BTreeSet::new();
+        for (f, &t) in self.flows.iter().zip(placement) {
+            let id = f.id.0;
+            keep.insert(id);
+            match wf.tunnel_of(id) {
+                None => wf.insert(id, t, f.demand),
+                Some(cur) => {
+                    if cur != t {
+                        wf.set_tunnel(id, t);
+                    }
+                    if wf.demand_of(id) != Some(f.demand) {
+                        wf.set_demand(id, f.demand);
+                    }
+                }
+            }
+        }
+        let stale_ids: Vec<u64> = wf
+            .rates()
+            .into_iter()
+            .map(|(id, _)| id)
+            .filter(|id| !keep.contains(id))
+            .collect();
+        for id in stale_ids {
+            wf.remove(id);
+        }
+        wf.resolve();
+        debug_assert!(wf.audit(), "incremental waterfill diverged from recompute");
     }
 
     /// Builds the shared-link capacity model over every directed link

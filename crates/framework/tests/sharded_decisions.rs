@@ -1,0 +1,247 @@
+//! Pins the sharded multi-pair consultation's determinism contract:
+//! [`decide_flows_pairs_sharded`] returns decisions **bit-identical**
+//! to the sequential [`decide_flows_pairs`] at any shard count, for
+//! every objective, warm or cold, across random telemetry shapes.
+//!
+//! The guarantee is by construction — workers forecast disjoint
+//! per-pair series sets, the merge re-establishes the global candidate
+//! order, and the placement tail is the same code — but the pin is
+//! what keeps a future "optimization" from quietly breaking it.
+//!
+//! [`decide_flows_pairs`]: framework::controller::decide_flows_pairs
+//! [`decide_flows_pairs_sharded`]: framework::controller::decide_flows_pairs_sharded
+
+use framework::controller::{decide_flows_pairs, decide_flows_pairs_sharded, SequenceLog};
+use framework::optimizer::{SharedLinkModel, SolverKind};
+use framework::scheduler::FlowRequest;
+use framework::telemetry::{Metric, SeriesKey};
+use framework::{HecateService, Objective, OptimizerConfig, PairId, TelemetryService};
+
+/// Deterministic xorshift (same idiom as the waterfill proptest).
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn level(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.below(10_000) as f64 / 10_000.0) * (hi - lo)
+    }
+}
+
+/// `pairs` pairs, two tunnels each: a private access link per tunnel
+/// plus a trunk shared by groups of three pairs.
+fn pair_model(pairs: usize, rng: &mut Rng) -> (SharedLinkModel, Vec<String>) {
+    let trunks = pairs.div_ceil(3);
+    let mut headroom: Vec<f64> = (0..trunks).map(|_| rng.level(8.0, 40.0)).collect();
+    let mut tunnel_links = Vec::new();
+    let mut candidates = Vec::new();
+    let mut names = Vec::new();
+    for p in 0..pairs {
+        let mut cand = Vec::new();
+        for t in 0..2usize {
+            let access = headroom.len();
+            headroom.push(rng.level(4.0, 25.0));
+            cand.push(tunnel_links.len());
+            tunnel_links.push(vec![(p / 3 + t) % trunks, access]);
+            names.push(format!("p{p}/tunnel{t}"));
+        }
+        candidates.push(cand);
+    }
+    (
+        SharedLinkModel::new(headroom, tunnel_links, candidates),
+        names,
+    )
+}
+
+/// Warm telemetry for a random subset of the series (cold series
+/// exercise the partial-forecastability merge path), under `metric`.
+fn seeded_store(names: &[String], metric: Metric, rng: &mut Rng) -> TelemetryService {
+    let ts = TelemetryService::new(1000);
+    for name in names {
+        if rng.below(5) == 0 {
+            continue; // leave this series cold
+        }
+        let level = rng.level(3.0, 30.0);
+        for t in 0..40u64 {
+            ts.insert(
+                &SeriesKey::new(name, metric),
+                t * 1000,
+                level + (t as f64 / 7.0).sin() * 0.5,
+            );
+        }
+    }
+    ts
+}
+
+fn requests(pairs: usize, n: usize, rng: &mut Rng) -> Vec<FlowRequest> {
+    (0..n)
+        .map(|i| FlowRequest {
+            label: format!("f{i}"),
+            tos: 32,
+            demand_mbps: match rng.below(3) {
+                0 => None,
+                _ => Some(rng.level(0.5, 10.0)),
+            },
+            start_ms: 0,
+            pair: PairId(rng.below(pairs as u64) as usize),
+        })
+        .collect()
+}
+
+/// Bitwise decision comparison: name + flag exact, score compared on
+/// the f64 bit pattern (stricter than the derived `PartialEq`).
+fn assert_decisions_bitwise(
+    seq: &[framework::controller::PathDecision],
+    sharded: &[framework::controller::PathDecision],
+    ctx: &str,
+) {
+    assert_eq!(seq.len(), sharded.len(), "{ctx}: length");
+    for (i, (a, b)) in seq.iter().zip(sharded).enumerate() {
+        assert_eq!(a.tunnel, b.tunnel, "{ctx}: decision {i} tunnel");
+        assert_eq!(a.used_forecast, b.used_forecast, "{ctx}: decision {i} flag");
+        assert_eq!(
+            a.score.map(f64::to_bits),
+            b.score.map(f64::to_bits),
+            "{ctx}: decision {i} score bits ({:?} vs {:?})",
+            a.score,
+            b.score
+        );
+    }
+}
+
+#[test]
+fn sharded_is_bitwise_identical_at_every_shard_count() {
+    for seed in 1u64..13 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let pairs = 4 + rng.below(5) as usize; // 4..=8
+        let (model, names) = pair_model(pairs, &mut rng);
+        for objective in [Objective::MaxBandwidth, Objective::MinLatency] {
+            let metric = match objective {
+                Objective::MinLatency => Metric::Rtt,
+                _ => Metric::AvailableBandwidth,
+            };
+            let ts = seeded_store(&names, metric, &mut rng);
+            let reqs = requests(pairs, 8 + rng.below(16) as usize, &mut rng);
+            let hecate = HecateService::new();
+            let mut seq_log = SequenceLog::default();
+            let seq =
+                decide_flows_pairs(&hecate, &ts, &reqs, &names, &model, objective, &mut seq_log)
+                    .unwrap();
+            for shards in [1usize, 2, 4] {
+                let config = OptimizerConfig {
+                    decision_shards: shards,
+                    ..OptimizerConfig::default()
+                };
+                let mut log = SequenceLog::default();
+                let out = decide_flows_pairs_sharded(
+                    &hecate, &ts, &reqs, &names, &model, objective, &config, &mut log,
+                )
+                .unwrap();
+                let ctx = format!("seed {seed}, {objective:?}, {shards} shards");
+                assert_decisions_bitwise(&seq, &out.decisions, &ctx);
+                assert_eq!(
+                    seq_log.steps(),
+                    log.steps(),
+                    "{ctx}: Fig 4 sequence must not depend on sharding"
+                );
+                let effective = shards.min(pairs);
+                assert_eq!(out.shards.len(), effective, "{ctx}: shard reports");
+                assert_eq!(
+                    out.shards.iter().map(|r| r.series).sum::<usize>(),
+                    names.len(),
+                    "{ctx}: every candidate series forecast exactly once"
+                );
+                for (i, r) in out.shards.iter().enumerate() {
+                    assert_eq!(r.shard, i, "{ctx}: reports in shard order");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cold_start_shards_fall_back_identically() {
+    let mut rng = Rng(99);
+    let (model, names) = pair_model(5, &mut rng);
+    let ts = TelemetryService::new(10);
+    let reqs = requests(5, 7, &mut rng);
+    let hecate = HecateService::new();
+    let mut seq_log = SequenceLog::default();
+    let seq = decide_flows_pairs(
+        &hecate,
+        &ts,
+        &reqs,
+        &names,
+        &model,
+        Objective::MaxBandwidth,
+        &mut seq_log,
+    )
+    .unwrap();
+    let config = OptimizerConfig {
+        decision_shards: 3,
+        ..OptimizerConfig::default()
+    };
+    let mut log = SequenceLog::default();
+    let out = decide_flows_pairs_sharded(
+        &hecate,
+        &ts,
+        &reqs,
+        &names,
+        &model,
+        Objective::MaxBandwidth,
+        &config,
+        &mut log,
+    )
+    .unwrap();
+    assert_decisions_bitwise(&seq, &out.decisions, "cold start");
+    assert!(out.decisions.iter().all(|d| !d.used_forecast));
+    assert_eq!(out.solver, None, "cold start never reaches the solver");
+    assert!(log.steps().contains(&"fallbackArbitraryPath".to_string()));
+}
+
+#[test]
+fn solver_kind_reports_the_configured_cutoff() {
+    let mut rng = Rng(7);
+    let (model, names) = pair_model(4, &mut rng);
+    let ts = seeded_store(&names, Metric::AvailableBandwidth, &mut Rng(3));
+    let reqs = requests(4, 5, &mut rng);
+    let hecate = HecateService::new();
+    // Default cutoff: 2^5 assignments fit the exhaustive search.
+    let mut log = SequenceLog::default();
+    let out = decide_flows_pairs_sharded(
+        &hecate,
+        &ts,
+        &reqs,
+        &names,
+        &model,
+        Objective::MaxBandwidth,
+        &OptimizerConfig::default(),
+        &mut log,
+    )
+    .unwrap();
+    assert_eq!(out.solver, Some(SolverKind::Exhaustive));
+    // Cutoff forced to zero: the same batch goes greedy.
+    let config = OptimizerConfig {
+        exhaustive_bound: 0,
+        ..OptimizerConfig::default()
+    };
+    let mut log = SequenceLog::default();
+    let out = decide_flows_pairs_sharded(
+        &hecate,
+        &ts,
+        &reqs,
+        &names,
+        &model,
+        Objective::MaxBandwidth,
+        &config,
+        &mut log,
+    )
+    .unwrap();
+    assert_eq!(out.solver, Some(SolverKind::Greedy));
+}

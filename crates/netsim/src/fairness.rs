@@ -379,6 +379,33 @@ impl FairShareEngine {
         }
     }
 
+    /// Changes a flow's elastic demand in place (`None` = greedy).
+    ///
+    /// The flow re-solves from its own saturation component; when the
+    /// new demand shrinks the flow below its current rate, the members
+    /// bottlenecked at its saturated links are seeded first — they are
+    /// the flows entitled to grow into the released capacity, exactly
+    /// as on departure. A demand change on a dead flow just records
+    /// the new demand; the flow re-enters the fill when it revives.
+    pub fn set_demand(&mut self, topo: &Topology, id: FlowId, demand: Option<f64>) {
+        let Some(f) = self.flows.get(&id) else {
+            return;
+        };
+        if f.demand == demand {
+            return;
+        }
+        let (dead, links, rate) = (f.dead, f.links.clone(), f.rate);
+        let shrinking = demand.is_some_and(|d| d < rate - EPS);
+        if !dead && shrinking {
+            self.release_seeds(topo, &links, id);
+        }
+        let f = self.flows.get_mut(&id).expect("checked above");
+        f.demand = demand;
+        if !dead {
+            self.seeds.insert(id);
+        }
+    }
+
     /// Marks a link's capacity as changed: all its member flows (both
     /// directions) re-solve. Call after updating the topology.
     pub fn capacity_changed(&mut self, lid: LinkId) {

@@ -58,6 +58,10 @@ pub enum Event {
     SetLinkCapacity(LinkId, f64),
     /// Fail or restore a link.
     SetLinkUp(LinkId, bool),
+    /// Change a flow's elastic demand in place (`None` = greedy): a
+    /// mouse ramping up mid-life, an elephant backing off. The flow
+    /// keeps its path and identity; only the fair-share fill reflows.
+    SetFlowDemand(FlowId, Option<f64>),
 }
 
 /// Everything the event queue holds: user-visible events plus internal
@@ -234,7 +238,10 @@ impl Simulation {
                 // checks both adjacency and link state.
                 self.topo.path_links(path)?;
             }
-            Event::StopFlow(_) | Event::SetLinkCapacity(_, _) | Event::SetLinkUp(_, _) => {}
+            Event::StopFlow(_)
+            | Event::SetLinkCapacity(_, _)
+            | Event::SetLinkUp(_, _)
+            | Event::SetFlowDemand(_, _) => {}
         }
         let at = at_ms.max(self.now_ms);
         self.seq += 1;
@@ -411,6 +418,12 @@ impl Simulation {
                 if self.topo.link(lid).capacity_mbps != cap {
                     self.topo.link_mut(lid).capacity_mbps = cap;
                     self.engine.capacity_changed(lid);
+                }
+            }
+            Event::SetFlowDemand(id, demand) => {
+                if let Some(f) = self.flows.get_mut(&id) {
+                    f.spec.demand_mbps = demand;
+                    self.engine.set_demand(&self.topo, id, demand);
                 }
             }
             Event::SetLinkUp(lid, up) => {

@@ -88,6 +88,11 @@ fn legacy_run(
                 Event::SetLinkUp(link, up) => {
                     topo.link_mut(link).up = up;
                 }
+                Event::SetFlowDemand(id, demand) => {
+                    if let Some(f) = flows.get_mut(&id) {
+                        f.spec.demand_mbps = demand;
+                    }
+                }
             }
             dirty = true;
             qi += 1;
@@ -210,6 +215,19 @@ fn generate(topo: &Topology, seed: u64, n_flows: usize, until_ms: u64) -> Vec<(u
             let stop = start + TICK_MS + rng.below(until_ms / (2 * TICK_MS)) * TICK_MS;
             if stop < until_ms {
                 events.push((stop, Event::StopFlow(id)));
+            }
+        }
+        // Mid-life demand ramp: up, down, or to greedy. May land after
+        // the flow stopped — both cores must ignore that identically.
+        if rng.below(3) == 0 {
+            let ramp = start + TICK_MS + rng.below(until_ms / (2 * TICK_MS)) * TICK_MS;
+            let new_demand = if rng.below(4) == 0 {
+                None
+            } else {
+                Some(rng.below(60) as f64 / 10.0 + 0.1)
+            };
+            if ramp < until_ms {
+                events.push((ramp, Event::SetFlowDemand(id, new_demand)));
             }
         }
     }

@@ -135,6 +135,19 @@ proptest! {
                         engine.capacity_changed(lid);
                     }
                 }
+                // demand ramp: up, down, or to greedy
+                8 => {
+                    let Some(&id) = paths.keys().nth(rng.below(paths.len().max(1) as u64) as usize)
+                    else {
+                        continue;
+                    };
+                    let demand = match rng.below(4) {
+                        0 => None,
+                        _ => Some(rng.below(60) as f64 / 10.0 + 0.1),
+                    };
+                    engine.set_demand(&topo, id, demand);
+                    paths.get_mut(&id).unwrap().1 = demand;
+                }
                 // link down / up
                 _ => {
                     let lid = netsim::LinkId(rng.below(links) as u32);

@@ -52,6 +52,7 @@ fn base(name: &str, topology: TopologySpec, traffic: TrafficSpec, seed: u64) -> 
         // Below the fluid plane's 0.86 protocol efficiency: a healthy
         // demand-declared flow meets its SLO, a squeezed one does not.
         slo_fraction: 0.8,
+        optimizer: Default::default(),
         plane: PlaneMode::Fluid,
         elastic: None,
         seed,
@@ -427,6 +428,9 @@ pub fn scale_1k() -> Scenario {
         mouse_mbps: 0.75,
         mouse_lifetime_epochs: 3,
         routes: 800,
+        // A quarter of the mice double their demand mid-life: scripted
+        // SetFlowDemand churn for the incremental water-fill.
+        mouse_ramp: Some(2.0),
     });
     s
 }
@@ -545,6 +549,7 @@ mod tests {
             mouse_mbps: 0.5,
             mouse_lifetime_epochs: 2,
             routes: 40,
+            mouse_ramp: Some(2.0),
         });
         let a = s.run(Policy::Hecate).unwrap();
         let b = s.run(Policy::Hecate).unwrap();
@@ -566,6 +571,7 @@ mod tests {
             mouse_mbps: 0.5,
             mouse_lifetime_epochs: 1,
             routes: 4,
+            mouse_ramp: None,
         });
         assert!(s.run(Policy::Hecate).is_err());
     }

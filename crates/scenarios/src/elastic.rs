@@ -41,6 +41,13 @@ pub struct ElasticSpec {
     /// across the graph; shortest paths are computed once per route, so
     /// this also bounds compile cost for 100k flows.
     pub routes: usize,
+    /// Optional mid-life demand ramp: when set, one mouse in four
+    /// re-declares its demand as `mouse_mbps * ramp` halfway through
+    /// its lifetime — a scripted [`Event::SetFlowDemand`] compiled up
+    /// front like every other event, exercising the time-varying-demand
+    /// path of the incremental water-fill. `None` keeps the schedule
+    /// byte-identical to the pre-ramp compiler.
+    pub mouse_ramp: Option<f64>,
 }
 
 /// Compiles the spec into a deterministic event schedule over
@@ -125,10 +132,18 @@ pub fn compile_elastic(
                     path,
                 },
             ));
-            events.push((
-                at + spec.mouse_lifetime_epochs.max(1) * 1000,
-                Event::StopFlow(id),
-            ));
+            let lifetime_ms = spec.mouse_lifetime_epochs.max(1) * 1000;
+            events.push((at + lifetime_ms, Event::StopFlow(id)));
+            // Mid-life ramp: drawn only when the spec asks for it, so a
+            // `None` spec compiles the exact pre-ramp schedule.
+            if let Some(ramp) = spec.mouse_ramp {
+                if rng.gen_range(0..4u32) == 0 {
+                    events.push((
+                        at + lifetime_ms / 2,
+                        Event::SetFlowDemand(id, Some(spec.mouse_mbps * ramp)),
+                    ));
+                }
+            }
         }
     }
     events.sort_by_key(|(at, _)| *at);
@@ -147,6 +162,7 @@ mod tests {
             mouse_mbps: 0.5,
             mouse_lifetime_epochs: 2,
             routes: 12,
+            mouse_ramp: None,
         }
     }
 
@@ -179,6 +195,58 @@ mod tests {
                 assert!(id.0 > ELASTIC_ID_BASE);
             }
         }
+    }
+
+    #[test]
+    fn mouse_ramps_compile_deterministically_and_mid_life() {
+        let topo = TopologySpec::Waxman {
+            n: 30,
+            alpha: 0.9,
+            beta: 0.4,
+        }
+        .build(7);
+        let ramped = ElasticSpec {
+            mouse_ramp: Some(3.0),
+            ..spec()
+        };
+        let a = compile_elastic(&topo, &ramped, 10, 42);
+        let b = compile_elastic(&topo, &ramped, 10, 42);
+        assert_eq!(a, b, "ramped schedules replay bit-identically");
+        // Ramps exist, target the declared demand, and land strictly
+        // between each mouse's start and stop.
+        let starts: BTreeMap<FlowId, u64> = a
+            .iter()
+            .filter_map(|(at, e)| match e {
+                Event::StartFlow { id, .. } => Some((*id, *at)),
+                _ => None,
+            })
+            .collect();
+        let stops: BTreeMap<FlowId, u64> = a
+            .iter()
+            .filter_map(|(at, e)| match e {
+                Event::StopFlow(id) => Some((*id, *at)),
+                _ => None,
+            })
+            .collect();
+        let ramps: Vec<(FlowId, u64, Option<f64>)> = a
+            .iter()
+            .filter_map(|(at, e)| match e {
+                Event::SetFlowDemand(id, d) => Some((*id, *at, *d)),
+                _ => None,
+            })
+            .collect();
+        assert!(!ramps.is_empty(), "one mouse in four ramps");
+        assert!(ramps.len() < stops.len(), "not every mouse ramps");
+        for (id, at, demand) in &ramps {
+            assert_eq!(*demand, Some(0.5 * 3.0));
+            assert!(starts[id] < *at && *at < stops[id], "ramp is mid-life");
+        }
+        // The ramp-free spec stays byte-identical to the old compiler:
+        // no SetFlowDemand events at all.
+        let plain = compile_elastic(&topo, &spec(), 10, 42);
+        assert!(plain
+            .iter()
+            .all(|(_, e)| !matches!(e, Event::SetFlowDemand(_, _))));
     }
 
     #[test]

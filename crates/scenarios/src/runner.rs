@@ -21,7 +21,7 @@ use framework::dataloop::DataplaneConfig;
 use framework::optimizer::assign_flows;
 use framework::scheduler::FlowRequest;
 use framework::telemetry::{Metric, SeriesKey};
-use framework::{Objective, PairId, SelfDrivingNetwork};
+use framework::{Objective, OptimizerConfig, PairId, SelfDrivingNetwork};
 use std::collections::BTreeMap;
 
 /// How flows are (re-)steered at each decision interval.
@@ -114,6 +114,12 @@ pub struct Scenario {
     /// scenarios; the scale-out scenarios use it to load the event core
     /// with ~100k flows. Fluid plane only.
     pub elastic: Option<crate::elastic::ElasticSpec>,
+    /// Controller solver knobs (exhaustive-vs-greedy cutoff, incremental
+    /// vs full-recompute water-fill, decision shard count). The default
+    /// is the framework's default; both solve modes and every shard
+    /// count produce bit-identical decisions, so this only moves *how*
+    /// the same answer is computed.
+    pub optimizer: OptimizerConfig,
     /// Fluid or packet plane.
     pub plane: PlaneMode,
     /// Master seed: topology randomness, traffic matrix, emulator
@@ -237,6 +243,7 @@ impl Scenario {
             self.k_tunnels,
             self.seed,
         )?;
+        sdn.set_optimizer_config(self.optimizer);
         // Events target pair 0's primary tunnel (the shortest path of
         // the classic farthest pair) — `tunnel1` on single-pair
         // scenarios, `p0/tunnel1` otherwise.
@@ -800,6 +807,7 @@ mod tests {
             decision_every: 5,
             k_tunnels: 3,
             slo_fraction: 0.9,
+            optimizer: OptimizerConfig::default(),
             plane: PlaneMode::Fluid,
             elastic: None,
             seed: policy_seed,
